@@ -1,0 +1,38 @@
+//! Benchmark of the experimental-setup substrate (paper Sec. 6.1): the
+//! Rao–Hamming orthogonal array OA(243, 121, 3, 2), its strength
+//! verification, and the hypercube mapping onto OTA design points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use caffeine_circuit::ota::OtaDesign;
+use caffeine_doe::{OrthogonalArray, ScaledHypercube};
+
+fn bench_oa_construction(c: &mut Criterion) {
+    c.bench_function("doe_oa243_construction", |b| {
+        b.iter(|| std::hint::black_box(OrthogonalArray::rao_hamming(5).unwrap()))
+    });
+}
+
+fn bench_oa_strength_check(c: &mut Criterion) {
+    let oa = OrthogonalArray::rao_hamming(5).unwrap();
+    let cols: Vec<usize> = (0..13).collect();
+    c.bench_function("doe_oa243_strength2_check_13cols", |b| {
+        b.iter(|| std::hint::black_box(oa.verify_strength_two(&cols)))
+    });
+}
+
+fn bench_hypercube_mapping(c: &mut Criterion) {
+    let oa = OrthogonalArray::rao_hamming(5).unwrap();
+    let nominal = OtaDesign::nominal().to_vec();
+    let cube = ScaledHypercube::relative(&nominal, 0.1).unwrap();
+    c.bench_function("doe_map_243_designs", |b| {
+        b.iter(|| std::hint::black_box(cube.map_array(&oa).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_oa_construction, bench_oa_strength_check, bench_hypercube_mapping
+}
+criterion_main!(benches);

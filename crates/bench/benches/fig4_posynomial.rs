@@ -1,0 +1,55 @@
+//! Benchmark behind **Figure 4**: the posynomial baseline fit (NNLS over
+//! the fixed monomial template) on OTA-sized data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use caffeine_doe::Dataset;
+use caffeine_posynomial::{fit_posynomial, fit_signomial, TemplateSpec};
+
+fn ota_sized_dataset(n_vars: usize) -> Dataset {
+    let xs: Vec<Vec<f64>> = (0..243)
+        .map(|i| {
+            (0..n_vars)
+                .map(|j| 0.8 + ((i * 17 + j * 11) % 13) as f64 * 0.05)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 40.0 + 3.0 * x[0] / x[1] + 1.5 / x[2] + 0.2 * x[3] * x[0])
+        .collect();
+    let names = (0..n_vars).map(|j| format!("x{j}")).collect();
+    Dataset::new(names, xs, ys).unwrap()
+}
+
+fn bench_posynomial_order1_13vars(c: &mut Criterion) {
+    let data = ota_sized_dataset(13);
+    let spec = TemplateSpec::order1();
+    c.bench_function("fig4_posynomial_order1_13vars", |b| {
+        b.iter(|| std::hint::black_box(fit_posynomial(&data, &spec).unwrap()))
+    });
+}
+
+fn bench_posynomial_order2_6vars(c: &mut Criterion) {
+    let data = ota_sized_dataset(6);
+    let spec = TemplateSpec::order2();
+    c.bench_function("fig4_posynomial_order2_6vars", |b| {
+        b.iter(|| std::hint::black_box(fit_posynomial(&data, &spec).unwrap()))
+    });
+}
+
+fn bench_signomial_order2_6vars(c: &mut Criterion) {
+    let data = ota_sized_dataset(6);
+    let spec = TemplateSpec::order2();
+    c.bench_function("fig4_signomial_order2_6vars", |b| {
+        b.iter(|| std::hint::black_box(fit_signomial(&data, &spec).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_posynomial_order1_13vars, bench_posynomial_order2_6vars,
+              bench_signomial_order2_6vars
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmark behind **Table I**: the SAG post-processing (PRESS + forward
+//! regression) that turns evolved fronts into the compact table models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use caffeine_core::expr::WeightConfig;
+use caffeine_core::grammar::RandomExprGen;
+use caffeine_core::sag::{simplify_model, SagSettings};
+use caffeine_core::{GrammarConfig, Model};
+use caffeine_doe::Dataset;
+
+fn setup() -> (Model, Dataset) {
+    let grammar = GrammarConfig::rational(13);
+    let gen = RandomExprGen::new(&grammar);
+    let mut rng = StdRng::seed_from_u64(11);
+    let bases: Vec<_> = (0..15).map(|_| gen.gen_basis(&mut rng)).collect();
+    let coefficients = vec![1.0; bases.len() + 1];
+    let model = Model::new(bases, coefficients, WeightConfig::default());
+
+    let xs: Vec<Vec<f64>> = (0..243)
+        .map(|i| (0..13).map(|j| 1.0 + ((i * 7 + j * 3) % 13) as f64 * 0.04).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 5.0 + 2.0 * x[0] / x[1] + 1.0 / x[3]).collect();
+    let names = (0..13).map(|j| format!("x{j}")).collect();
+    (model, Dataset::new(names, xs, ys).unwrap())
+}
+
+fn bench_sag(c: &mut Criterion) {
+    let (model, data) = setup();
+    let settings = SagSettings::default();
+    c.bench_function("table1_sag_forward_regression_15bases", |b| {
+        b.iter(|| std::hint::black_box(simplify_model(&model, &data, &settings).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sag
+}
+criterion_main!(benches);

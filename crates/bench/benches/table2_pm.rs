@@ -1,0 +1,64 @@
+//! Benchmark behind **Table II**: prediction and formatting cost of the
+//! refined PM-style models — the operations a designer's tooling performs
+//! when browsing the tradeoff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use caffeine_core::expr::{BasisFunction, FormatOptions, VarCombo, WeightConfig};
+use caffeine_core::Model;
+
+/// Builds the paper's final Table II row as a concrete model:
+/// `91.1 - 5.91e-4·(vsg1·id2)/id1 + 119.79·id1 + 0.03·vgs2/vds2 − …`
+fn pm_like_model() -> Model {
+    let d = 13;
+    let vc = |pairs: &[(usize, i32)]| {
+        let mut e = vec![0i32; d];
+        for &(i, x) in pairs {
+            e[i] = x;
+        }
+        BasisFunction::from_vc(VarCombo::from_exponents(e))
+    };
+    Model::new(
+        vec![
+            vc(&[(2, 1), (1, 1), (0, -1)]), // vsg1*id2/id1
+            vc(&[(0, 1)]),                  // id1
+            vc(&[(4, 1), (5, -1)]),         // vgs2/vds2
+            vc(&[(2, -1)]),                 // 1/vsg1
+            vc(&[(2, 1), (11, -1)]),        // vsg1/vsd5
+            vc(&[(5, -1), (11, -1), (0, -1)]),
+            vc(&[(4, 1), (8, 1), (1, 1)]),
+        ],
+        vec![91.1, -5.91e-4, 119.79, 0.03, -0.78, 0.03, -2.72e-7, 7.11],
+        WeightConfig::default(),
+    )
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let model = pm_like_model();
+    let points: Vec<Vec<f64>> = (0..243)
+        .map(|i| (0..13).map(|j| 0.5 + ((i * 11 + j * 5) % 9) as f64 * 0.2).collect())
+        .collect();
+    c.bench_function("table2_predict_243pts", |b| {
+        b.iter(|| std::hint::black_box(model.predict(&points)))
+    });
+}
+
+fn bench_format(c: &mut Criterion) {
+    let model = pm_like_model();
+    let opts = FormatOptions::with_names(
+        caffeine_circuit::ota::OTA_VAR_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    c.bench_function("table2_format_expression", |b| {
+        b.iter(|| std::hint::black_box(model.format(&opts)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_predict, bench_format
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Regenerates **Figure 3** of the paper: per performance, the evolved
+//! tradeoff of training error (`qwc`), testing error (`qtc`), and number
+//! of basis functions versus complexity — plus the rightmost column, the
+//! front filtered on (testing error, complexity).
+//!
+//! Run with `cargo run --release -p caffeine-bench --bin fig3 [--profile
+//! quick|standard|paper]`.
+
+use caffeine_bench::{pct, run_performance, write_artifact, OtaExperiment, Profile};
+use caffeine_circuit::ota::PerfId;
+
+fn main() {
+    let profile = Profile::from_env_args();
+    eprintln!("fig3: profile {profile:?}; simulating the OTA dataset...");
+    let exp = OtaExperiment::generate();
+    eprintln!(
+        "dataset ready: {} train / {} test failures dropped",
+        exp.train_failures, exp.test_failures
+    );
+
+    let mut artifact = serde_json::Map::new();
+    for perf in PerfId::ALL {
+        let t0 = std::time::Instant::now();
+        let run = run_performance(&exp, perf, profile);
+        eprintln!("{perf}: run finished in {:.1?}", t0.elapsed());
+
+        println!();
+        println!("=== Figure 3 — {perf} ===");
+        println!("tradeoff of training error vs complexity ({} models):", run.simplified.len());
+        println!("{:>12} {:>10} {:>10} {:>8}", "complexity", "qwc", "qtc", "bases");
+        for m in &run.simplified {
+            println!(
+                "{:>12.2} {:>10} {:>10} {:>8}",
+                m.complexity,
+                pct(m.train_error),
+                pct(m.test_error.unwrap_or(f64::NAN)),
+                m.n_bases()
+            );
+        }
+        println!(
+            "filtered to the (testing error, complexity) tradeoff ({} models):",
+            run.test_front.len()
+        );
+        println!("{:>12} {:>10} {:>10} {:>8}", "complexity", "qwc", "qtc", "bases");
+        for m in &run.test_front {
+            println!(
+                "{:>12.2} {:>10} {:>10} {:>8}",
+                m.complexity,
+                pct(m.train_error),
+                pct(m.test_error.unwrap_or(f64::NAN)),
+                m.n_bases()
+            );
+        }
+
+        // Shape checks the paper states explicitly.
+        let constant = run
+            .simplified
+            .iter()
+            .find(|m| m.complexity == 0.0)
+            .map(|m| m.train_error);
+        let best = run
+            .simplified
+            .iter()
+            .map(|m| m.train_error)
+            .fold(f64::INFINITY, f64::min);
+        if let Some(c0) = constant {
+            println!(
+                "shape: constant-model qwc {} -> best qwc {} ({}x reduction)",
+                pct(c0),
+                pct(best),
+                if best > 0.0 { (c0 / best).round() } else { f64::INFINITY }
+            );
+        }
+
+        let series: Vec<serde_json::Value> = run
+            .simplified
+            .iter()
+            .map(|m| {
+                serde_json::json!({
+                    "complexity": m.complexity,
+                    "qwc": m.train_error,
+                    "qtc": m.test_error,
+                    "bases": m.n_bases(),
+                })
+            })
+            .collect();
+        let filtered: Vec<serde_json::Value> = run
+            .test_front
+            .iter()
+            .map(|m| {
+                serde_json::json!({
+                    "complexity": m.complexity,
+                    "qwc": m.train_error,
+                    "qtc": m.test_error,
+                    "bases": m.n_bases(),
+                })
+            })
+            .collect();
+        artifact.insert(
+            perf.name().to_string(),
+            serde_json::json!({ "tradeoff": series, "test_filtered": filtered }),
+        );
+    }
+    write_artifact("fig3", &serde_json::Value::Object(artifact));
+}

@@ -1,0 +1,102 @@
+//! Regenerates **Table I** of the paper: for each performance, a compact
+//! CAFFEINE-generated symbolic model meeting a target error on *both*
+//! training and testing data. `fu` is displayed as `10^(model)` because it
+//! is learned on a log10 scale.
+//!
+//! The paper used a fixed 10 % target with constant-model errors of
+//! 10–25 %. Our simulator substrate has smaller relative spreads (constant
+//! models sit at 2–10 %), so the target is scaled per performance to
+//! `min(10 %, 0.4 × constant-model error)` — the same "a real model, not
+//! just the constant" intent at our error scales.
+//!
+//! Run with `cargo run --release -p caffeine-bench --bin table1 [--profile
+//! quick|standard|paper]`.
+
+use caffeine_bench::{ota_format_options, pct, run_performance, write_artifact, OtaExperiment, Profile};
+use caffeine_circuit::ota::PerfId;
+
+fn main() {
+    let profile = Profile::from_env_args();
+    eprintln!("table1: profile {profile:?}; simulating the OTA dataset...");
+    let exp = OtaExperiment::generate();
+    let opts = ota_format_options();
+
+    println!();
+    println!("=== Table I — simplest models with qwc, qtc under the target ===");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8}  expression",
+        "perf", "target", "qwc", "qtc"
+    );
+
+    let mut artifact = serde_json::Map::new();
+    for perf in PerfId::ALL {
+        let run = run_performance(&exp, perf, profile);
+        let constant_err = run
+            .simplified
+            .iter()
+            .find(|m| m.n_bases() == 0)
+            .map(|m| m.train_error)
+            .unwrap_or(0.10);
+        let target = (0.4 * constant_err).min(0.10);
+        let candidate = run
+            .simplified
+            .iter()
+            .filter(|m| {
+                m.train_error < target && m.test_error.map(|t| t < target).unwrap_or(false)
+            })
+            .min_by(|a, b| a.complexity.partial_cmp(&b.complexity).unwrap());
+        match candidate {
+            Some(m) => {
+                let expr = if perf.log_scaled() {
+                    format!("10^( {} )", m.format(&opts))
+                } else {
+                    m.format(&opts)
+                };
+                println!(
+                    "{:<8} {:>8} {:>8} {:>8}  {}",
+                    perf.name(),
+                    pct(target),
+                    pct(m.train_error),
+                    pct(m.test_error.unwrap_or(f64::NAN)),
+                    expr
+                );
+                artifact.insert(
+                    perf.name().to_string(),
+                    serde_json::json!({
+                        "target": target,
+                        "constant_qwc": constant_err,
+                        "qwc": m.train_error,
+                        "qtc": m.test_error,
+                        "bases": m.n_bases(),
+                        "complexity": m.complexity,
+                        "expression": expr,
+                    }),
+                );
+            }
+            None => {
+                let best = run
+                    .simplified
+                    .iter()
+                    .min_by(|a, b| a.train_error.partial_cmp(&b.train_error).unwrap());
+                let note = best
+                    .map(|m| {
+                        format!(
+                            "no model under target; best qwc {} qtc {}",
+                            pct(m.train_error),
+                            pct(m.test_error.unwrap_or(f64::NAN))
+                        )
+                    })
+                    .unwrap_or_else(|| "no model at all".to_string());
+                println!(
+                    "{:<8} {:>8} {:>8} {:>8}  ({note})",
+                    perf.name(),
+                    pct(target),
+                    "-",
+                    "-"
+                );
+                artifact.insert(perf.name().to_string(), serde_json::json!({ "note": note }));
+            }
+        }
+    }
+    write_artifact("table1", &serde_json::Value::Object(artifact));
+}

@@ -1,0 +1,98 @@
+use std::error::Error;
+use std::fmt;
+
+use caffeine_linalg::LinalgError;
+
+/// Error type for circuit construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A node index referenced an undeclared node.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// A device parameter was outside its physical range.
+    InvalidDevice(String),
+    /// The DC Newton–Raphson iteration failed to converge.
+    DcNoConvergence {
+        /// Iterations performed across all homotopy steps.
+        iterations: usize,
+        /// Final residual infinity-norm (KCL violation in amperes).
+        residual: f64,
+    },
+    /// The MNA system was singular (floating node, loop of voltage
+    /// sources, …).
+    SingularSystem,
+    /// An underlying linear-algebra failure not covered above.
+    Linalg(LinalgError),
+    /// A performance could not be extracted from the simulated responses.
+    PerformanceExtraction(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNode { node } => write!(f, "unknown node index {node}"),
+            CircuitError::InvalidDevice(msg) => write!(f, "invalid device: {msg}"),
+            CircuitError::DcNoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "dc analysis did not converge after {iterations} iterations (residual {residual:.3e} A)"
+            ),
+            CircuitError::SingularSystem => {
+                write!(f, "singular MNA system (floating node or source loop)")
+            }
+            CircuitError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            CircuitError::PerformanceExtraction(msg) => {
+                write!(f, "performance extraction failed: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CircuitError {
+    fn from(e: LinalgError) -> Self {
+        match e {
+            LinalgError::Singular { .. } => CircuitError::SingularSystem,
+            other => CircuitError::Linalg(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CircuitError::UnknownNode { node: 3 }.to_string().contains('3'));
+        assert!(CircuitError::DcNoConvergence {
+            iterations: 50,
+            residual: 1e-3
+        }
+        .to_string()
+        .contains("50"));
+        let e: CircuitError = LinalgError::Singular { pivot: 0 }.into();
+        assert_eq!(e, CircuitError::SingularSystem);
+        let e: CircuitError = LinalgError::NonFiniteInput { argument: "a" }.into();
+        assert!(matches!(e, CircuitError::Linalg(_)));
+    }
+
+    #[test]
+    fn source_chains_linalg_errors() {
+        let e = CircuitError::Linalg(LinalgError::NonFiniteInput { argument: "b" });
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&CircuitError::SingularSystem).is_none());
+    }
+}

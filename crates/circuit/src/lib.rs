@@ -1,0 +1,50 @@
+//! Analog circuit simulation substrate for the CAFFEINE reproduction.
+//!
+//! The paper trains its symbolic models on SPICE simulation data of a
+//! high-speed CMOS OTA (Fig. 2 of the paper). We do not have SPICE or the
+//! authors' proprietary 0.7 µm technology, so this crate implements the
+//! closest self-contained equivalent:
+//!
+//! * a modified nodal analysis (MNA) engine over the workspace's dense
+//!   linear algebra ([`mna`], [`netlist`]),
+//! * level-1 (square-law) MOSFET device models with channel-length
+//!   modulation and body-effect-free triode/saturation regions ([`mos`]),
+//! * Newton–Raphson DC operating-point solving with source stepping
+//!   ([`dc`]),
+//! * complex-valued AC small-signal analysis ([`ac`]), and
+//! * the *operating-point driven* high-speed OTA testbench ([`ota`]): 13
+//!   design variables (branch currents and device drive voltages, named as
+//!   in the paper: `id1, id2, vsg1, vgs2, vds2, …`) mapped to the six
+//!   performances `ALF, fu, PM, voffset, SRp, SRn`.
+//!
+//! The substitution is documented in `DESIGN.md`; the key property is that
+//! the simulator exposes the same physical couplings the paper's models
+//! discover (e.g. DC gain inversely proportional to the differential-pair
+//! current, slew rates set by bias currents and the load capacitance).
+//!
+//! # Example
+//!
+//! ```
+//! use caffeine_circuit::ota::{OtaDesign, OtaTestbench};
+//!
+//! let tb = OtaTestbench::default_07um();
+//! let perf = tb.simulate(&OtaDesign::nominal()).unwrap();
+//! assert!(perf.alf > 0.0);          // the OTA has gain
+//! assert!(perf.fu > 1.0e5);         // unity-gain frequency in a sane band
+//! assert!(perf.pm > 0.0 && perf.pm < 180.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ac;
+pub mod dc;
+mod error;
+pub mod mna;
+pub mod mos;
+pub mod netlist;
+pub mod ota;
+pub mod tran;
+
+pub use error::CircuitError;
+pub use netlist::{Element, Netlist, NodeId};

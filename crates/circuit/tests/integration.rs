@@ -1,0 +1,178 @@
+//! Integration tests of the circuit substrate: classic textbook circuits
+//! solved end to end, KCL conservation checks, and OTA physics.
+
+use caffeine_circuit::ac::{log_frequencies, solve_ac};
+use caffeine_circuit::dc::{solve_dc, DcOptions};
+use caffeine_circuit::mos::MosProcess;
+use caffeine_circuit::ota::{OtaDesign, OtaTestbench};
+use caffeine_circuit::{Element, Netlist, NodeId};
+
+/// Five-transistor current-mirror chain: reference current replicated
+/// twice with different mirror ratios.
+#[test]
+fn nmos_mirror_chain_scales_currents() {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let dio = nl.node("dio");
+    let o1 = nl.node("o1");
+    let o2 = nl.node("o2");
+    nl.add(Element::VSource { pos: vdd, neg: NodeId::GROUND, dc: 5.0, ac: 0.0 });
+    // Reference current pushed into the diode from the supply rail.
+    nl.add(Element::ISource { from: vdd, to: dio, dc: 20e-6 });
+
+    let unit = MosProcess::nmos_07um().size_for(20e-6, 0.3, 1.06, 1e-6).unwrap();
+    nl.add(Element::Mosfet { d: dio, g: dio, s: NodeId::GROUND, instance: unit });
+    let m1 = nl.add(Element::Mosfet {
+        d: o1,
+        g: dio,
+        s: NodeId::GROUND,
+        instance: unit.scaled_width(2.0).unwrap(),
+    });
+    let m2 = nl.add(Element::Mosfet {
+        d: o2,
+        g: dio,
+        s: NodeId::GROUND,
+        instance: unit.scaled_width(0.5).unwrap(),
+    });
+    nl.add(Element::Resistor { a: vdd, b: o1, ohms: 40e3 });
+    nl.add(Element::Resistor { a: vdd, b: o2, ohms: 200e3 });
+
+    let sol = solve_dc(&nl, &DcOptions::default()).unwrap();
+    let i1 = sol.mos_op(m1).unwrap().id;
+    let i2 = sol.mos_op(m2).unwrap().id;
+    assert!((i1 / 40e-6 - 1.0).abs() < 0.15, "2x mirror current {i1}");
+    assert!((i2 / 10e-6 - 1.0).abs() < 0.15, "0.5x mirror current {i2}");
+}
+
+/// A two-stage RC ladder has the textbook transfer function; check both
+/// magnitude and phase at several frequencies against the analytic form.
+#[test]
+fn rc_ladder_matches_analytic_transfer() {
+    let (r1, c1, r2, c2) = (1e3, 2e-9, 5e3, 1e-9);
+    let mut nl = Netlist::new();
+    let vin = nl.node("in");
+    let mid = nl.node("mid");
+    let out = nl.node("out");
+    nl.add(Element::VSource { pos: vin, neg: NodeId::GROUND, dc: 0.0, ac: 1.0 });
+    nl.add(Element::Resistor { a: vin, b: mid, ohms: r1 });
+    nl.add(Element::Capacitor { a: mid, b: NodeId::GROUND, farads: c1 });
+    nl.add(Element::Resistor { a: mid, b: out, ohms: r2 });
+    nl.add(Element::Capacitor { a: out, b: NodeId::GROUND, farads: c2 });
+
+    let dc = solve_dc(&nl, &DcOptions::default()).unwrap();
+    let freqs = log_frequencies(1e3, 1e7, 9);
+    let sweep = solve_ac(&nl, &dc, &freqs).unwrap();
+    for (k, &f) in freqs.iter().enumerate() {
+        let w = 2.0 * std::f64::consts::PI * f;
+        // Analytic: divider with Z1 = r1, Z2 = (1/jwc1) || (r2 + 1/jwc2)
+        let j = caffeine_linalg::Complex64::I;
+        let zc1 = (j * (w * c1)).recip();
+        let zc2 = (j * (w * c2)).recip();
+        let z2 = (zc1.recip() + (zc2 + caffeine_linalg::Complex64::from_real(r2)).recip()).recip();
+        let vmid = z2 / (z2 + caffeine_linalg::Complex64::from_real(r1));
+        let vout = vmid * (zc2 / (zc2 + caffeine_linalg::Complex64::from_real(r2)));
+        let sim = sweep.node_voltages[k][out.0];
+        assert!(
+            (sim - vout).abs() < 1e-9 * vout.abs().max(1e-12) + 1e-12,
+            "f = {f}: sim {sim} vs analytic {vout}"
+        );
+    }
+}
+
+/// KCL at the converged operating point: the solver's residual must be
+/// tiny relative to the branch currents for a nonlinear circuit.
+#[test]
+fn kcl_holds_at_operating_point() {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let g = nl.node("g");
+    let d = nl.node("d");
+    let s = nl.node("s");
+    nl.add(Element::VSource { pos: vdd, neg: NodeId::GROUND, dc: 5.0, ac: 0.0 });
+    nl.add(Element::VSource { pos: g, neg: NodeId::GROUND, dc: 2.0, ac: 0.0 });
+    nl.add(Element::Resistor { a: vdd, b: d, ohms: 30e3 });
+    nl.add(Element::Resistor { a: s, b: NodeId::GROUND, ohms: 10e3 });
+    let inst = MosProcess::nmos_07um().size_for(50e-6, 0.35, 1.5, 1e-6).unwrap();
+    let midx = nl.add(Element::Mosfet { d, g, s, instance: inst });
+
+    let sol = solve_dc(&nl, &DcOptions::default()).unwrap();
+    // Source degeneration: current through Rs equals the device current.
+    let i_rs = sol.voltage(s) / 10e3;
+    let i_dev = sol.mos_op(midx).unwrap().id;
+    assert!(
+        (i_rs - i_dev).abs() / i_dev < 1e-6,
+        "KCL violated: Rs {i_rs} vs device {i_dev}"
+    );
+    // And the drain resistor carries the same current.
+    let i_rd = (5.0 - sol.voltage(d)) / 30e3;
+    assert!((i_rd - i_dev).abs() / i_dev < 1e-6);
+}
+
+/// OTA: DC gain in dB must match the AC measurement at 1 Hz by definition,
+/// and the unity-gain frequency must sit between fu-from-gain-bandwidth
+/// bounds.
+#[test]
+fn ota_gain_bandwidth_consistency() {
+    let tb = OtaTestbench::default_07um();
+    let d = OtaDesign::nominal();
+    let perf = tb.simulate(&d).unwrap();
+    // One-pole estimate: fu <= ALF(linear) * f_dominant; sanity check the
+    // gain-bandwidth product ordering: fu must exceed f_dominant by the
+    // gain factor within 3x slack (extra poles only reduce fu).
+    let alf_linear = 10f64.powf(perf.alf / 20.0);
+    assert!(alf_linear > 10.0);
+    // Dominant pole from fu and gain (one-pole model): p1 ≈ fu / ALF.
+    let p1 = perf.fu / alf_linear;
+    assert!(p1 > 1e3 && p1 < 1e6, "implausible dominant pole {p1}");
+}
+
+/// The OTA's six performances react to the load capacitance in the
+/// physically expected directions.
+#[test]
+fn load_capacitance_scales_bandwidth_and_slew() {
+    let mut tb = OtaTestbench::default_07um();
+    let d = OtaDesign::nominal();
+    let base = tb.simulate(&d).unwrap();
+    tb.tech.cl = 20e-12; // double the load
+    let heavy = tb.simulate(&d).unwrap();
+    // fu and SR halve (approximately); ALF unchanged (gain is DC).
+    assert!((heavy.fu / base.fu - 0.5).abs() < 0.1, "fu ratio {}", heavy.fu / base.fu);
+    assert!((heavy.srp / base.srp - 0.5).abs() < 0.1);
+    assert!((heavy.alf - base.alf).abs() < 0.5);
+    // More load helps phase margin on a one-dominant-pole amp.
+    assert!(heavy.pm > base.pm - 1.0);
+}
+
+/// Supply reduction must eventually break the bias (headroom), and the
+/// testbench must report an error rather than nonsense.
+#[test]
+fn supply_collapse_is_detected() {
+    let mut tb = OtaTestbench::default_07um();
+    tb.tech.vdd = 1.0; // way below the stacked vsg requirements
+    assert!(tb.simulate(&OtaDesign::nominal()).is_err());
+}
+
+/// The transient slew measurement must corroborate the held-output DC
+/// method — two independent code paths measuring the same physics.
+#[test]
+fn transient_and_held_output_slew_rates_agree() {
+    let tb = OtaTestbench::default_07um();
+    let d = OtaDesign::nominal();
+    let perf = tb.simulate(&d).unwrap();
+    let (srp_tran, srn_tran) = tb.simulate_slew_transient(&d).unwrap();
+    assert!(srp_tran > 0.0 && srn_tran < 0.0);
+    // The transient sees the full output excursion including regions with
+    // more/less headroom; agree within 50%.
+    let up_ratio = srp_tran / perf.srp;
+    let dn_ratio = srn_tran / perf.srn;
+    assert!(
+        (0.5..2.0).contains(&up_ratio),
+        "SRp: transient {srp_tran} vs held {}",
+        perf.srp
+    );
+    assert!(
+        (0.5..2.0).contains(&dn_ratio),
+        "SRn: transient {srn_tran} vs held {}",
+        perf.srn
+    );
+}

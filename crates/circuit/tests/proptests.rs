@@ -1,0 +1,123 @@
+//! Property-based tests of the circuit substrate: random linear networks
+//! must satisfy conservation laws and agree across analyses.
+
+use caffeine_circuit::ac::solve_ac;
+use caffeine_circuit::dc::{solve_dc, DcOptions};
+use caffeine_circuit::tran::{solve_tran, TranOptions};
+use caffeine_circuit::{Element, Netlist, NodeId};
+use proptest::prelude::*;
+
+/// Builds a random resistive ladder: source -> R -> node -> R -> ... with
+/// shunt resistors to ground, always connected.
+fn ladder(resistances: &[(f64, f64)], vsrc: f64) -> (Netlist, Vec<NodeId>) {
+    let mut nl = Netlist::new();
+    let vin = nl.node("in");
+    nl.add(Element::VSource {
+        pos: vin,
+        neg: NodeId::GROUND,
+        dc: vsrc,
+        ac: 1.0,
+    });
+    let mut nodes = vec![vin];
+    let mut prev = vin;
+    for (i, &(series, shunt)) in resistances.iter().enumerate() {
+        let n = nl.node(&format!("n{i}"));
+        nl.add(Element::Resistor {
+            a: prev,
+            b: n,
+            ohms: series,
+        });
+        nl.add(Element::Resistor {
+            a: n,
+            b: NodeId::GROUND,
+            ohms: shunt,
+        });
+        nodes.push(n);
+        prev = n;
+    }
+    (nl, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DC node voltages of a resistive ladder are monotonically
+    /// attenuated and bounded by the source.
+    #[test]
+    fn ladder_voltages_attenuate(
+        rs in proptest::collection::vec((1e2f64..1e5, 1e2f64..1e5), 1..6),
+        v in 0.5f64..10.0,
+    ) {
+        let (nl, nodes) = ladder(&rs, v);
+        let sol = solve_dc(&nl, &DcOptions::default()).unwrap();
+        let mut last = v;
+        for &n in &nodes[1..] {
+            let vn = sol.voltage(n);
+            prop_assert!(vn >= -1e-9 && vn <= last + 1e-9,
+                "node voltage {vn} outside [0, {last}]");
+            last = vn;
+        }
+    }
+
+    /// KCL at every internal node: series-in equals shunt + series-out.
+    #[test]
+    fn ladder_kcl_balances(
+        rs in proptest::collection::vec((1e2f64..1e5, 1e2f64..1e5), 2..6),
+        v in 0.5f64..10.0,
+    ) {
+        let (nl, nodes) = ladder(&rs, v);
+        let sol = solve_dc(&nl, &DcOptions::default()).unwrap();
+        for k in 1..nodes.len() - 1 {
+            let v_prev = sol.voltage(nodes[k - 1]);
+            let v_here = sol.voltage(nodes[k]);
+            let v_next = sol.voltage(nodes[k + 1]);
+            let i_in = (v_prev - v_here) / rs[k - 1].0;
+            let i_shunt = v_here / rs[k - 1].1;
+            let i_out = (v_here - v_next) / rs[k].0;
+            // Solver tolerance is 1e-9 V; with series resistances as low
+            // as 100 Ω that bounds the current residual near 1e-11 A.
+            prop_assert!(
+                (i_in - i_shunt - i_out).abs() < 1e-6 * i_in.abs().max(1e-6),
+                "KCL residual {} vs i_in {}",
+                (i_in - i_shunt - i_out).abs(),
+                i_in
+            );
+        }
+    }
+
+    /// At (near-)zero frequency the AC solution of a resistive ladder
+    /// equals the DC solution scaled by the AC drive.
+    #[test]
+    fn ac_at_low_frequency_matches_dc(
+        rs in proptest::collection::vec((1e3f64..1e5, 1e3f64..1e5), 1..5),
+    ) {
+        let (nl, nodes) = ladder(&rs, 1.0);
+        let dc = solve_dc(&nl, &DcOptions::default()).unwrap();
+        let sweep = solve_ac(&nl, &dc, &[1e-3]).unwrap();
+        for &n in &nodes {
+            let vdc = dc.voltage(n);
+            let vac = sweep.node_voltages[0][n.0];
+            prop_assert!((vac.abs() - vdc.abs()).abs() < 1e-6,
+                "node {}: AC {} vs DC {}", n.0, vac.abs(), vdc);
+        }
+    }
+
+    /// A purely resistive network settles instantly in transient: the
+    /// waveform equals the DC solution at every time point.
+    #[test]
+    fn transient_of_resistive_network_is_flat(
+        rs in proptest::collection::vec((1e3f64..1e5, 1e3f64..1e5), 1..4),
+        v in 0.5f64..5.0,
+    ) {
+        let (nl, nodes) = ladder(&rs, v);
+        let dc = solve_dc(&nl, &DcOptions::default()).unwrap();
+        let opts = TranOptions { t_stop: 1e-7, dt: 1e-8, ..TranOptions::default() };
+        let tran = solve_tran(&nl, &dc, &opts, |_, _| None).unwrap();
+        for &n in &nodes {
+            let expect = dc.voltage(n);
+            for w in tran.voltages_of(n) {
+                prop_assert!((w - expect).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! The CAFFEINE evolutionary engine: NSGA-II over grammar-constrained
+//! basis-function sets with least-squares linear learning.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use caffeine_doe::Dataset;
+
+use crate::expr::{complexity, ComplexityWeights, EvalContext};
+use crate::fit::{fit_linear_weights, FitOutcome};
+use crate::gp::{Evaluation, GpOperators, Individual, OperatorSettings};
+use crate::metrics::ErrorMetric;
+use crate::model::Model;
+use crate::nsga2;
+use crate::pareto;
+use crate::{CaffeineError, GrammarConfig};
+
+/// Run settings (defaults follow the paper's Sec. 6.1 where stated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaffeineSettings {
+    /// Population size (paper: 200).
+    pub population: usize,
+    /// Number of generations (paper: 5000).
+    pub generations: usize,
+    /// Maximum basis functions per individual (paper: 15).
+    pub max_bases: usize,
+    /// Complexity weights `w_b`, `w_vc` (paper: 10 and 0.25).
+    pub complexity: ComplexityWeights,
+    /// Error metric (paper: relative RMS with `c = 0`).
+    pub metric: ErrorMetric,
+    /// Relative probability of parameter mutation (paper: 5×).
+    pub param_mutation_weight: f64,
+    /// RNG seed for reproducible runs.
+    pub seed: u64,
+    /// Sentinel error assigned to infeasible candidates.
+    pub infeasible_error: f64,
+    /// Record an [`EvolutionStats`] snapshot every this many generations.
+    pub stats_every: usize,
+}
+
+impl Default for CaffeineSettings {
+    fn default() -> Self {
+        CaffeineSettings {
+            population: 200,
+            generations: 5000,
+            max_bases: 15,
+            complexity: ComplexityWeights::default(),
+            metric: ErrorMetric::default(),
+            param_mutation_weight: 5.0,
+            seed: 0,
+            infeasible_error: 1e30,
+            stats_every: 100,
+        }
+    }
+}
+
+impl CaffeineSettings {
+    /// The paper's full run settings (pop 200, 5000 generations, 15 bases).
+    pub fn paper() -> CaffeineSettings {
+        CaffeineSettings::default()
+    }
+
+    /// Small settings for unit tests and doc examples: seconds, not hours.
+    pub fn quick_test() -> CaffeineSettings {
+        CaffeineSettings {
+            population: 50,
+            generations: 40,
+            max_bases: 6,
+            stats_every: 10,
+            ..CaffeineSettings::default()
+        }
+    }
+
+    /// Validates the settings.
+    ///
+    /// # Errors
+    ///
+    /// [`CaffeineError::InvalidSettings`] for degenerate values.
+    pub fn check(&self) -> Result<(), CaffeineError> {
+        if self.population < 2 {
+            return Err(CaffeineError::InvalidSettings(
+                "population must be at least 2".into(),
+            ));
+        }
+        if self.max_bases == 0 {
+            return Err(CaffeineError::InvalidSettings(
+                "max_bases must be at least 1".into(),
+            ));
+        }
+        if !(self.infeasible_error > 0.0) {
+            return Err(CaffeineError::InvalidSettings(
+                "infeasible_error must be positive".into(),
+            ));
+        }
+        if self.stats_every == 0 {
+            return Err(CaffeineError::InvalidSettings(
+                "stats_every must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A progress snapshot taken during evolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolutionStats {
+    /// Generation index of the snapshot.
+    pub generation: usize,
+    /// Best (lowest) feasible training error in the population.
+    pub best_error: f64,
+    /// Lowest complexity among feasible individuals.
+    pub min_complexity: f64,
+    /// Number of nondominated individuals.
+    pub front_size: usize,
+    /// Number of feasible individuals.
+    pub feasible: usize,
+}
+
+/// The result of a run: the evolved tradeoff set plus progress statistics.
+#[derive(Debug, Clone)]
+pub struct CaffeineResult {
+    /// Nondominated (train-error, complexity) models, sorted by
+    /// complexity. Includes the zero-complexity constant model as the
+    /// tradeoff anchor.
+    pub models: Vec<Model>,
+    /// Progress snapshots.
+    pub stats: Vec<EvolutionStats>,
+}
+
+impl CaffeineResult {
+    /// The model with the lowest training error.
+    pub fn best_by_error(&self) -> Option<&Model> {
+        self.models
+            .iter()
+            .min_by(|a, b| a.train_error.partial_cmp(&b.train_error).unwrap())
+    }
+
+    /// The simplest model within `tolerance` of a target training error.
+    pub fn simplest_within(&self, error_target: f64) -> Option<&Model> {
+        self.models
+            .iter()
+            .filter(|m| m.train_error <= error_target)
+            .min_by(|a, b| a.complexity.partial_cmp(&b.complexity).unwrap())
+    }
+}
+
+/// The CAFFEINE engine.
+#[derive(Debug, Clone)]
+pub struct CaffeineEngine {
+    settings: CaffeineSettings,
+    grammar: GrammarConfig,
+}
+
+impl CaffeineEngine {
+    /// Creates an engine from settings and a grammar.
+    pub fn new(settings: CaffeineSettings, grammar: GrammarConfig) -> CaffeineEngine {
+        CaffeineEngine { settings, grammar }
+    }
+
+    /// The run settings.
+    pub fn settings(&self) -> &CaffeineSettings {
+        &self.settings
+    }
+
+    /// The grammar.
+    pub fn grammar(&self) -> &GrammarConfig {
+        &self.grammar
+    }
+
+    /// Runs the evolutionary search on a training dataset.
+    ///
+    /// # Errors
+    ///
+    /// * [`CaffeineError::InvalidSettings`] / [`CaffeineError::InvalidGrammar`]
+    ///   for bad configuration.
+    /// * [`CaffeineError::InvalidData`] for an empty dataset, a variable
+    ///   count mismatching the grammar, or non-finite targets.
+    /// * [`CaffeineError::NoFeasibleModel`] when nothing evaluable evolved
+    ///   (pathological data).
+    pub fn run(&self, data: &Dataset) -> Result<CaffeineResult, CaffeineError> {
+        self.settings.check()?;
+        self.grammar.check()?;
+        if data.n_samples() < 3 {
+            return Err(CaffeineError::InvalidData(
+                "need at least 3 training samples".into(),
+            ));
+        }
+        if data.n_vars() != self.grammar.n_vars {
+            return Err(CaffeineError::InvalidData(format!(
+                "dataset has {} variables but the grammar expects {}",
+                data.n_vars(),
+                self.grammar.n_vars
+            )));
+        }
+        if !data.targets().iter().all(|y| y.is_finite()) {
+            return Err(CaffeineError::InvalidData(
+                "targets contain non-finite values (drop them first)".into(),
+            ));
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.settings.seed);
+        let op_settings = OperatorSettings {
+            param_mutation_weight: self.settings.param_mutation_weight,
+            max_bases: self.settings.max_bases,
+            ..OperatorSettings::default()
+        };
+        let ops = GpOperators::new(&self.grammar, op_settings);
+        let ctx = EvalContext::new(self.grammar.weights);
+
+        // Initial population: 1..=min(4, max_bases) random bases each.
+        let mut population: Vec<Individual> = (0..self.settings.population)
+            .map(|_| {
+                let n = rng.gen_range(1..=self.settings.max_bases.min(4));
+                Individual::new((0..n).map(|_| ops.generator().gen_basis(&mut rng)).collect())
+            })
+            .collect();
+        for ind in &mut population {
+            self.evaluate(ind, data, &ctx);
+        }
+
+        let mut stats = Vec::new();
+        for generation in 0..self.settings.generations {
+            let objectives: Vec<Vec<f64>> =
+                population.iter().map(|i| i.objectives().to_vec()).collect();
+            let ranked = nsga2::rank_population(&objectives);
+
+            // Offspring via binary tournament + the operator suite.
+            let mut offspring: Vec<Individual> = Vec::with_capacity(self.settings.population);
+            while offspring.len() < self.settings.population {
+                let p1 = &population[ranked.tournament(&mut rng)];
+                let p2 = &population[ranked.tournament(&mut rng)];
+                let mut child = ops.make_offspring(&mut rng, p1, p2);
+                self.evaluate(&mut child, data, &ctx);
+                offspring.push(child);
+            }
+
+            // Elitist environmental selection over parents + offspring.
+            let mut combined = population;
+            combined.append(&mut offspring);
+            let combined_objs: Vec<Vec<f64>> =
+                combined.iter().map(|i| i.objectives().to_vec()).collect();
+            let survivors = nsga2::environmental_selection(&combined_objs, self.settings.population);
+            population = survivors.into_iter().map(|i| combined[i].clone()).collect();
+
+            if generation % self.settings.stats_every == 0
+                || generation + 1 == self.settings.generations
+            {
+                stats.push(self.snapshot(generation, &population));
+            }
+        }
+
+        // Harvest: nondominated feasible individuals -> models.
+        let mut models = self.harvest(&population, data, &ctx);
+        if models.is_empty() {
+            return Err(CaffeineError::NoFeasibleModel);
+        }
+        // Anchor: the zero-complexity constant model of Fig. 3.
+        models.push(self.constant_model(data));
+        let front = pareto::train_tradeoff(&models);
+        Ok(CaffeineResult {
+            models: front,
+            stats,
+        })
+    }
+
+    /// Fits the linear weights and fills the cached evaluation.
+    fn evaluate(&self, ind: &mut Individual, data: &Dataset, ctx: &EvalContext) {
+        if ind.eval.is_some() {
+            return;
+        }
+        let cx = complexity(&ind.bases, &self.settings.complexity);
+        let eval = match fit_linear_weights(&ind.bases, data.points(), data.targets(), ctx) {
+            FitOutcome::Fit(fit) => {
+                let err = self.settings.metric.compute(&fit.predictions, data.targets());
+                let feasible = err.is_finite();
+                Evaluation {
+                    coefficients: fit.coefficients,
+                    train_error: if feasible {
+                        err
+                    } else {
+                        self.settings.infeasible_error
+                    },
+                    complexity: cx,
+                    feasible,
+                }
+            }
+            FitOutcome::Infeasible => Evaluation {
+                coefficients: vec![0.0; ind.bases.len() + 1],
+                train_error: self.settings.infeasible_error,
+                complexity: cx,
+                feasible: false,
+            },
+        };
+        ind.eval = Some(eval);
+    }
+
+    fn snapshot(&self, generation: usize, population: &[Individual]) -> EvolutionStats {
+        let feasible: Vec<&Individual> = population
+            .iter()
+            .filter(|i| i.eval.as_ref().is_some_and(|e| e.feasible))
+            .collect();
+        let best_error = feasible
+            .iter()
+            .map(|i| i.eval.as_ref().expect("evaluated").train_error)
+            .fold(f64::INFINITY, f64::min);
+        let min_complexity = feasible
+            .iter()
+            .map(|i| i.eval.as_ref().expect("evaluated").complexity)
+            .fold(f64::INFINITY, f64::min);
+        let objectives: Vec<Vec<f64>> =
+            population.iter().map(|i| i.objectives().to_vec()).collect();
+        let front_size = nsga2::fast_nondominated_sort(&objectives)[0].len();
+        EvolutionStats {
+            generation,
+            best_error,
+            min_complexity,
+            front_size,
+            feasible: feasible.len(),
+        }
+    }
+
+    fn harvest(
+        &self,
+        population: &[Individual],
+        _data: &Dataset,
+        _ctx: &EvalContext,
+    ) -> Vec<Model> {
+        population
+            .iter()
+            .filter_map(|ind| {
+                let eval = ind.eval.as_ref()?;
+                if !eval.feasible {
+                    return None;
+                }
+                Some(
+                    Model::new(
+                        ind.bases.clone(),
+                        eval.coefficients.clone(),
+                        self.grammar.weights,
+                    )
+                    .with_metrics(eval.train_error, eval.complexity),
+                )
+            })
+            .collect()
+    }
+
+    /// The zero-complexity anchor: intercept-only least squares.
+    fn constant_model(&self, data: &Dataset) -> Model {
+        let mean =
+            data.targets().iter().sum::<f64>() / data.n_samples().max(1) as f64;
+        let predictions = vec![mean; data.n_samples()];
+        let err = self.settings.metric.compute(&predictions, data.targets());
+        Model::new(vec![], vec![mean], self.grammar.weights).with_metrics(err, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(f: impl Fn(&[f64]) -> f64, n: usize, d: usize) -> Dataset {
+        let mut xs = Vec::with_capacity(n);
+        for i in 0..n {
+            let row: Vec<f64> =
+                (0..d).map(|j| 1.0 + ((i * 7 + j * 3) % 11) as f64 * 0.35).collect();
+            xs.push(row);
+        }
+        let ys: Vec<f64> = xs.iter().map(|x| f(x)).collect();
+        let names = (0..d).map(|j| format!("x{j}")).collect();
+        Dataset::new(names, xs, ys).unwrap()
+    }
+
+    #[test]
+    fn recovers_simple_rational_law() {
+        let data = dataset(|x| 2.0 + 4.0 / x[0], 30, 1);
+        let mut settings = CaffeineSettings::quick_test();
+        settings.seed = 3;
+        let engine = CaffeineEngine::new(settings, GrammarConfig::rational(1));
+        let result = engine.run(&data).unwrap();
+        let best = result.best_by_error().unwrap();
+        assert!(best.train_error < 1e-6, "error = {}", best.train_error);
+    }
+
+    #[test]
+    fn result_contains_constant_anchor() {
+        let data = dataset(|x| x[0] * 3.0, 20, 1);
+        let mut settings = CaffeineSettings::quick_test();
+        settings.generations = 10;
+        let engine = CaffeineEngine::new(settings, GrammarConfig::rational(1));
+        let result = engine.run(&data).unwrap();
+        let min_cx = result
+            .models
+            .iter()
+            .map(|m| m.complexity)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(min_cx, 0.0, "constant anchor missing");
+    }
+
+    #[test]
+    fn front_is_nondominated_and_sorted() {
+        let data = dataset(|x| x[0] + 1.0 / x[1], 25, 2);
+        let mut settings = CaffeineSettings::quick_test();
+        settings.seed = 5;
+        let engine = CaffeineEngine::new(settings, GrammarConfig::rational(2));
+        let result = engine.run(&data).unwrap();
+        let ms = &result.models;
+        assert!(!ms.is_empty());
+        for w in ms.windows(2) {
+            assert!(w[0].complexity <= w[1].complexity);
+        }
+        for i in 0..ms.len() {
+            for j in 0..ms.len() {
+                if i != j {
+                    assert!(
+                        !(ms[j].train_error <= ms[i].train_error
+                            && ms[j].complexity <= ms[i].complexity
+                            && (ms[j].train_error < ms[i].train_error
+                                || ms[j].complexity < ms[i].complexity)),
+                        "model {i} dominated by {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_front() {
+        let data = dataset(|x| 1.0 / x[0] + x[0], 20, 1);
+        let mut settings = CaffeineSettings::quick_test();
+        settings.generations = 8;
+        settings.seed = 11;
+        let engine = CaffeineEngine::new(settings.clone(), GrammarConfig::rational(1));
+        let r1 = engine.run(&data).unwrap();
+        let engine2 = CaffeineEngine::new(settings, GrammarConfig::rational(1));
+        let r2 = engine2.run(&data).unwrap();
+        let errs1: Vec<f64> = r1.models.iter().map(|m| m.train_error).collect();
+        let errs2: Vec<f64> = r2.models.iter().map(|m| m.train_error).collect();
+        assert_eq!(errs1, errs2);
+    }
+
+    #[test]
+    fn stats_are_recorded_and_monotone_in_generation() {
+        let data = dataset(|x| x[0], 15, 1);
+        let mut settings = CaffeineSettings::quick_test();
+        settings.generations = 21;
+        settings.stats_every = 5;
+        let engine = CaffeineEngine::new(settings, GrammarConfig::rational(1));
+        let result = engine.run(&data).unwrap();
+        assert!(result.stats.len() >= 4);
+        for w in result.stats.windows(2) {
+            assert!(w[0].generation < w[1].generation);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let data = dataset(|x| x[0], 10, 2);
+        let engine =
+            CaffeineEngine::new(CaffeineSettings::quick_test(), GrammarConfig::rational(1));
+        assert!(matches!(
+            engine.run(&data),
+            Err(CaffeineError::InvalidData(_))
+        ));
+    }
+
+    #[test]
+    fn nonfinite_targets_are_rejected() {
+        let data = Dataset::new(
+            vec!["x0".into()],
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![1.0, f64::NAN, 3.0],
+        )
+        .unwrap();
+        let engine =
+            CaffeineEngine::new(CaffeineSettings::quick_test(), GrammarConfig::rational(1));
+        assert!(matches!(
+            engine.run(&data),
+            Err(CaffeineError::InvalidData(_))
+        ));
+    }
+
+    #[test]
+    fn bad_settings_are_rejected() {
+        let mut s = CaffeineSettings::quick_test();
+        s.population = 1;
+        assert!(s.check().is_err());
+        let mut s = CaffeineSettings::quick_test();
+        s.max_bases = 0;
+        assert!(s.check().is_err());
+        let mut s = CaffeineSettings::quick_test();
+        s.stats_every = 0;
+        assert!(s.check().is_err());
+    }
+
+    #[test]
+    fn simplest_within_returns_low_complexity_model() {
+        let data = dataset(|x| 5.0 * x[0], 20, 1);
+        let mut settings = CaffeineSettings::quick_test();
+        settings.seed = 2;
+        let engine = CaffeineEngine::new(settings, GrammarConfig::rational(1));
+        let result = engine.run(&data).unwrap();
+        let best = result.best_by_error().unwrap();
+        let simplest = result.simplest_within(best.train_error.max(1e-9) * 2.0);
+        assert!(simplest.is_some());
+        assert!(simplest.unwrap().complexity <= best.complexity + 1e-12);
+    }
+}

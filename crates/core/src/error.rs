@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+
+use caffeine_linalg::LinalgError;
+
+/// Error type of the CAFFEINE engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaffeineError {
+    /// The dataset is unusable (empty, dimension mismatch, non-finite).
+    InvalidData(String),
+    /// A settings field is out of range.
+    InvalidSettings(String),
+    /// The grammar configuration is unusable (e.g. no operators enabled
+    /// and no variables).
+    InvalidGrammar(String),
+    /// A grammar text file failed to parse.
+    GrammarParse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying linear-algebra failure.
+    Linalg(LinalgError),
+    /// The run produced no feasible model (should only happen with
+    /// pathological data such as all-NaN targets).
+    NoFeasibleModel,
+}
+
+impl fmt::Display for CaffeineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaffeineError::InvalidData(msg) => write!(f, "invalid dataset: {msg}"),
+            CaffeineError::InvalidSettings(msg) => write!(f, "invalid settings: {msg}"),
+            CaffeineError::InvalidGrammar(msg) => write!(f, "invalid grammar: {msg}"),
+            CaffeineError::GrammarParse { line, message } => {
+                write!(f, "grammar parse error at line {line}: {message}")
+            }
+            CaffeineError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            CaffeineError::NoFeasibleModel => {
+                write!(f, "the run produced no feasible model")
+            }
+        }
+    }
+}
+
+impl Error for CaffeineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CaffeineError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CaffeineError {
+    fn from(e: LinalgError) -> Self {
+        CaffeineError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(CaffeineError::InvalidData("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(CaffeineError::GrammarParse {
+            line: 3,
+            message: "unknown operator FOO".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        let e: CaffeineError = LinalgError::Singular { pivot: 1 }.into();
+        assert!(matches!(e, CaffeineError::Linalg(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,157 @@
+use serde::{Deserialize, Serialize};
+
+use super::tree::{BasisFunction, OpApplication, WeightedSum};
+use super::vc::VarCombo;
+
+/// Weights of the paper's complexity measure, Eq. (1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComplexityWeights {
+    /// `w_b`: minimum cost per basis function (paper setting: 10).
+    pub wb: f64,
+    /// `w_vc`: cost per unit of summed absolute VC exponent
+    /// (paper setting: 0.25).
+    pub wvc: f64,
+}
+
+impl Default for ComplexityWeights {
+    fn default() -> Self {
+        ComplexityWeights { wb: 10.0, wvc: 0.25 }
+    }
+}
+
+/// The `vccost` term of Eq. (1): `w_vc · Σ_dim |vc(dim)|`.
+pub fn vc_cost(vc: &VarCombo, weights: &ComplexityWeights) -> f64 {
+    weights.wvc * vc.degree_sum() as f64
+}
+
+/// Number of grammar-tree nodes of one basis function.
+///
+/// Counting rule (each grammar node counts 1):
+/// * a `REPVC` node (basis function / product term) counts itself plus its
+///   factors;
+/// * an operator application counts itself plus its argument sums;
+/// * a weighted sum counts its offset `W` plus, per term, the term's `W`
+///   and the nested product term.
+pub fn n_nodes(basis: &BasisFunction) -> usize {
+    1 + basis.factors.iter().map(op_nodes).sum::<usize>()
+}
+
+fn op_nodes(op: &OpApplication) -> usize {
+    1 + match op {
+        OpApplication::Unary { arg, .. } => sum_nodes(arg),
+        OpApplication::Binary { args, .. } => sum_nodes(&args.left) + sum_nodes(&args.right),
+        OpApplication::Lte(l) => {
+            sum_nodes(&l.test)
+                + l.cond.as_ref().map(|c| sum_nodes(c)).unwrap_or(0)
+                + sum_nodes(&l.if_less)
+                + sum_nodes(&l.otherwise)
+        }
+    }
+}
+
+fn sum_nodes(sum: &WeightedSum) -> usize {
+    1 + sum
+        .terms
+        .iter()
+        .map(|t| 1 + n_nodes(&t.term))
+        .sum::<usize>()
+}
+
+/// The full complexity measure of Eq. (1) over a set of basis functions:
+///
+/// ```text
+/// complexity(f) = Σ_j ( w_b + nnodes(j) + Σ_k vccost(vc_{k,j}) )
+/// ```
+///
+/// A model with zero basis functions (just the learned constant) has
+/// complexity 0, matching the paper's "zero-complexity model" anchor in
+/// Fig. 3.
+pub fn complexity(bases: &[BasisFunction], weights: &ComplexityWeights) -> f64 {
+    bases
+        .iter()
+        .map(|b| {
+            let vc_total: f64 = b.collect_vcs().iter().map(|vc| vc_cost(vc, weights)).sum();
+            weights.wb + n_nodes(b) as f64 + vc_total
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{OpApplication, UnaryOp, VarCombo, Weight, WeightedSum, WeightedTerm};
+
+    fn w() -> ComplexityWeights {
+        ComplexityWeights::default()
+    }
+
+    #[test]
+    fn empty_model_has_zero_complexity() {
+        assert_eq!(complexity(&[], &w()), 0.0);
+    }
+
+    #[test]
+    fn lone_vc_costs_wb_plus_node_plus_exponents() {
+        let b = BasisFunction::from_vc(VarCombo::from_exponents(vec![1, -2]));
+        // wb (10) + 1 node + 0.25 * 3 = 11.75
+        assert!((complexity(&[b], &w()) - 11.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_count_matches_structure() {
+        // inv(W + W*x0): basis(1) + op(1) + sum(1) + term W(1) + term basis(1) = 5
+        let op = OpApplication::Unary {
+            op: UnaryOp::Inv,
+            arg: WeightedSum {
+                offset: Weight::zero(),
+                terms: vec![WeightedTerm {
+                    weight: Weight::zero(),
+                    term: BasisFunction::from_vc(VarCombo::single(1, 0, 1)),
+                }],
+            },
+        };
+        let b = BasisFunction::from_op(1, op);
+        assert_eq!(n_nodes(&b), 5);
+    }
+
+    #[test]
+    fn complexity_is_monotone_in_bases() {
+        let b1 = BasisFunction::from_vc(VarCombo::single(2, 0, 1));
+        let b2 = BasisFunction::from_vc(VarCombo::single(2, 1, -1));
+        let one = complexity(&[b1.clone()], &w());
+        let two = complexity(&[b1, b2], &w());
+        assert!(two > one);
+    }
+
+    #[test]
+    fn nested_vcs_contribute_cost() {
+        let inner = BasisFunction::from_vc(VarCombo::from_exponents(vec![2]));
+        let op = OpApplication::Unary {
+            op: UnaryOp::Abs,
+            arg: WeightedSum {
+                offset: Weight::zero(),
+                terms: vec![WeightedTerm {
+                    weight: Weight::zero(),
+                    term: inner,
+                }],
+            },
+        };
+        let outer = BasisFunction {
+            vc: VarCombo::from_exponents(vec![1]),
+            factors: vec![op],
+        };
+        let c = complexity(&[outer], &w());
+        // vc costs: outer |1| + inner |2| = 3 exponent units = 0.75.
+        let expected_vc = 0.25 * 3.0;
+        assert!((c - (10.0 + 5.0 + expected_vc)).abs() < 1e-12, "c = {c}");
+    }
+
+    #[test]
+    fn custom_weights_scale_measure() {
+        let b = BasisFunction::from_vc(VarCombo::from_exponents(vec![1]));
+        let cheap = complexity(&[b.clone()], &ComplexityWeights { wb: 0.0, wvc: 0.0 });
+        assert_eq!(cheap, 1.0); // just the node
+        let pricey = complexity(&[b], &ComplexityWeights { wb: 100.0, wvc: 10.0 });
+        assert_eq!(pricey, 111.0);
+    }
+}

@@ -1,0 +1,214 @@
+use super::tree::{BasisFunction, OpApplication, WeightedSum};
+use super::weight::WeightConfig;
+
+/// Evaluation context: everything needed to interpret an expression tree
+/// numerically (currently only the weight mapping).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalContext {
+    /// Weight interpretation parameters.
+    pub weights: WeightConfig,
+}
+
+impl EvalContext {
+    /// Context with a given weight configuration.
+    pub fn new(weights: WeightConfig) -> EvalContext {
+        EvalContext { weights }
+    }
+}
+
+/// Evaluates one basis function at a single design point.
+///
+/// Out-of-domain operator inputs propagate as NaN/infinity; callers (the
+/// fitness layer) treat non-finite columns as infeasible candidates.
+pub fn eval_basis(basis: &BasisFunction, x: &[f64], ctx: &EvalContext) -> f64 {
+    let mut acc = basis.vc.eval(x);
+    for f in &basis.factors {
+        acc *= eval_op(f, x, ctx);
+        // Early exit keeps worst-case cost bounded on garbage trees.
+        if !acc.is_finite() {
+            return acc;
+        }
+    }
+    acc
+}
+
+/// Evaluates one basis function over every row of a point set.
+pub fn eval_basis_all(basis: &BasisFunction, points: &[Vec<f64>], ctx: &EvalContext) -> Vec<f64> {
+    points.iter().map(|x| eval_basis(basis, x, ctx)).collect()
+}
+
+fn eval_op(op: &OpApplication, x: &[f64], ctx: &EvalContext) -> f64 {
+    match op {
+        OpApplication::Unary { op, arg } => op.apply(eval_sum(arg, x, ctx)),
+        OpApplication::Binary { op, args } => {
+            op.apply(eval_sum(&args.left, x, ctx), eval_sum(&args.right, x, ctx))
+        }
+        OpApplication::Lte(l) => {
+            let test = eval_sum(&l.test, x, ctx);
+            let bound = match &l.cond {
+                Some(c) => eval_sum(c, x, ctx),
+                None => 0.0,
+            };
+            if test.is_nan() || bound.is_nan() {
+                f64::NAN
+            } else if test <= bound {
+                eval_sum(&l.if_less, x, ctx)
+            } else {
+                eval_sum(&l.otherwise, x, ctx)
+            }
+        }
+    }
+}
+
+fn eval_sum(sum: &WeightedSum, x: &[f64], ctx: &EvalContext) -> f64 {
+    let mut acc = sum.offset.value(&ctx.weights);
+    for t in &sum.terms {
+        let w = t.weight.value(&ctx.weights);
+        if w != 0.0 {
+            acc += w * eval_basis(&t.term, x, ctx);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{
+        BinaryArgs, BinaryOp, UnaryOp, VarCombo, Weight, WeightedTerm,
+    };
+
+    fn ctx() -> EvalContext {
+        EvalContext::default()
+    }
+
+    fn w(v: f64) -> Weight {
+        Weight::from_value(v, &ctx().weights)
+    }
+
+    fn term(weight: f64, basis: BasisFunction) -> WeightedTerm {
+        WeightedTerm {
+            weight: w(weight),
+            term: basis,
+        }
+    }
+
+    #[test]
+    fn lone_vc_evaluates_as_monomial() {
+        let b = BasisFunction::from_vc(VarCombo::from_exponents(vec![2, -1]));
+        assert_eq!(eval_basis(&b, &[3.0, 2.0], &ctx()), 4.5);
+    }
+
+    #[test]
+    fn product_of_vc_and_op() {
+        // x0 * inv(1 + 2*x1) at (4, 0.5) = 4 * 1/2 = 2.
+        let inv = OpApplication::Unary {
+            op: UnaryOp::Inv,
+            arg: WeightedSum {
+                offset: w(1.0),
+                terms: vec![term(2.0, BasisFunction::from_vc(VarCombo::single(2, 1, 1)))],
+            },
+        };
+        let b = BasisFunction {
+            vc: VarCombo::single(2, 0, 1),
+            factors: vec![inv],
+        };
+        let y = eval_basis(&b, &[4.0, 0.5], &ctx());
+        assert!((y - 2.0).abs() < 1e-9, "y = {y}");
+    }
+
+    #[test]
+    fn binary_pow_with_constant_exponent() {
+        // pow(0 + 1*x0, 3)
+        let p = OpApplication::Binary {
+            op: BinaryOp::Pow,
+            args: BinaryArgs {
+                left: WeightedSum {
+                    offset: Weight::zero(),
+                    terms: vec![term(1.0, BasisFunction::from_vc(VarCombo::single(1, 0, 1)))],
+                },
+                right: WeightedSum::constant(w(3.0)),
+            },
+        };
+        let b = BasisFunction::from_op(1, p);
+        let y = eval_basis(&b, &[2.0], &ctx());
+        assert!((y - 8.0).abs() < 1e-6, "y = {y}");
+    }
+
+    #[test]
+    fn lte_selects_branches() {
+        // lte(x0, 0, -1, +1): sign-like function.
+        let mk_x = || WeightedSum {
+            offset: Weight::zero(),
+            terms: vec![term(1.0, BasisFunction::from_vc(VarCombo::single(1, 0, 1)))],
+        };
+        let lte = OpApplication::Lte(crate::expr::LteArgs {
+            test: Box::new(mk_x()),
+            cond: None,
+            if_less: Box::new(WeightedSum::constant(w(-1.0))),
+            otherwise: Box::new(WeightedSum::constant(w(1.0))),
+        });
+        let b = BasisFunction::from_op(1, lte);
+        assert!((eval_basis(&b, &[-2.0], &ctx()) + 1.0).abs() < 1e-9);
+        assert!((eval_basis(&b, &[3.0], &ctx()) - 1.0).abs() < 1e-9);
+        // Boundary: test <= cond takes the if_less branch.
+        assert!((eval_basis(&b, &[0.0], &ctx()) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lte_with_explicit_condition() {
+        // lte(x0, 2 + 0, 10, 20)
+        let mk_x = || WeightedSum {
+            offset: Weight::zero(),
+            terms: vec![term(1.0, BasisFunction::from_vc(VarCombo::single(1, 0, 1)))],
+        };
+        let lte = OpApplication::Lte(crate::expr::LteArgs {
+            test: Box::new(mk_x()),
+            cond: Some(Box::new(WeightedSum::constant(w(2.0)))),
+            if_less: Box::new(WeightedSum::constant(w(10.0))),
+            otherwise: Box::new(WeightedSum::constant(w(20.0))),
+        });
+        let b = BasisFunction::from_op(1, lte);
+        assert!((eval_basis(&b, &[1.0], &ctx()) - 10.0).abs() < 1e-8);
+        assert!((eval_basis(&b, &[3.0], &ctx()) - 20.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nan_propagates_to_caller() {
+        // ln(-5): NaN.
+        let ln = OpApplication::Unary {
+            op: UnaryOp::Ln,
+            arg: WeightedSum::constant(w(-5.0)),
+        };
+        let b = BasisFunction::from_op(1, ln);
+        assert!(eval_basis(&b, &[1.0], &ctx()).is_nan());
+    }
+
+    #[test]
+    fn eval_all_maps_rows() {
+        let b = BasisFunction::from_vc(VarCombo::single(1, 0, 2));
+        let ys = eval_basis_all(&b, &[vec![1.0], vec![2.0], vec![3.0]], &ctx());
+        assert_eq!(ys, vec![1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn zero_weight_terms_are_skipped() {
+        // 1 + 0·(1/x0): at x0 = 0 the term would be infinite, but a zero
+        // weight removes it from the sum entirely.
+        let s = WeightedSum {
+            offset: w(1.0),
+            terms: vec![WeightedTerm {
+                weight: Weight::zero(),
+                term: BasisFunction::from_vc(VarCombo::single(1, 0, -1)),
+            }],
+        };
+        let b = BasisFunction::from_op(
+            1,
+            OpApplication::Unary {
+                op: UnaryOp::Abs,
+                arg: s,
+            },
+        );
+        assert_eq!(eval_basis(&b, &[0.0], &ctx()), 1.0);
+    }
+}

@@ -1,0 +1,203 @@
+use serde::{Deserialize, Serialize};
+
+/// Single-input nonlinear operators (the paper's `1OP` set, Sec. 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// `sqrt(x)`.
+    Sqrt,
+    /// Natural logarithm `ln(x)`.
+    Ln,
+    /// Base-10 logarithm `log10(x)`.
+    Log10,
+    /// Reciprocal `1/x`.
+    Inv,
+    /// Absolute value `abs(x)`.
+    Abs,
+    /// Square `x²`.
+    Square,
+    /// `sin(x)`.
+    Sin,
+    /// `cos(x)`.
+    Cos,
+    /// `tan(x)`.
+    Tan,
+    /// `max(0, x)`.
+    Max0,
+    /// `min(0, x)`.
+    Min0,
+    /// `2^x`.
+    Pow2,
+    /// `10^x`.
+    Pow10,
+}
+
+impl UnaryOp {
+    /// Every unary operator the paper's experimental setup allowed.
+    pub const ALL: [UnaryOp; 13] = [
+        UnaryOp::Sqrt,
+        UnaryOp::Ln,
+        UnaryOp::Log10,
+        UnaryOp::Inv,
+        UnaryOp::Abs,
+        UnaryOp::Square,
+        UnaryOp::Sin,
+        UnaryOp::Cos,
+        UnaryOp::Tan,
+        UnaryOp::Max0,
+        UnaryOp::Min0,
+        UnaryOp::Pow2,
+        UnaryOp::Pow10,
+    ];
+
+    /// Applies the operator.
+    ///
+    /// No "protected" variants are used: out-of-domain inputs produce NaN
+    /// or infinities, and the fitness evaluation marks such candidate
+    /// models infeasible. This keeps surviving models honest — exactly the
+    /// behaviour the paper relies on for interpretability.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Ln => x.ln(),
+            UnaryOp::Log10 => x.log10(),
+            UnaryOp::Inv => 1.0 / x,
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::Square => x * x,
+            UnaryOp::Sin => x.sin(),
+            UnaryOp::Cos => x.cos(),
+            UnaryOp::Tan => x.tan(),
+            UnaryOp::Max0 => x.max(0.0),
+            UnaryOp::Min0 => x.min(0.0),
+            UnaryOp::Pow2 => 2f64.powf(x),
+            UnaryOp::Pow10 => 10f64.powf(x),
+        }
+    }
+
+    /// The operator's name in grammar files and formatted expressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryOp::Sqrt => "sqrt",
+            UnaryOp::Ln => "ln",
+            UnaryOp::Log10 => "log10",
+            UnaryOp::Inv => "inv",
+            UnaryOp::Abs => "abs",
+            UnaryOp::Square => "sqr",
+            UnaryOp::Sin => "sin",
+            UnaryOp::Cos => "cos",
+            UnaryOp::Tan => "tan",
+            UnaryOp::Max0 => "max0",
+            UnaryOp::Min0 => "min0",
+            UnaryOp::Pow2 => "pow2",
+            UnaryOp::Pow10 => "pow10",
+        }
+    }
+
+    /// Parses a grammar-file operator name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<UnaryOp> {
+        let lower = name.to_ascii_lowercase();
+        UnaryOp::ALL.into_iter().find(|op| op.name() == lower)
+    }
+}
+
+/// Dual-input operators (the paper's `2OP` set: `DIVIDE`, `POW`, `MAX`, …).
+///
+/// Addition and multiplication are *not* operators here — they are
+/// structural (the `REPADD` sums and `REPVC`/`REPOP` products of the
+/// grammar), which is precisely what keeps the form canonical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryOp {
+    /// `x1 / x2`.
+    Divide,
+    /// `x1 ^ x2` (via `powf`).
+    Pow,
+    /// `max(x1, x2)`.
+    Max,
+    /// `min(x1, x2)`.
+    Min,
+}
+
+impl BinaryOp {
+    /// Every dual-input operator of the paper's setup.
+    pub const ALL: [BinaryOp; 4] = [BinaryOp::Divide, BinaryOp::Pow, BinaryOp::Max, BinaryOp::Min];
+
+    /// Applies the operator (unprotected, like [`UnaryOp::apply`]).
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinaryOp::Divide => a / b,
+            BinaryOp::Pow => a.powf(b),
+            BinaryOp::Max => a.max(b),
+            BinaryOp::Min => a.min(b),
+        }
+    }
+
+    /// The operator's name in grammar files and formatted expressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinaryOp::Divide => "div",
+            BinaryOp::Pow => "pow",
+            BinaryOp::Max => "max",
+            BinaryOp::Min => "min",
+        }
+    }
+
+    /// Parses a grammar-file operator name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<BinaryOp> {
+        let lower = name.to_ascii_lowercase();
+        BinaryOp::ALL.into_iter().find(|op| op.name() == lower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_ops_match_reference_values() {
+        assert_eq!(UnaryOp::Sqrt.apply(4.0), 2.0);
+        assert!((UnaryOp::Ln.apply(std::f64::consts::E) - 1.0).abs() < 1e-12);
+        assert_eq!(UnaryOp::Log10.apply(1000.0), 3.0);
+        assert_eq!(UnaryOp::Inv.apply(4.0), 0.25);
+        assert_eq!(UnaryOp::Abs.apply(-3.0), 3.0);
+        assert_eq!(UnaryOp::Square.apply(-3.0), 9.0);
+        assert_eq!(UnaryOp::Max0.apply(-5.0), 0.0);
+        assert_eq!(UnaryOp::Max0.apply(5.0), 5.0);
+        assert_eq!(UnaryOp::Min0.apply(5.0), 0.0);
+        assert_eq!(UnaryOp::Pow2.apply(3.0), 8.0);
+        assert_eq!(UnaryOp::Pow10.apply(2.0), 100.0);
+        assert!((UnaryOp::Sin.apply(0.0)).abs() < 1e-12);
+        assert!((UnaryOp::Cos.apply(0.0) - 1.0).abs() < 1e-12);
+        assert!((UnaryOp::Tan.apply(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unprotected_ops_produce_nan_out_of_domain() {
+        assert!(UnaryOp::Sqrt.apply(-1.0).is_nan());
+        assert!(UnaryOp::Ln.apply(-1.0).is_nan());
+        assert!(UnaryOp::Inv.apply(0.0).is_infinite());
+        assert!(BinaryOp::Pow.apply(-2.0, 0.5).is_nan());
+        assert!(BinaryOp::Divide.apply(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn binary_ops_match_reference_values() {
+        assert_eq!(BinaryOp::Divide.apply(6.0, 3.0), 2.0);
+        assert_eq!(BinaryOp::Pow.apply(2.0, 10.0), 1024.0);
+        assert_eq!(BinaryOp::Max.apply(1.0, 2.0), 2.0);
+        assert_eq!(BinaryOp::Min.apply(1.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for op in UnaryOp::ALL {
+            assert_eq!(UnaryOp::from_name(op.name()), Some(op));
+            assert_eq!(UnaryOp::from_name(&op.name().to_uppercase()), Some(op));
+        }
+        for op in BinaryOp::ALL {
+            assert_eq!(BinaryOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(UnaryOp::from_name("nope"), None);
+        assert_eq!(BinaryOp::from_name("nope"), None);
+    }
+}

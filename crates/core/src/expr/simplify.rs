@@ -1,0 +1,222 @@
+//! Algebraic cleanup of evolved expressions.
+//!
+//! Genetic search leaves harmless but unreadable debris in its models:
+//! weighted-sum terms whose weight decodes to exactly zero, and operator
+//! factors that contain no design variable at all (their value is a
+//! constant the top-level linear coefficient could absorb). This module
+//! removes both, serving the paper's interpretability goal:
+//!
+//! * [`prune_zero_terms`] deletes zero-weight terms everywhere in a tree —
+//!   *exactly* value-preserving;
+//! * [`constant_value`] detects variable-free subtrees and computes their
+//!   value;
+//! * [`Model::simplified`](crate::Model::simplified) combines the two:
+//!   constant factors are folded into the model coefficients and
+//!   constant-1 bases into the intercept (value-preserving to the weight
+//!   encoding's precision, i.e. ~1e−9 relative).
+
+use super::eval::{eval_basis, EvalContext};
+use super::tree::{BasisFunction, OpApplication, WeightedSum};
+
+/// Removes weighted-sum terms whose weight decodes to exactly `0.0`,
+/// recursively, everywhere in the basis function. Exactly
+/// value-preserving: [`super::eval`] skips zero-weight terms already.
+pub fn prune_zero_terms(basis: &mut BasisFunction, ctx: &EvalContext) {
+    for f in &mut basis.factors {
+        prune_op(f, ctx);
+    }
+}
+
+fn prune_op(op: &mut OpApplication, ctx: &EvalContext) {
+    match op {
+        OpApplication::Unary { arg, .. } => prune_sum(arg, ctx),
+        OpApplication::Binary { args, .. } => {
+            prune_sum(&mut args.left, ctx);
+            prune_sum(&mut args.right, ctx);
+        }
+        OpApplication::Lte(l) => {
+            prune_sum(&mut l.test, ctx);
+            if let Some(c) = &mut l.cond {
+                prune_sum(c, ctx);
+            }
+            prune_sum(&mut l.if_less, ctx);
+            prune_sum(&mut l.otherwise, ctx);
+        }
+    }
+}
+
+fn prune_sum(sum: &mut WeightedSum, ctx: &EvalContext) {
+    sum.terms.retain(|t| t.weight.value(&ctx.weights) != 0.0);
+    for t in &mut sum.terms {
+        prune_zero_terms(&mut t.term, ctx);
+    }
+}
+
+/// `true` when no variable (nonidentity VC) appears anywhere in the tree.
+pub fn is_constant_basis(basis: &BasisFunction) -> bool {
+    basis.collect_vcs().iter().all(|vc| vc.is_identity())
+}
+
+/// The numeric value of a variable-free basis function, or `None` if it
+/// is not variable-free (or evaluates non-finite).
+///
+/// Identity VCs evaluate to 1 regardless of the design point, so any
+/// point works; we use the all-ones vector.
+pub fn constant_value(basis: &BasisFunction, ctx: &EvalContext) -> Option<f64> {
+    if !is_constant_basis(basis) {
+        return None;
+    }
+    let ones = vec![1.0; basis.n_vars()];
+    let v = eval_basis(basis, &ones, ctx);
+    v.is_finite().then_some(v)
+}
+
+/// Splits a basis into its constant factors' product and the remaining
+/// variable part. Returns `(constant multiplier, stripped basis)`; the
+/// multiplier is 1.0 when nothing was stripped.
+pub fn strip_constant_factors(
+    basis: &BasisFunction,
+    ctx: &EvalContext,
+) -> (f64, BasisFunction) {
+    let mut multiplier = 1.0;
+    let mut kept = Vec::with_capacity(basis.factors.len());
+    for f in &basis.factors {
+        let wrapper = BasisFunction {
+            vc: super::vc::VarCombo::identity(basis.n_vars()),
+            factors: vec![f.clone()],
+        };
+        match constant_value(&wrapper, ctx) {
+            Some(v) => multiplier *= v,
+            None => kept.push(f.clone()),
+        }
+    }
+    (
+        multiplier,
+        BasisFunction {
+            vc: basis.vc.clone(),
+            factors: kept,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{
+        BinaryArgs, BinaryOp, UnaryOp, VarCombo, Weight, WeightConfig, WeightedTerm,
+    };
+
+    fn ctx() -> EvalContext {
+        EvalContext::default()
+    }
+
+    fn w(v: f64) -> Weight {
+        Weight::from_value(v, &WeightConfig::default())
+    }
+
+    fn x_term(weight: f64) -> WeightedTerm {
+        WeightedTerm {
+            weight: w(weight),
+            term: BasisFunction::from_vc(VarCombo::single(1, 0, 1)),
+        }
+    }
+
+    #[test]
+    fn zero_terms_are_pruned_recursively() {
+        let mut b = BasisFunction::from_op(
+            1,
+            OpApplication::Unary {
+                op: UnaryOp::Abs,
+                arg: WeightedSum {
+                    offset: w(1.0),
+                    terms: vec![
+                        WeightedTerm { weight: Weight::zero(), term: BasisFunction::from_vc(VarCombo::single(1, 0, -1)) },
+                        x_term(2.0),
+                    ],
+                },
+            },
+        );
+        prune_zero_terms(&mut b, &ctx());
+        match &b.factors[0] {
+            OpApplication::Unary { arg, .. } => assert_eq!(arg.terms.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Value unchanged at a few points.
+        for x in [0.5, 2.0] {
+            let v = eval_basis(&b, &[x], &ctx());
+            assert!((v - (1.0 + 2.0 * x).abs()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_detection() {
+        let constant = BasisFunction::from_op(
+            1,
+            OpApplication::Unary {
+                op: UnaryOp::Sqrt,
+                arg: WeightedSum::constant(w(4.0)),
+            },
+        );
+        assert!(is_constant_basis(&constant));
+        let v = constant_value(&constant, &ctx()).unwrap();
+        assert!((v - 2.0).abs() < 1e-9);
+
+        let variable = BasisFunction::from_vc(VarCombo::single(1, 0, 1));
+        assert!(!is_constant_basis(&variable));
+        assert!(constant_value(&variable, &ctx()).is_none());
+    }
+
+    #[test]
+    fn nonfinite_constants_are_rejected() {
+        // ln(-1) is a NaN constant.
+        let bad = BasisFunction::from_op(
+            1,
+            OpApplication::Unary {
+                op: UnaryOp::Ln,
+                arg: WeightedSum::constant(w(-1.0)),
+            },
+        );
+        assert!(is_constant_basis(&bad));
+        assert!(constant_value(&bad, &ctx()).is_none());
+    }
+
+    #[test]
+    fn strip_separates_constant_and_variable_factors() {
+        // x0 * sqrt(4) * pow(x0-sum, 2): one constant factor (value 2).
+        let sqrt4 = OpApplication::Unary {
+            op: UnaryOp::Sqrt,
+            arg: WeightedSum::constant(w(4.0)),
+        };
+        let pow_x = OpApplication::Binary {
+            op: BinaryOp::Pow,
+            args: BinaryArgs {
+                left: WeightedSum {
+                    offset: Weight::zero(),
+                    terms: vec![x_term(1.0)],
+                },
+                right: WeightedSum::constant(w(2.0)),
+            },
+        };
+        let b = BasisFunction {
+            vc: VarCombo::single(1, 0, 1),
+            factors: vec![sqrt4, pow_x.clone()],
+        };
+        let (mult, stripped) = strip_constant_factors(&b, &ctx());
+        assert!((mult - 2.0).abs() < 1e-9);
+        assert_eq!(stripped.factors.len(), 1);
+        // mult * stripped == original value.
+        for x in [0.7, 1.3, 2.1] {
+            let orig = eval_basis(&b, &[x], &ctx());
+            let re = mult * eval_basis(&stripped, &[x], &ctx());
+            assert!((orig - re).abs() < 1e-9 * orig.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn strip_of_pure_variable_basis_is_identity() {
+        let b = BasisFunction::from_vc(VarCombo::single(2, 1, -2));
+        let (mult, stripped) = strip_constant_factors(&b, &ctx());
+        assert_eq!(mult, 1.0);
+        assert_eq!(stripped, b);
+    }
+}

@@ -1,0 +1,343 @@
+use serde::{Deserialize, Serialize};
+
+use super::ops::{BinaryOp, UnaryOp};
+use super::vc::VarCombo;
+use super::weight::Weight;
+
+/// A `REPVC` node — one basis function (or nested product term): an
+/// optional variable combo multiplied by zero or more nonlinear operator
+/// applications.
+///
+/// The grammar guarantees at least one of the two parts is present for a
+/// meaningful term; an empty basis function evaluates to the constant 1
+/// and is only used transiently by the evolutionary operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasisFunction {
+    /// The `VC` factor (identity exponents mean "absent").
+    pub vc: VarCombo,
+    /// The `REPOP` factors, multiplied together.
+    pub factors: Vec<OpApplication>,
+}
+
+impl BasisFunction {
+    /// A basis function that is exactly one variable combo.
+    pub fn from_vc(vc: VarCombo) -> BasisFunction {
+        BasisFunction {
+            vc,
+            factors: Vec::new(),
+        }
+    }
+
+    /// A basis function that is a single operator application (with an
+    /// identity VC).
+    pub fn from_op(n_vars: usize, op: OpApplication) -> BasisFunction {
+        BasisFunction {
+            vc: VarCombo::identity(n_vars),
+            factors: vec![op],
+        }
+    }
+
+    /// `true` when the function is the constant 1 (identity VC, no
+    /// factors).
+    pub fn is_trivial(&self) -> bool {
+        self.vc.is_identity() && self.factors.is_empty()
+    }
+
+    /// Number of design variables this expression is defined over.
+    pub fn n_vars(&self) -> usize {
+        self.vc.n_vars()
+    }
+
+    /// Tree depth (a lone VC has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .factors
+            .iter()
+            .map(OpApplication::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All variable combos in the tree (the basis's own plus nested ones).
+    pub fn collect_vcs(&self) -> Vec<&VarCombo> {
+        let mut out = vec![&self.vc];
+        for f in &self.factors {
+            f.collect_vcs_into(&mut out);
+        }
+        out
+    }
+
+    /// Indices of variables that actually appear (nonzero exponent
+    /// anywhere in the tree).
+    pub fn used_variables(&self) -> Vec<usize> {
+        let mut used = vec![false; self.n_vars()];
+        for vc in self.collect_vcs() {
+            for (i, &e) in vc.exponents().iter().enumerate() {
+                if e != 0 {
+                    used[i] = true;
+                }
+            }
+        }
+        used.iter()
+            .enumerate()
+            .filter_map(|(i, &u)| if u { Some(i) } else { None })
+            .collect()
+    }
+}
+
+/// A `REPOP` node: one nonlinear operator application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpApplication {
+    /// `1OP '(' W '+' REPADD ')'` — a unary operator over a weighted sum.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Its argument.
+        arg: WeightedSum,
+    },
+    /// `2OP '(' 2ARGS ')'` — a binary operator; per the grammar at most
+    /// one argument may be a bare constant.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Its two arguments.
+        args: BinaryArgs,
+    },
+    /// `lte(test, cond, ifLess, else)`: evaluates to `ifLess` when
+    /// `test ≤ cond`, and to `else` otherwise. The paper's conditional
+    /// operator, including the `lte(test, 0, …)` special form
+    /// (`cond = None`).
+    Lte(LteArgs),
+}
+
+/// Arguments of a binary operator application.
+///
+/// `W + REPADD , MAYBEW` or `MAYBEW , W + REPADD`: each side is a
+/// [`WeightedSum`], where a sum with no terms plays the role of the bare
+/// constant `W`. The grammar requires that *not both* sides are bare
+/// constants; [`crate::grammar::validate`] enforces it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinaryArgs {
+    /// Left argument (e.g. the base of `POW`).
+    pub left: WeightedSum,
+    /// Right argument (e.g. the exponent of `POW`).
+    pub right: WeightedSum,
+}
+
+/// Arguments of the `lte` conditional.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LteArgs {
+    /// The tested expression.
+    pub test: Box<WeightedSum>,
+    /// The comparison bound; `None` encodes the `lte(test, 0, …)` form.
+    pub cond: Option<Box<WeightedSum>>,
+    /// Value when `test ≤ cond`.
+    pub if_less: Box<WeightedSum>,
+    /// Value otherwise.
+    pub otherwise: Box<WeightedSum>,
+}
+
+impl OpApplication {
+    /// Tree depth of this operator application.
+    pub fn depth(&self) -> usize {
+        1 + match self {
+            OpApplication::Unary { arg, .. } => arg.depth(),
+            OpApplication::Binary { args, .. } => args.left.depth().max(args.right.depth()),
+            OpApplication::Lte(l) => {
+                let mut d = l.test.depth().max(l.if_less.depth()).max(l.otherwise.depth());
+                if let Some(c) = &l.cond {
+                    d = d.max(c.depth());
+                }
+                d
+            }
+        }
+    }
+
+    pub(crate) fn collect_vcs_into<'a>(&'a self, out: &mut Vec<&'a VarCombo>) {
+        match self {
+            OpApplication::Unary { arg, .. } => arg.collect_vcs_into(out),
+            OpApplication::Binary { args, .. } => {
+                args.left.collect_vcs_into(out);
+                args.right.collect_vcs_into(out);
+            }
+            OpApplication::Lte(l) => {
+                l.test.collect_vcs_into(out);
+                if let Some(c) = &l.cond {
+                    c.collect_vcs_into(out);
+                }
+                l.if_less.collect_vcs_into(out);
+                l.otherwise.collect_vcs_into(out);
+            }
+        }
+    }
+}
+
+/// A `'W' '+' REPADD` node: an offset weight plus a weighted sum of
+/// product terms. With no terms it degrades to the bare constant `W`
+/// (the `MAYBEW` rule).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedSum {
+    /// The offset `W`.
+    pub offset: Weight,
+    /// The summed `W * REPVC` terms.
+    pub terms: Vec<WeightedTerm>,
+}
+
+/// One `W '*' REPVC` term of a weighted sum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedTerm {
+    /// The multiplicative weight.
+    pub weight: Weight,
+    /// The product term (recursively a `REPVC`).
+    pub term: BasisFunction,
+}
+
+impl WeightedSum {
+    /// A bare constant (`MAYBEW` with just `W`).
+    pub fn constant(offset: Weight) -> WeightedSum {
+        WeightedSum {
+            offset,
+            terms: Vec::new(),
+        }
+    }
+
+    /// `true` when the sum is a bare constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Tree depth of this sum.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .terms
+            .iter()
+            .map(|t| t.term.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn collect_vcs_into<'a>(&'a self, out: &mut Vec<&'a VarCombo>) {
+        for t in &self.terms {
+            out.push(&t.term.vc);
+            for f in &t.term.factors {
+                f.collect_vcs_into(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::WeightConfig;
+
+    fn cfg() -> WeightConfig {
+        WeightConfig::default()
+    }
+
+    fn w(v: f64) -> Weight {
+        Weight::from_value(v, &cfg())
+    }
+
+    /// Builds `inv(1 + 2·x0)` over one variable.
+    fn sample_op() -> OpApplication {
+        OpApplication::Unary {
+            op: UnaryOp::Inv,
+            arg: WeightedSum {
+                offset: w(1.0),
+                terms: vec![WeightedTerm {
+                    weight: w(2.0),
+                    term: BasisFunction::from_vc(VarCombo::single(1, 0, 1)),
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn trivial_detection() {
+        assert!(BasisFunction::from_vc(VarCombo::identity(2)).is_trivial());
+        assert!(!BasisFunction::from_vc(VarCombo::single(2, 0, 1)).is_trivial());
+        assert!(!BasisFunction::from_op(1, sample_op()).is_trivial());
+    }
+
+    #[test]
+    fn depth_counts_nesting() {
+        let flat = BasisFunction::from_vc(VarCombo::single(1, 0, 1));
+        assert_eq!(flat.depth(), 1);
+        let nested = BasisFunction::from_op(1, sample_op());
+        // basis -> op -> sum -> term basis
+        assert!(nested.depth() >= 3, "depth = {}", nested.depth());
+        // Nesting the op inside another sum increases depth.
+        let deeper = BasisFunction::from_op(
+            1,
+            OpApplication::Unary {
+                op: UnaryOp::Abs,
+                arg: WeightedSum {
+                    offset: w(0.0),
+                    terms: vec![WeightedTerm {
+                        weight: w(1.0),
+                        term: BasisFunction::from_op(1, sample_op()),
+                    }],
+                },
+            },
+        );
+        assert!(deeper.depth() > nested.depth());
+    }
+
+    #[test]
+    fn collect_vcs_finds_nested_combos() {
+        let b = BasisFunction {
+            vc: VarCombo::single(1, 0, 2),
+            factors: vec![sample_op()],
+        };
+        let vcs = b.collect_vcs();
+        // Own VC plus the nested x0 term.
+        assert_eq!(vcs.len(), 2);
+    }
+
+    #[test]
+    fn used_variables_skips_zero_exponents() {
+        let b = BasisFunction {
+            vc: VarCombo::from_exponents(vec![0, 2, 0]),
+            factors: vec![],
+        };
+        assert_eq!(b.used_variables(), vec![1]);
+    }
+
+    #[test]
+    fn weighted_sum_constant_form() {
+        let s = WeightedSum::constant(w(5.0));
+        assert!(s.is_constant());
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn lte_depth_covers_all_branches() {
+        let mk = |v: f64| Box::new(WeightedSum::constant(w(v)));
+        let deep = Box::new(WeightedSum {
+            offset: w(0.0),
+            terms: vec![WeightedTerm {
+                weight: w(1.0),
+                term: BasisFunction::from_op(1, sample_op()),
+            }],
+        });
+        let lte = OpApplication::Lte(LteArgs {
+            test: mk(1.0),
+            cond: None,
+            if_less: deep,
+            otherwise: mk(2.0),
+        });
+        assert!(lte.depth() >= 4);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = BasisFunction {
+            vc: VarCombo::single(1, 0, -1),
+            factors: vec![sample_op()],
+        };
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BasisFunction = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

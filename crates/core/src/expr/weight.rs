@@ -1,0 +1,207 @@
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the `W` (weight) terminals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightConfig {
+    /// The paper's `B` parameter: raw values live in `[−2B, +2B]` and map
+    /// to magnitudes `10^(|raw| − B)`, i.e. `[1e−B, 1e+B]` (default 10).
+    pub b: f64,
+    /// Width of the dead zone around zero that maps to exactly `0.0`,
+    /// realising the `∪ 0.0 ∪` of the paper's value range (default 1.0:
+    /// the smallest nonzero magnitude is then `10^(zero_band − B)`).
+    pub zero_band: f64,
+}
+
+impl Default for WeightConfig {
+    fn default() -> Self {
+        WeightConfig {
+            b: 10.0,
+            zero_band: 1.0,
+        }
+    }
+}
+
+impl WeightConfig {
+    /// The maximum raw magnitude, `2B`.
+    pub fn raw_limit(&self) -> f64 {
+        2.0 * self.b
+    }
+}
+
+/// A `W` terminal.
+///
+/// Stores the evolvable *raw* value in `[−2B, 2B]`; the interpreted value
+/// is sign-preserving and logarithmic in magnitude:
+///
+/// ```text
+/// |raw| ≤ zero_band          ⇒ 0.0
+/// raw  >  zero_band          ⇒ +10^(raw − B)
+/// raw  < −zero_band          ⇒ −10^(−raw − B)
+/// ```
+///
+/// so parameters can take very small or very large values of either sign,
+/// as the paper requires. Mutation is zero-mean Cauchy on the raw value
+/// (Yao's fast evolutionary programming operator), implemented in
+/// [`crate::gp`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weight {
+    raw: f64,
+}
+
+impl Weight {
+    /// Creates a weight from a raw value, clamping into `[−2B, 2B]`.
+    pub fn from_raw(raw: f64, config: &WeightConfig) -> Weight {
+        let lim = config.raw_limit();
+        Weight {
+            raw: if raw.is_finite() {
+                raw.clamp(-lim, lim)
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// A weight that interprets to exactly zero.
+    pub fn zero() -> Weight {
+        Weight { raw: 0.0 }
+    }
+
+    /// Creates the weight whose interpreted value is closest to `value`.
+    pub fn from_value(value: f64, config: &WeightConfig) -> Weight {
+        if value == 0.0 || !value.is_finite() {
+            return Weight::zero();
+        }
+        let mag = value.abs().log10() + config.b;
+        let raw = mag.clamp(config.zero_band, config.raw_limit());
+        Weight {
+            raw: if value > 0.0 { raw } else { -raw },
+        }
+    }
+
+    /// The evolvable raw value.
+    pub fn raw(&self) -> f64 {
+        self.raw
+    }
+
+    /// The interpreted numeric value under `config`.
+    ///
+    /// The dead zone is strict (`|raw| < zero_band`), so `raw = ±zero_band`
+    /// carries the smallest representable nonzero magnitude.
+    pub fn value(&self, config: &WeightConfig) -> f64 {
+        if self.raw.abs() < config.zero_band {
+            0.0
+        } else if self.raw > 0.0 {
+            10f64.powf(self.raw - config.b)
+        } else {
+            -(10f64.powf(-self.raw - config.b))
+        }
+    }
+
+    /// Returns a copy with the raw value shifted by `delta` (clamped).
+    pub fn perturbed(&self, delta: f64, config: &WeightConfig) -> Weight {
+        Weight::from_raw(self.raw + delta, config)
+    }
+}
+
+/// The default Cauchy scale used for weight mutation, in raw-weight units
+/// (one unit of raw value is one decade of magnitude).
+pub fn cauchy_gamma_default() -> f64 {
+    1.0
+}
+
+/// Samples from a zero-mean Cauchy distribution with scale `gamma` using
+/// the inverse-CDF method, as in Yao et al.'s fast evolutionary
+/// programming (the paper's weight-mutation operator, ref. \[10\]).
+pub fn cauchy_sample<R: rand::Rng + ?Sized>(rng: &mut R, gamma: f64) -> f64 {
+    // Avoid u = 0/1 exactly (tan singularities).
+    let u: f64 = rng.gen_range(1e-12..1.0 - 1e-12);
+    gamma * (std::f64::consts::PI * (u - 0.5)).tan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> WeightConfig {
+        WeightConfig::default()
+    }
+
+    #[test]
+    fn dead_zone_maps_to_zero() {
+        let c = cfg();
+        assert_eq!(Weight::from_raw(0.0, &c).value(&c), 0.0);
+        assert_eq!(Weight::from_raw(0.5, &c).value(&c), 0.0);
+        assert_eq!(Weight::from_raw(-0.999, &c).value(&c), 0.0);
+        // The band edge carries the smallest nonzero magnitude.
+        assert_ne!(Weight::from_raw(1.0, &c).value(&c), 0.0);
+        assert_ne!(Weight::from_raw(1.001, &c).value(&c), 0.0);
+    }
+
+    #[test]
+    fn positive_and_negative_magnitudes() {
+        let c = cfg();
+        // raw = B ⇒ magnitude 1.
+        let w = Weight::from_raw(10.0, &c);
+        assert!((w.value(&c) - 1.0).abs() < 1e-12);
+        let w = Weight::from_raw(-10.0, &c);
+        assert!((w.value(&c) + 1.0).abs() < 1e-12);
+        // Extremes: ±2B ⇒ ±1e+B.
+        assert!((Weight::from_raw(20.0, &c).value(&c) - 1e10).abs() / 1e10 < 1e-12);
+        assert!((Weight::from_raw(-20.0, &c).value(&c) + 1e10).abs() / 1e10 < 1e-12);
+    }
+
+    #[test]
+    fn raw_values_clamp_to_limits() {
+        let c = cfg();
+        assert_eq!(Weight::from_raw(99.0, &c).raw(), 20.0);
+        assert_eq!(Weight::from_raw(-99.0, &c).raw(), -20.0);
+        assert_eq!(Weight::from_raw(f64::NAN, &c).raw(), 0.0);
+    }
+
+    #[test]
+    fn from_value_round_trips_magnitudes() {
+        let c = cfg();
+        for v in [1.0, 2.5, -3.7e4, 1.3e-6, -8.8e8] {
+            let w = Weight::from_value(v, &c);
+            let rel = (w.value(&c) - v).abs() / v.abs();
+            assert!(rel < 1e-9, "value {v} -> {}", w.value(&c));
+        }
+        assert_eq!(Weight::from_value(0.0, &c).value(&c), 0.0);
+        assert_eq!(Weight::from_value(f64::INFINITY, &c).value(&c), 0.0);
+    }
+
+    #[test]
+    fn tiny_values_clamp_to_smallest_magnitude() {
+        let c = cfg();
+        let w = Weight::from_value(1e-30, &c);
+        // Smallest representable nonzero magnitude: 10^(zero_band − B).
+        assert!((w.value(&c) - 10f64.powf(c.zero_band - c.b)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn perturbation_moves_raw() {
+        let c = cfg();
+        let w = Weight::from_raw(5.0, &c);
+        assert_eq!(w.perturbed(1.0, &c).raw(), 6.0);
+        assert_eq!(w.perturbed(100.0, &c).raw(), 20.0);
+    }
+
+    #[test]
+    fn cauchy_samples_are_symmetric_and_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| cauchy_sample(&mut rng, 1.0)).collect();
+        let positive = samples.iter().filter(|&&s| s > 0.0).count();
+        // Symmetry.
+        assert!((positive as f64 / n as f64 - 0.5).abs() < 0.02);
+        // Median absolute value of a unit Cauchy is 1.
+        let mut abs: Vec<f64> = samples.iter().map(|s| s.abs()).collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = abs[n / 2];
+        assert!((median - 1.0).abs() < 0.1, "median {median}");
+        // Heavy tails: a Gaussian would essentially never exceed 30.
+        assert!(abs.iter().any(|&v| v > 30.0));
+    }
+}

@@ -1,0 +1,184 @@
+//! Linear learning of the top-level basis weights.
+//!
+//! CAFFEINE's individuals only evolve the *shape* of the basis functions;
+//! "basis functions are linearly weighted using least-squares learning" on
+//! every fitness evaluation. This module builds the design matrix
+//! `[1, f₁(x), …, f_k(x)]`, solves the least-squares problem (with a ridge
+//! fallback for the collinear bases genetic search constantly produces),
+//! and reports predictions.
+
+use caffeine_linalg::{lstsq, lstsq_ridge, LinalgError, Matrix};
+
+use crate::expr::{eval_basis_all, BasisFunction, EvalContext};
+
+/// Outcome of fitting the linear weights of one candidate model.
+#[derive(Debug, Clone)]
+pub enum FitOutcome {
+    /// A successful fit.
+    Fit(LinearFit),
+    /// The candidate is unusable on this data: a basis evaluated to NaN /
+    /// infinity / overflow-scale values, or the fit failed outright.
+    Infeasible,
+}
+
+/// The learned linear model of one candidate.
+#[derive(Debug, Clone)]
+pub struct LinearFit {
+    /// Intercept followed by one coefficient per basis function.
+    pub coefficients: Vec<f64>,
+    /// Predictions on the training points.
+    pub predictions: Vec<f64>,
+}
+
+/// Magnitude above which a basis column is declared numerically unusable.
+const COLUMN_LIMIT: f64 = 1e100;
+
+/// Evaluates the basis functions on the points and returns the design
+/// matrix `[1 | f₁ | … | f_k]`, or `None` if any column is non-finite or
+/// absurdly scaled.
+pub fn design_matrix(
+    bases: &[BasisFunction],
+    points: &[Vec<f64>],
+    ctx: &EvalContext,
+) -> Option<Matrix> {
+    let n = points.len();
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(bases.len() + 1);
+    columns.push(vec![1.0; n]);
+    for b in bases {
+        let col = eval_basis_all(b, points, ctx);
+        if col.iter().any(|v| !v.is_finite() || v.abs() > COLUMN_LIMIT) {
+            return None;
+        }
+        columns.push(col);
+    }
+    Some(Matrix::from_columns(&columns))
+}
+
+/// Fits the linear weights of a candidate model.
+///
+/// Collinear bases fall back to a small ridge; any other failure (or a
+/// non-finite design column) yields [`FitOutcome::Infeasible`].
+pub fn fit_linear_weights(
+    bases: &[BasisFunction],
+    points: &[Vec<f64>],
+    targets: &[f64],
+    ctx: &EvalContext,
+) -> FitOutcome {
+    let Some(a) = design_matrix(bases, points, ctx) else {
+        return FitOutcome::Infeasible;
+    };
+    if a.rows() < a.cols() {
+        // More bases than samples: refuse rather than interpolate noise.
+        return FitOutcome::Infeasible;
+    }
+    let coefficients = match lstsq(&a, targets) {
+        Ok(c) => c,
+        Err(LinalgError::Singular { .. }) => match lstsq_ridge(&a, targets, 1e-9) {
+            Ok(c) => c,
+            Err(_) => return FitOutcome::Infeasible,
+        },
+        Err(_) => return FitOutcome::Infeasible,
+    };
+    if coefficients.iter().any(|c| !c.is_finite()) {
+        return FitOutcome::Infeasible;
+    }
+    let predictions = match a.matvec(&coefficients) {
+        Ok(p) => p,
+        Err(_) => return FitOutcome::Infeasible,
+    };
+    FitOutcome::Fit(LinearFit {
+        coefficients,
+        predictions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::VarCombo;
+
+    fn ctx() -> EvalContext {
+        EvalContext::default()
+    }
+
+    fn points_1d(n: usize) -> Vec<Vec<f64>> {
+        (1..=n).map(|i| vec![i as f64]).collect()
+    }
+
+    #[test]
+    fn recovers_linear_combination_exactly() {
+        // y = 2 + 3·x − 0.5/x with bases {x, 1/x}.
+        let pts = points_1d(8);
+        let targets: Vec<f64> = pts.iter().map(|p| 2.0 + 3.0 * p[0] - 0.5 / p[0]).collect();
+        let bases = vec![
+            BasisFunction::from_vc(VarCombo::single(1, 0, 1)),
+            BasisFunction::from_vc(VarCombo::single(1, 0, -1)),
+        ];
+        let FitOutcome::Fit(fit) = fit_linear_weights(&bases, &pts, &targets, &ctx()) else {
+            panic!("expected a fit");
+        };
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 3.0).abs() < 1e-9);
+        assert!((fit.coefficients[2] + 0.5).abs() < 1e-9);
+        for (p, t) in fit.predictions.iter().zip(targets.iter()) {
+            assert!((p - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nan_column_is_infeasible() {
+        // 1/x at x = 0 -> infinite column.
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let bases = vec![BasisFunction::from_vc(VarCombo::single(1, 0, -1))];
+        assert!(matches!(
+            fit_linear_weights(&bases, &pts, &[1.0, 2.0, 3.0], &ctx()),
+            FitOutcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn duplicate_bases_fall_back_to_ridge() {
+        let pts = points_1d(6);
+        let targets: Vec<f64> = pts.iter().map(|p| 4.0 * p[0]).collect();
+        let b = BasisFunction::from_vc(VarCombo::single(1, 0, 1));
+        let bases = vec![b.clone(), b];
+        let FitOutcome::Fit(fit) = fit_linear_weights(&bases, &pts, &targets, &ctx()) else {
+            panic!("ridge fallback should fit duplicates");
+        };
+        // The two duplicate columns share the weight; predictions match.
+        for (p, t) in fit.predictions.iter().zip(targets.iter()) {
+            assert!((p - t).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn more_bases_than_samples_is_infeasible() {
+        let pts = points_1d(2);
+        let bases: Vec<BasisFunction> = (1..=3)
+            .map(|e| BasisFunction::from_vc(VarCombo::single(1, 0, e)))
+            .collect();
+        assert!(matches!(
+            fit_linear_weights(&bases, &pts, &[1.0, 2.0], &ctx()),
+            FitOutcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn huge_columns_are_rejected() {
+        // x^3 at x = 1e40 exceeds the column limit.
+        let pts = vec![vec![1e40], vec![1.0]];
+        let bases = vec![BasisFunction::from_vc(VarCombo::single(1, 0, 3))];
+        assert!(design_matrix(&bases, &pts, &ctx()).is_none());
+    }
+
+    #[test]
+    fn empty_basis_set_fits_intercept_only() {
+        let pts = points_1d(4);
+        let targets = vec![5.0; 4];
+        let FitOutcome::Fit(fit) = fit_linear_weights(&[], &pts, &targets, &ctx()) else {
+            panic!("intercept-only fit must succeed");
+        };
+        assert_eq!(fit.coefficients.len(), 1);
+        assert!((fit.coefficients[0] - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+use serde::{Deserialize, Serialize};
+
+use crate::expr::BasisFunction;
+
+/// Fitness information attached to an evaluated individual.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Learned linear coefficients: intercept first, then one per basis.
+    pub coefficients: Vec<f64>,
+    /// Training error under the engine's metric.
+    pub train_error: f64,
+    /// Complexity per Eq. (1).
+    pub complexity: f64,
+    /// `false` when the candidate produced non-finite columns or an
+    /// unsolvable fit; such individuals carry a sentinel error.
+    pub feasible: bool,
+}
+
+/// One GP individual: a *set* of basis-function trees (the paper:
+/// "each individual is a set of GP trees"), plus cached fitness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Individual {
+    /// The basis functions. Always non-empty.
+    pub bases: Vec<BasisFunction>,
+    /// Cached evaluation; `None` until the engine fits the weights.
+    pub eval: Option<Evaluation>,
+}
+
+impl Individual {
+    /// Creates an unevaluated individual.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bases` is empty — the engine's operators maintain the
+    /// ≥1 invariant.
+    pub fn new(bases: Vec<BasisFunction>) -> Individual {
+        assert!(!bases.is_empty(), "an individual needs at least one basis");
+        Individual { bases, eval: None }
+    }
+
+    /// Number of basis functions.
+    pub fn n_bases(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// The two minimized objectives `[error, complexity]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the individual has not been evaluated.
+    pub fn objectives(&self) -> [f64; 2] {
+        let e = self.eval.as_ref().expect("individual not evaluated");
+        [e.train_error, e.complexity]
+    }
+
+    /// Invalidates the cached evaluation (after structural mutation).
+    pub fn invalidate(&mut self) {
+        self.eval = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::VarCombo;
+
+    fn basis() -> BasisFunction {
+        BasisFunction::from_vc(VarCombo::single(2, 0, 1))
+    }
+
+    #[test]
+    fn new_individual_is_unevaluated() {
+        let ind = Individual::new(vec![basis()]);
+        assert_eq!(ind.n_bases(), 1);
+        assert!(ind.eval.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one basis")]
+    fn empty_individual_panics() {
+        let _ = Individual::new(vec![]);
+    }
+
+    #[test]
+    fn objectives_come_from_evaluation() {
+        let mut ind = Individual::new(vec![basis()]);
+        ind.eval = Some(Evaluation {
+            coefficients: vec![0.0, 1.0],
+            train_error: 0.25,
+            complexity: 11.0,
+            feasible: true,
+        });
+        assert_eq!(ind.objectives(), [0.25, 11.0]);
+        ind.invalidate();
+        assert!(ind.eval.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not evaluated")]
+    fn objectives_panic_when_unevaluated() {
+        let _ = Individual::new(vec![basis()]).objectives();
+    }
+}

@@ -1,0 +1,10 @@
+//! Genetic-programming machinery: individuals, subtree sites, and the
+//! paper's evolutionary operators.
+
+mod individual;
+mod operators;
+mod sites;
+
+pub use individual::{Evaluation, Individual};
+pub use operators::{GpOperators, OperatorKind, OperatorSettings};
+pub use sites::{count_sites, get_site, set_site, SiteKind, Subtree};

@@ -1,0 +1,199 @@
+//! The CAFFEINE grammar: configuration, random derivation, validation,
+//! and the text-file format.
+//!
+//! The grammar itself is hard-wired into the typed expression tree of
+//! [`crate::expr`]; what varies — and what the paper says "the designer can
+//! turn off" — is the *rule set*: which unary/binary operators are enabled,
+//! whether the `lte` conditionals are available, the variable-combo
+//! exponent range, the weight range `B`, and the maximum tree depth.
+//! [`GrammarConfig`] captures all of that, with presets for the paper's
+//! full setup and for the restricted polynomial/rational searches the
+//! paper mentions.
+
+mod parser;
+mod random;
+pub mod validate;
+
+pub use parser::parse_grammar;
+pub use random::RandomExprGen;
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{BinaryOp, UnaryOp, WeightConfig};
+use crate::CaffeineError;
+
+/// The designer-facing grammar configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrammarConfig {
+    /// Number of design variables.
+    pub n_vars: usize,
+    /// Enabled unary operators (may be empty for polynomial/rational
+    /// searches).
+    pub unary_ops: Vec<UnaryOp>,
+    /// Enabled binary operators.
+    pub binary_ops: Vec<BinaryOp>,
+    /// Enable the 4-argument `lte(test, cond, a, b)` conditional.
+    pub lte: bool,
+    /// Enable the 3-argument `lte(test, 0, a, b)` special form.
+    pub lte_zero: bool,
+    /// Maximum absolute VC exponent (paper: unbounded in principle,
+    /// `{…,−2,−1,1,2,…}`; practically limited for interpretability).
+    pub max_exponent: i32,
+    /// Allow negative VC exponents (rationals). Disabled by the
+    /// [`GrammarConfig::polynomial`] preset.
+    pub negative_exponents: bool,
+    /// Maximum tree depth of a basis function (paper setting: 8).
+    pub max_depth: usize,
+    /// Weight (`W` node) interpretation parameters.
+    pub weights: WeightConfig,
+}
+
+impl GrammarConfig {
+    /// The paper's full experimental grammar (Sec. 6.1): all 13 unary
+    /// operators, the 4 binary operators, both `lte` forms, integer
+    /// exponents, depth 8, `B = 10`.
+    pub fn paper_full(n_vars: usize) -> GrammarConfig {
+        GrammarConfig {
+            n_vars,
+            unary_ops: UnaryOp::ALL.to_vec(),
+            binary_ops: BinaryOp::ALL.to_vec(),
+            lte: true,
+            lte_zero: true,
+            max_exponent: 3,
+            negative_exponents: true,
+            max_depth: 8,
+            weights: WeightConfig::default(),
+        }
+    }
+
+    /// A restricted grammar searching only polynomials (the paper: "one
+    /// could easily restrict the search to polynomials or rationals"):
+    /// no operators, no conditionals, non-negative exponents.
+    pub fn polynomial(n_vars: usize) -> GrammarConfig {
+        GrammarConfig {
+            n_vars,
+            unary_ops: Vec::new(),
+            binary_ops: Vec::new(),
+            lte: false,
+            lte_zero: false,
+            max_exponent: 3,
+            negative_exponents: false,
+            max_depth: 1,
+            weights: WeightConfig::default(),
+        }
+    }
+
+    /// A restricted grammar searching rationals (ratios of monomials via
+    /// signed integer exponents), the other restriction the paper calls
+    /// out explicitly.
+    pub fn rational(n_vars: usize) -> GrammarConfig {
+        GrammarConfig {
+            n_vars,
+            unary_ops: Vec::new(),
+            binary_ops: Vec::new(),
+            lte: false,
+            lte_zero: false,
+            max_exponent: 3,
+            negative_exponents: true,
+            max_depth: 1,
+            weights: WeightConfig::default(),
+        }
+    }
+
+    /// A mid-size grammar without the trigonometric and conditional
+    /// operators ("remove potentially difficult-to-interpret functions
+    /// such as sin and cos").
+    pub fn no_trig(n_vars: usize) -> GrammarConfig {
+        let mut g = GrammarConfig::paper_full(n_vars);
+        g.unary_ops
+            .retain(|op| !matches!(op, UnaryOp::Sin | UnaryOp::Cos | UnaryOp::Tan));
+        g.lte = false;
+        g.lte_zero = false;
+        g
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`CaffeineError::InvalidGrammar`] when the configuration cannot
+    /// generate any expression (zero variables, zero depth, bad exponent
+    /// bound, or a non-positive weight range).
+    pub fn check(&self) -> Result<(), CaffeineError> {
+        if self.n_vars == 0 {
+            return Err(CaffeineError::InvalidGrammar(
+                "grammar needs at least one design variable".into(),
+            ));
+        }
+        if self.max_depth == 0 {
+            return Err(CaffeineError::InvalidGrammar(
+                "max_depth must be at least 1".into(),
+            ));
+        }
+        if self.max_exponent < 1 {
+            return Err(CaffeineError::InvalidGrammar(
+                "max_exponent must be at least 1".into(),
+            ));
+        }
+        if !(self.weights.b > 0.0) || !(self.weights.zero_band >= 0.0) {
+            return Err(CaffeineError::InvalidGrammar(
+                "weight config must have b > 0 and zero_band >= 0".into(),
+            ));
+        }
+        if self.weights.zero_band >= self.weights.raw_limit() {
+            return Err(CaffeineError::InvalidGrammar(
+                "weight zero band swallows the whole raw range".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_full_has_all_operators() {
+        let g = GrammarConfig::paper_full(13);
+        assert_eq!(g.unary_ops.len(), 13);
+        assert_eq!(g.binary_ops.len(), 4);
+        assert!(g.lte && g.lte_zero);
+        assert_eq!(g.max_depth, 8);
+        assert!(g.check().is_ok());
+    }
+
+    #[test]
+    fn restricted_presets_disable_operators() {
+        let p = GrammarConfig::polynomial(5);
+        assert!(p.unary_ops.is_empty());
+        assert!(p.binary_ops.is_empty());
+        assert!(!p.lte);
+        assert!(!p.negative_exponents);
+        assert!(p.check().is_ok());
+        let r = GrammarConfig::rational(5);
+        assert!(r.negative_exponents);
+        assert!(r.check().is_ok());
+        let nt = GrammarConfig::no_trig(5);
+        assert!(!nt.unary_ops.contains(&UnaryOp::Sin));
+        assert!(nt.unary_ops.contains(&UnaryOp::Ln));
+    }
+
+    #[test]
+    fn check_rejects_degenerate_configs() {
+        let mut g = GrammarConfig::paper_full(0);
+        assert!(g.check().is_err());
+        g = GrammarConfig::paper_full(3);
+        g.max_depth = 0;
+        assert!(g.check().is_err());
+        g = GrammarConfig::paper_full(3);
+        g.max_exponent = 0;
+        assert!(g.check().is_err());
+        g = GrammarConfig::paper_full(3);
+        g.weights.b = -1.0;
+        assert!(g.check().is_err());
+        g = GrammarConfig::paper_full(3);
+        g.weights.zero_band = 100.0;
+        assert!(g.check().is_err());
+    }
+}

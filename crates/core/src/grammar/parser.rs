@@ -1,0 +1,219 @@
+//! Parser for grammar configuration files.
+//!
+//! The paper notes that "the grammar was defined in a separate text file
+//! and parsed by the CAFFEINE system". This module implements that
+//! workflow with a small, line-oriented format:
+//!
+//! ```text
+//! # comments start with '#'
+//! vars      = 13
+//! unary     = sqrt ln log10 inv abs sqr max0 min0 pow2 pow10
+//! binary    = div pow max min
+//! lte       = on
+//! lte0      = off
+//! max_exponent = 2
+//! negative_exponents = on
+//! max_depth = 8
+//! b         = 10
+//! zero_band = 1
+//! ```
+//!
+//! Omitted keys keep the [`GrammarConfig::paper_full`] defaults; `unary =`
+//! / `binary =` with an empty right-hand side disable the corresponding
+//! rule classes entirely ("the designer can turn off any of the rules").
+
+use crate::expr::{BinaryOp, UnaryOp};
+use crate::{CaffeineError, GrammarConfig};
+
+/// Parses a grammar configuration from its text format.
+///
+/// # Errors
+///
+/// [`CaffeineError::GrammarParse`] with a line number for syntax errors,
+/// unknown keys, or unknown operator names;
+/// [`CaffeineError::InvalidGrammar`] if the parsed configuration is
+/// internally inconsistent.
+pub fn parse_grammar(text: &str) -> Result<GrammarConfig, CaffeineError> {
+    let mut n_vars: Option<usize> = None;
+    let mut config = GrammarConfig::paper_full(1);
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| CaffeineError::GrammarParse {
+            line: lineno + 1,
+            message,
+        };
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(format!("expected `key = value`, got `{line}`")))?;
+        let key = key.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match key.as_str() {
+            "vars" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| err(format!("`vars` must be an integer, got `{value}`")))?;
+                n_vars = Some(n);
+            }
+            "unary" => {
+                let mut ops = Vec::new();
+                for tok in value.split_whitespace() {
+                    let op = UnaryOp::from_name(tok)
+                        .ok_or_else(|| err(format!("unknown unary operator `{tok}`")))?;
+                    if !ops.contains(&op) {
+                        ops.push(op);
+                    }
+                }
+                config.unary_ops = ops;
+            }
+            "binary" => {
+                let mut ops = Vec::new();
+                for tok in value.split_whitespace() {
+                    let op = BinaryOp::from_name(tok)
+                        .ok_or_else(|| err(format!("unknown binary operator `{tok}`")))?;
+                    if !ops.contains(&op) {
+                        ops.push(op);
+                    }
+                }
+                config.binary_ops = ops;
+            }
+            "lte" => config.lte = parse_switch(value).map_err(err)?,
+            "lte0" => config.lte_zero = parse_switch(value).map_err(err)?,
+            "negative_exponents" => {
+                config.negative_exponents = parse_switch(value).map_err(err)?
+            }
+            "max_exponent" => {
+                config.max_exponent = value
+                    .parse()
+                    .map_err(|_| err(format!("`max_exponent` must be an integer, got `{value}`")))?;
+            }
+            "max_depth" => {
+                config.max_depth = value
+                    .parse()
+                    .map_err(|_| err(format!("`max_depth` must be an integer, got `{value}`")))?;
+            }
+            "b" => {
+                config.weights.b = value
+                    .parse()
+                    .map_err(|_| err(format!("`b` must be a number, got `{value}`")))?;
+            }
+            "zero_band" => {
+                config.weights.zero_band = value
+                    .parse()
+                    .map_err(|_| err(format!("`zero_band` must be a number, got `{value}`")))?;
+            }
+            other => return Err(err(format!("unknown key `{other}`"))),
+        }
+    }
+
+    let n = n_vars.ok_or(CaffeineError::GrammarParse {
+        line: 0,
+        message: "missing required key `vars`".into(),
+    })?;
+    config.n_vars = n;
+    config.check()?;
+    Ok(config)
+}
+
+fn parse_switch(value: &str) -> Result<bool, String> {
+    match value.to_ascii_lowercase().as_str() {
+        "on" | "true" | "yes" | "1" => Ok(true),
+        "off" | "false" | "no" | "0" => Ok(false),
+        other => Err(format!("expected on/off, got `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_file_parses() {
+        let text = "
+            # the paper's setup
+            vars = 13
+            unary = sqrt ln log10 inv abs sqr sin cos tan max0 min0 pow2 pow10
+            binary = div pow max min
+            lte = on
+            lte0 = on
+            max_exponent = 2
+            max_depth = 8
+            b = 10
+            zero_band = 1
+        ";
+        let g = parse_grammar(text).unwrap();
+        assert_eq!(g.n_vars, 13);
+        assert_eq!(g.unary_ops.len(), 13);
+        assert_eq!(g.binary_ops.len(), 4);
+        assert_eq!(g.max_exponent, 2);
+        assert_eq!(g.weights.b, 10.0);
+    }
+
+    #[test]
+    fn omitted_keys_keep_defaults() {
+        let g = parse_grammar("vars = 4").unwrap();
+        assert_eq!(g.n_vars, 4);
+        assert_eq!(g.max_depth, 8);
+        assert!(g.lte);
+    }
+
+    #[test]
+    fn empty_operator_lists_disable_rules() {
+        let g = parse_grammar("vars = 2\nunary =\nbinary =\nlte = off\nlte0 = off").unwrap();
+        assert!(g.unary_ops.is_empty());
+        assert!(g.binary_ops.is_empty());
+        assert!(!g.lte && !g.lte_zero);
+    }
+
+    #[test]
+    fn unknown_operator_reports_line() {
+        let e = parse_grammar("vars = 2\nunary = sqrt warp").unwrap_err();
+        match e {
+            CaffeineError::GrammarParse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("warp"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_vars_is_an_error() {
+        assert!(matches!(
+            parse_grammar("max_depth = 5"),
+            Err(CaffeineError::GrammarParse { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_values_report_errors() {
+        assert!(parse_grammar("vars = banana").is_err());
+        assert!(parse_grammar("vars = 2\nlte = maybe").is_err());
+        assert!(parse_grammar("vars = 2\nmax_depth = -1").is_err());
+        assert!(parse_grammar("vars = 2\nwhatever = 1").is_err());
+        assert!(parse_grammar("vars = 2\nno equals sign here").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = parse_grammar("\n# hello\nvars = 3 # trailing comment\n\n").unwrap();
+        assert_eq!(g.n_vars, 3);
+    }
+
+    #[test]
+    fn inconsistent_parse_fails_check() {
+        assert!(matches!(
+            parse_grammar("vars = 0"),
+            Err(CaffeineError::InvalidGrammar(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_operators_are_deduplicated() {
+        let g = parse_grammar("vars = 2\nunary = inv inv inv").unwrap();
+        assert_eq!(g.unary_ops.len(), 1);
+    }
+}

@@ -1,0 +1,329 @@
+//! Random derivation of canonical-form expressions.
+//!
+//! Implements the paper's requirement that "random generation of trees
+//! must follow the derivation rules" of the grammar. Generation is
+//! depth-bounded: once the remaining depth budget reaches the terminal
+//! level, only `VC` derivations are taken.
+
+use rand::Rng;
+
+use crate::expr::{
+    BasisFunction, BinaryArgs, LteArgs, OpApplication, VarCombo, Weight, WeightedSum,
+    WeightedTerm,
+};
+use crate::GrammarConfig;
+
+/// Random expression generator bound to a grammar configuration.
+#[derive(Debug, Clone)]
+pub struct RandomExprGen<'g> {
+    grammar: &'g GrammarConfig,
+    /// Probability that a `REPVC` node carries a variable combo.
+    p_vc: f64,
+    /// Probability of adding each extra operator factor (geometric).
+    p_extra_factor: f64,
+    /// Probability of adding each extra sum term (geometric).
+    p_extra_term: f64,
+    /// Mean number of active variables in a fresh VC.
+    mean_active_vars: f64,
+}
+
+impl<'g> RandomExprGen<'g> {
+    /// Creates a generator with the default shape parameters.
+    pub fn new(grammar: &'g GrammarConfig) -> RandomExprGen<'g> {
+        RandomExprGen {
+            grammar,
+            p_vc: 0.85,
+            p_extra_factor: 0.25,
+            p_extra_term: 0.3,
+            mean_active_vars: 1.6,
+        }
+    }
+
+    /// The bound grammar.
+    pub fn grammar(&self) -> &GrammarConfig {
+        self.grammar
+    }
+
+    fn has_ops(&self) -> bool {
+        !self.grammar.unary_ops.is_empty()
+            || !self.grammar.binary_ops.is_empty()
+            || self.grammar.lte
+            || self.grammar.lte_zero
+    }
+
+    /// Generates a random basis function (a full `REPVC` derivation)
+    /// within the grammar's depth budget.
+    pub fn gen_basis<R: Rng + ?Sized>(&self, rng: &mut R) -> BasisFunction {
+        self.gen_basis_depth(rng, self.grammar.max_depth)
+    }
+
+    /// Generates a random basis function with an explicit depth budget.
+    ///
+    /// Depth bookkeeping: one operator nesting consumes three levels
+    /// (basis → op → sum → inner basis), so recursion requires a budget of
+    /// at least 4.
+    pub fn gen_basis_depth<R: Rng + ?Sized>(&self, rng: &mut R, depth: usize) -> BasisFunction {
+        let can_recurse = depth >= 4 && self.has_ops();
+        let want_vc = rng.gen_bool(self.p_vc) || !can_recurse;
+        let vc = if want_vc {
+            self.gen_vc(rng)
+        } else {
+            VarCombo::identity(self.grammar.n_vars)
+        };
+        let mut factors = Vec::new();
+        if can_recurse {
+            let mut want_factor = !want_vc || rng.gen_bool(self.p_extra_factor);
+            while want_factor && factors.len() < 3 {
+                factors.push(self.gen_op(rng, depth - 1));
+                want_factor = rng.gen_bool(self.p_extra_factor);
+            }
+        }
+        let mut basis = BasisFunction { vc, factors };
+        if basis.is_trivial() {
+            // Guarantee a meaningful term: fall back to a bare VC.
+            basis.vc = self.gen_nonidentity_vc(rng);
+        }
+        basis
+    }
+
+    /// Generates a random variable combo (possibly identity).
+    pub fn gen_vc<R: Rng + ?Sized>(&self, rng: &mut R) -> VarCombo {
+        let n = self.grammar.n_vars;
+        let mut vc = VarCombo::identity(n);
+        // Choose the number of active variables ~ 1 + Poisson-ish.
+        let mut active = 1;
+        while active < n && rng.gen_bool((self.mean_active_vars - 1.0).clamp(0.0, 0.9) / 2.0) {
+            active += 1;
+        }
+        for _ in 0..active {
+            let var = rng.gen_range(0..n);
+            *vc.exponent_mut(var) = self.gen_exponent(rng);
+        }
+        vc
+    }
+
+    /// Generates a VC guaranteed to have at least one nonzero exponent.
+    pub fn gen_nonidentity_vc<R: Rng + ?Sized>(&self, rng: &mut R) -> VarCombo {
+        let mut vc = self.gen_vc(rng);
+        if vc.is_identity() {
+            let var = rng.gen_range(0..self.grammar.n_vars);
+            *vc.exponent_mut(var) = self.gen_exponent(rng);
+        }
+        vc
+    }
+
+    /// Samples a nonzero exponent in the configured range (biased toward
+    /// ±1, which dominate the paper's discovered models).
+    pub fn gen_exponent<R: Rng + ?Sized>(&self, rng: &mut R) -> i32 {
+        let mag = if rng.gen_bool(0.7) {
+            1
+        } else {
+            rng.gen_range(1..=self.grammar.max_exponent)
+        };
+        if self.grammar.negative_exponents && rng.gen_bool(0.5) {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Generates a random `W` weight.
+    pub fn gen_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> Weight {
+        let lim = self.grammar.weights.raw_limit();
+        Weight::from_raw(rng.gen_range(-lim..=lim), &self.grammar.weights)
+    }
+
+    /// Generates a weight guaranteed to interpret nonzero.
+    pub fn gen_nonzero_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> Weight {
+        let cfg = &self.grammar.weights;
+        let lim = cfg.raw_limit();
+        let mag = rng.gen_range(cfg.zero_band.min(lim - 1e-9) + 1e-9..=lim);
+        let raw = if rng.gen_bool(0.5) { mag } else { -mag };
+        Weight::from_raw(raw, cfg)
+    }
+
+    /// Generates a `REPOP` derivation. Budgets below 3 are raised to 3
+    /// (the minimum representable operator application); callers that care
+    /// about strict budgets re-check the resulting depth.
+    pub fn gen_op<R: Rng + ?Sized>(&self, rng: &mut R, depth: usize) -> OpApplication {
+        let depth = depth.max(3);
+        let n_unary = self.grammar.unary_ops.len();
+        let n_binary = self.grammar.binary_ops.len();
+        let n_lte = usize::from(self.grammar.lte) + usize::from(self.grammar.lte_zero);
+        let total = n_unary + n_binary + n_lte;
+        debug_assert!(total > 0, "gen_op requires at least one enabled operator");
+        let pick = rng.gen_range(0..total);
+        if pick < n_unary {
+            OpApplication::Unary {
+                op: self.grammar.unary_ops[pick],
+                arg: self.gen_sum(rng, depth - 1),
+            }
+        } else if pick < n_unary + n_binary {
+            let op = self.grammar.binary_ops[pick - n_unary];
+            // 2ARGS: one side is a full W + REPADD, the other MAYBEW.
+            let full = self.gen_nonconstant_sum(rng, depth - 1);
+            let maybe = if rng.gen_bool(0.5) {
+                WeightedSum::constant(self.gen_nonzero_weight(rng))
+            } else {
+                self.gen_sum(rng, depth - 1)
+            };
+            let args = if rng.gen_bool(0.5) {
+                BinaryArgs { left: full, right: maybe }
+            } else {
+                BinaryArgs { left: maybe, right: full }
+            };
+            OpApplication::Binary { op, args }
+        } else {
+            let use_zero_form = if self.grammar.lte && self.grammar.lte_zero {
+                rng.gen_bool(0.5)
+            } else {
+                self.grammar.lte_zero
+            };
+            OpApplication::Lte(LteArgs {
+                test: Box::new(self.gen_nonconstant_sum(rng, depth - 1)),
+                cond: if use_zero_form {
+                    None
+                } else {
+                    Some(Box::new(self.gen_sum(rng, depth - 1)))
+                },
+                if_less: Box::new(self.gen_sum(rng, depth - 1)),
+                otherwise: Box::new(self.gen_sum(rng, depth - 1)),
+            })
+        }
+    }
+
+    /// Generates a `'W' + REPADD` sum. The sum node itself consumes one
+    /// level; terms are only added when at least one more level remains.
+    pub fn gen_sum<R: Rng + ?Sized>(&self, rng: &mut R, depth: usize) -> WeightedSum {
+        let mut terms = Vec::new();
+        if depth >= 2 {
+            let mut more = true;
+            while more && terms.len() < 3 {
+                terms.push(WeightedTerm {
+                    weight: self.gen_nonzero_weight(rng),
+                    term: self.gen_basis_depth(rng, depth - 1),
+                });
+                more = rng.gen_bool(self.p_extra_term);
+            }
+        }
+        WeightedSum {
+            offset: self.gen_weight(rng),
+            terms,
+        }
+    }
+
+    /// Generates a sum guaranteed to have at least one term (the
+    /// `'W' '+' REPADD` side of `2ARGS`).
+    pub fn gen_nonconstant_sum<R: Rng + ?Sized>(&self, rng: &mut R, depth: usize) -> WeightedSum {
+        let mut s = self.gen_sum(rng, depth.max(2));
+        if s.terms.is_empty() {
+            s.terms.push(WeightedTerm {
+                weight: self.gen_nonzero_weight(rng),
+                term: BasisFunction::from_vc(self.gen_nonidentity_vc(rng)),
+            });
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::validate::validate_basis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_trees_respect_depth_budget() {
+        let g = GrammarConfig::paper_full(5);
+        let gen = RandomExprGen::new(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let b = gen.gen_basis(&mut rng);
+            assert!(
+                b.depth() <= g.max_depth,
+                "depth {} exceeds budget {}",
+                b.depth(),
+                g.max_depth
+            );
+        }
+    }
+
+    #[test]
+    fn generated_trees_validate_against_grammar() {
+        let g = GrammarConfig::paper_full(4);
+        let gen = RandomExprGen::new(&g);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..300 {
+            let b = gen.gen_basis(&mut rng);
+            validate_basis(&b, &g).unwrap();
+        }
+    }
+
+    #[test]
+    fn restricted_grammar_yields_only_vcs() {
+        let g = GrammarConfig::rational(3);
+        let gen = RandomExprGen::new(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let b = gen.gen_basis(&mut rng);
+            assert!(b.factors.is_empty(), "rational grammar must not use ops");
+            assert!(!b.vc.is_identity());
+        }
+    }
+
+    #[test]
+    fn polynomial_grammar_has_no_negative_exponents() {
+        let g = GrammarConfig::polynomial(3);
+        let gen = RandomExprGen::new(&g);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let b = gen.gen_basis(&mut rng);
+            assert!(b.vc.exponents().iter().all(|&e| e >= 0));
+        }
+    }
+
+    #[test]
+    fn exponents_stay_in_bounds() {
+        let mut g = GrammarConfig::paper_full(2);
+        g.max_exponent = 2;
+        let gen = RandomExprGen::new(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let e = gen.gen_exponent(&mut rng);
+            assert!(e != 0 && e.abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn nonzero_weight_is_nonzero() {
+        let g = GrammarConfig::paper_full(2);
+        let gen = RandomExprGen::new(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let w = gen.gen_nonzero_weight(&mut rng);
+            assert_ne!(w.value(&g.weights), 0.0);
+        }
+    }
+
+    #[test]
+    fn trees_use_multiple_operator_kinds_over_many_draws() {
+        let g = GrammarConfig::paper_full(3);
+        let gen = RandomExprGen::new(&g);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut saw_unary = false;
+        let mut saw_binary = false;
+        let mut saw_lte = false;
+        for _ in 0..500 {
+            let b = gen.gen_basis(&mut rng);
+            for f in &b.factors {
+                match f {
+                    OpApplication::Unary { .. } => saw_unary = true,
+                    OpApplication::Binary { .. } => saw_binary = true,
+                    OpApplication::Lte(_) => saw_lte = true,
+                }
+            }
+        }
+        assert!(saw_unary && saw_binary && saw_lte);
+    }
+}

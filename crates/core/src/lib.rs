@@ -1,0 +1,73 @@
+//! CAFFEINE: Canonical Functional Form Expressions in Evolution.
+//!
+//! A faithful Rust implementation of the template-free symbolic modeling
+//! method of McConaghy, Eeckelaert and Gielen (DATE 2005). Given a table of
+//! `{design point, performance}` samples — in the paper, SPICE simulations
+//! of an analog circuit — CAFFEINE evolves a *set* of symbolic models that
+//! collectively trade off prediction error against expression complexity.
+//!
+//! The key ideas, all implemented here:
+//!
+//! * **Canonical functional form** ([`expr`]): every model is a linear sum
+//!   of weighted basis functions; each basis function is a product of
+//!   *variable combos* (integer-exponent monomials) and nonlinear operators
+//!   whose arguments are again weighted sums of such products. The paper's
+//!   grammar (`REPVC / REPOP / REPADD / 2ARGS / MAYBEW`) is enforced *by
+//!   construction* through the typed expression tree.
+//! * **Grammar-constrained GP** ([`grammar`], [`gp`]): random generation
+//!   follows the derivation rules; crossover only exchanges subtrees with
+//!   the same grammar root; weights mutate with zero-mean Cauchy noise;
+//!   variable-combo exponent vectors have their own operators; and basis
+//!   functions are added, deleted, and copied between individuals.
+//! * **Multi-objective search** ([`nsga2`]): NSGA-II over (error,
+//!   complexity) per Eq. (1) of the paper.
+//! * **Linear learning** ([`fit`]): the top-level weights of each candidate
+//!   are fit by least squares on every evaluation.
+//! * **Post-processing** ([`sag`]): simplification-after-generation via the
+//!   PRESS statistic and forward regression, then filtering to the
+//!   (test-error, complexity) nondominated front.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use caffeine_core::{CaffeineEngine, CaffeineSettings, GrammarConfig};
+//! use caffeine_doe::Dataset;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // y = 3/x0 on a few samples.
+//! let xs: Vec<Vec<f64>> = (1..=24).map(|i| vec![i as f64 * 0.25]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 3.0 / x[0]).collect();
+//! let data = Dataset::new(vec!["x0".into()], xs, ys)?;
+//!
+//! let grammar = GrammarConfig::rational(1);
+//! let mut settings = CaffeineSettings::quick_test();
+//! settings.seed = 7;
+//! let engine = CaffeineEngine::new(settings, grammar);
+//! let result = engine.run(&data)?;
+//! let best = result.best_by_error().expect("nonempty front");
+//! assert!(best.train_error < 0.05, "error = {}", best.train_error);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod engine;
+mod error;
+pub mod expr;
+pub mod fit;
+pub mod gp;
+pub mod grammar;
+mod metrics;
+mod model;
+pub mod nsga2;
+pub mod pareto;
+pub mod sag;
+
+pub use engine::{CaffeineEngine, CaffeineResult, CaffeineSettings, EvolutionStats};
+pub use error::CaffeineError;
+pub use fit::{fit_linear_weights, FitOutcome, LinearFit};
+pub use grammar::GrammarConfig;
+pub use metrics::ErrorMetric;
+pub use model::Model;

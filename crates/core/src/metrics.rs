@@ -1,0 +1,103 @@
+use serde::{Deserialize, Serialize};
+
+use caffeine_linalg::stats;
+
+/// The regression error measure used as the first NSGA-II objective and
+/// for all reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ErrorMetric {
+    /// The Daems-style relative RMS error with denominator constant `c`
+    /// — the paper's `qwc`/`qtc` measures ("identical as long as the
+    /// constant 'c' in the denominator is zero, which \[6\] did").
+    RelativeRms {
+        /// Denominator constant added to `|y|`.
+        c: f64,
+    },
+    /// Variance-normalized root error `sqrt(Σe²/Σ(y−ȳ)²)`.
+    Nmse,
+    /// Plain root-mean-squared error.
+    Rmse,
+}
+
+impl Default for ErrorMetric {
+    fn default() -> Self {
+        ErrorMetric::RelativeRms { c: 0.0 }
+    }
+}
+
+impl ErrorMetric {
+    /// Computes the error between predictions and targets.
+    ///
+    /// Non-finite predictions yield `f64::INFINITY` rather than NaN so the
+    /// result always orders cleanly in selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths.
+    pub fn compute(&self, predicted: &[f64], actual: &[f64]) -> f64 {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        if predicted.iter().any(|v| !v.is_finite()) {
+            return f64::INFINITY;
+        }
+        let e = match *self {
+            ErrorMetric::RelativeRms { c } => stats::relative_rms_error(predicted, actual, c),
+            ErrorMetric::Nmse => stats::nmse(predicted, actual),
+            ErrorMetric::Rmse => stats::rmse(predicted, actual),
+        };
+        if e.is_finite() {
+            e
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_qwc() {
+        assert_eq!(ErrorMetric::default(), ErrorMetric::RelativeRms { c: 0.0 });
+    }
+
+    #[test]
+    fn relative_rms_matches_hand_value() {
+        let m = ErrorMetric::RelativeRms { c: 0.0 };
+        // 10% error on both points.
+        let e = m.compute(&[1.1, -2.2], &[1.0, -2.0]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonfinite_predictions_become_infinity() {
+        for m in [
+            ErrorMetric::RelativeRms { c: 0.0 },
+            ErrorMetric::Nmse,
+            ErrorMetric::Rmse,
+        ] {
+            assert_eq!(m.compute(&[f64::NAN], &[1.0]), f64::INFINITY);
+            assert_eq!(m.compute(&[f64::INFINITY], &[1.0]), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn metrics_agree_on_perfect_fit() {
+        let y = [1.0, 2.0, 3.0];
+        for m in [
+            ErrorMetric::RelativeRms { c: 0.0 },
+            ErrorMetric::Nmse,
+            ErrorMetric::Rmse,
+        ] {
+            assert_eq!(m.compute(&y, &y), 0.0);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = ErrorMetric::RelativeRms { c: 0.5 };
+        let s = serde_json::to_string(&m).unwrap();
+        let back: ErrorMetric = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,323 @@
+//! NSGA-II: fast elitist non-dominated sorting for multi-objective
+//! selection (Deb et al., the paper's ref. \[8\]).
+//!
+//! CAFFEINE minimizes two objectives — normalized error and expression
+//! complexity — and returns the whole non-dominated set, which is what
+//! gives the designer the error/complexity tradeoff of Fig. 3. The
+//! implementation here is generic over the number of objectives and is
+//! reused by the Pareto filtering utilities.
+
+use std::cmp::Ordering;
+
+/// `true` when `a` Pareto-dominates `b` (all objectives ≤, at least one <;
+/// minimization).
+///
+/// # Panics
+///
+/// Panics when the objective vectors have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective length mismatch");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Fast non-dominated sort: partitions indices into fronts; front 0 is the
+/// non-dominated set, front 1 is non-dominated once front 0 is removed,
+/// and so on.
+pub fn fast_nondominated_sort(objectives: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = objectives.len();
+    let mut domination_count = vec![0usize; n];
+    let mut dominated: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut fronts: Vec<Vec<usize>> = vec![Vec::new()];
+
+    for p in 0..n {
+        for q in (p + 1)..n {
+            if dominates(&objectives[p], &objectives[q]) {
+                dominated[p].push(q);
+                domination_count[q] += 1;
+            } else if dominates(&objectives[q], &objectives[p]) {
+                dominated[q].push(p);
+                domination_count[p] += 1;
+            }
+        }
+        if domination_count[p] == 0 {
+            fronts[0].push(p);
+        }
+    }
+
+    let mut i = 0;
+    while !fronts[i].is_empty() {
+        let mut next = Vec::new();
+        for &p in &fronts[i] {
+            for &q in &dominated[p] {
+                domination_count[q] -= 1;
+                if domination_count[q] == 0 {
+                    next.push(q);
+                }
+            }
+        }
+        i += 1;
+        fronts.push(next);
+    }
+    fronts.pop(); // last front is empty
+    fronts
+}
+
+/// Crowding distance of each member of one front (aligned with `front`).
+/// Boundary solutions get `f64::INFINITY`.
+pub fn crowding_distances(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
+    let m = front.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    if m <= 2 {
+        return vec![f64::INFINITY; m];
+    }
+    let n_obj = objectives[front[0]].len();
+    let mut distance = vec![0.0f64; m];
+    let mut order: Vec<usize> = (0..m).collect();
+    for k in 0..n_obj {
+        order.sort_by(|&a, &b| {
+            objectives[front[a]][k]
+                .partial_cmp(&objectives[front[b]][k])
+                .unwrap_or(Ordering::Equal)
+        });
+        distance[order[0]] = f64::INFINITY;
+        distance[order[m - 1]] = f64::INFINITY;
+        let lo = objectives[front[order[0]]][k];
+        let hi = objectives[front[order[m - 1]]][k];
+        let span = hi - lo;
+        if span <= 0.0 || !span.is_finite() {
+            continue;
+        }
+        for w in 1..(m - 1) {
+            let prev = objectives[front[order[w - 1]]][k];
+            let next = objectives[front[order[w + 1]]][k];
+            distance[order[w]] += (next - prev) / span;
+        }
+    }
+    distance
+}
+
+/// Rank (front index) and crowding distance for every individual.
+#[derive(Debug, Clone)]
+pub struct RankedPopulation {
+    /// Front index per individual (0 = non-dominated).
+    pub rank: Vec<usize>,
+    /// Crowding distance per individual.
+    pub crowding: Vec<f64>,
+    /// The fronts themselves.
+    pub fronts: Vec<Vec<usize>>,
+}
+
+/// Ranks a population: non-dominated sort plus per-front crowding.
+pub fn rank_population(objectives: &[Vec<f64>]) -> RankedPopulation {
+    let fronts = fast_nondominated_sort(objectives);
+    let mut rank = vec![0usize; objectives.len()];
+    let mut crowding = vec![0.0f64; objectives.len()];
+    for (fi, front) in fronts.iter().enumerate() {
+        let dist = crowding_distances(objectives, front);
+        for (&idx, &d) in front.iter().zip(dist.iter()) {
+            rank[idx] = fi;
+            crowding[idx] = d;
+        }
+    }
+    RankedPopulation {
+        rank,
+        crowding,
+        fronts,
+    }
+}
+
+impl RankedPopulation {
+    /// NSGA-II's crowded-comparison: lower rank wins; ties break toward
+    /// larger crowding distance.
+    pub fn crowded_less(&self, a: usize, b: usize) -> bool {
+        match self.rank[a].cmp(&self.rank[b]) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => self.crowding[a] > self.crowding[b],
+        }
+    }
+
+    /// Binary tournament under the crowded comparison.
+    pub fn tournament<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.rank.len();
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if self.crowded_less(a, b) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+/// NSGA-II environmental selection: picks `n` survivors from the combined
+/// parent+offspring population, filling whole fronts and truncating the
+/// last one by crowding distance.
+pub fn environmental_selection(objectives: &[Vec<f64>], n: usize) -> Vec<usize> {
+    let fronts = fast_nondominated_sort(objectives);
+    let mut survivors = Vec::with_capacity(n);
+    for front in fronts {
+        if survivors.len() + front.len() <= n {
+            survivors.extend_from_slice(&front);
+        } else {
+            let dist = crowding_distances(objectives, &front);
+            let mut by_crowding: Vec<usize> = (0..front.len()).collect();
+            by_crowding.sort_by(|&a, &b| {
+                dist[b].partial_cmp(&dist[a]).unwrap_or(Ordering::Equal)
+            });
+            for &i in by_crowding.iter().take(n - survivors.len()) {
+                survivors.push(front[i]);
+            }
+            break;
+        }
+    }
+    survivors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dominance_basic_cases() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal: no strict
+    }
+
+    #[test]
+    fn sort_recovers_known_fronts() {
+        let objs = vec![
+            vec![1.0, 4.0], // front 0
+            vec![2.0, 3.0], // front 0
+            vec![4.0, 1.0], // front 0
+            vec![3.0, 4.0], // dominated by 0 and 1
+            vec![5.0, 5.0], // dominated by everything
+        ];
+        let fronts = fast_nondominated_sort(&objs);
+        assert_eq!(fronts[0], vec![0, 1, 2]);
+        assert_eq!(fronts[1], vec![3]);
+        assert_eq!(fronts[2], vec![4]);
+    }
+
+    #[test]
+    fn sort_matches_bruteforce_on_random_population() {
+        let mut rng = StdRng::seed_from_u64(13);
+        use rand::Rng;
+        let objs: Vec<Vec<f64>> = (0..60)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let fronts = fast_nondominated_sort(&objs);
+        // Brute force front 0.
+        let brute: Vec<usize> = (0..objs.len())
+            .filter(|&i| !(0..objs.len()).any(|j| dominates(&objs[j], &objs[i])))
+            .collect();
+        let mut f0 = fronts[0].clone();
+        f0.sort_unstable();
+        assert_eq!(f0, brute);
+        // Every index appears exactly once overall.
+        let total: usize = fronts.iter().map(Vec::len).sum();
+        assert_eq!(total, objs.len());
+    }
+
+    #[test]
+    fn crowding_prefers_spread() {
+        let objs = vec![
+            vec![0.0, 1.0],
+            vec![0.45, 0.55], // crowded middle
+            vec![0.5, 0.5],
+            vec![0.55, 0.45],
+            vec![1.0, 0.0],
+        ];
+        let front: Vec<usize> = (0..5).collect();
+        let d = crowding_distances(&objs, &front);
+        assert!(d[0].is_infinite());
+        assert!(d[4].is_infinite());
+        assert!(d[2] < d[1] + d[3]); // middle is most crowded
+    }
+
+    #[test]
+    fn crowding_small_fronts_are_infinite() {
+        let objs = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let d = crowding_distances(&objs, &[0, 1]);
+        assert!(d.iter().all(|v| v.is_infinite()));
+        assert!(crowding_distances(&objs, &[]).is_empty());
+    }
+
+    #[test]
+    fn environmental_selection_keeps_best_front_whole() {
+        let objs = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 3.0],
+            vec![4.0, 1.0],
+            vec![3.0, 4.0],
+            vec![5.0, 5.0],
+            vec![6.0, 6.0],
+        ];
+        let survivors = environmental_selection(&objs, 4);
+        assert_eq!(survivors.len(), 4);
+        for idx in [0, 1, 2] {
+            assert!(survivors.contains(&idx), "front-0 member {idx} dropped");
+        }
+    }
+
+    #[test]
+    fn environmental_selection_truncates_by_crowding() {
+        // One big front; selection must prefer the extremes.
+        let objs = vec![
+            vec![0.0, 1.0],
+            vec![0.26, 0.74],
+            vec![0.25, 0.75],
+            vec![0.24, 0.76],
+            vec![1.0, 0.0],
+        ];
+        let survivors = environmental_selection(&objs, 3);
+        assert!(survivors.contains(&0));
+        assert!(survivors.contains(&4));
+    }
+
+    #[test]
+    fn crowded_comparison_and_tournament() {
+        let objs = vec![
+            vec![1.0, 1.0], // rank 0
+            vec![2.0, 2.0], // rank 1
+            vec![3.0, 3.0], // rank 2
+        ];
+        let ranked = rank_population(&objs);
+        assert!(ranked.crowded_less(0, 1));
+        assert!(!ranked.crowded_less(2, 1));
+        let mut rng = StdRng::seed_from_u64(3);
+        // Tournament always returns a valid index and favors rank 0.
+        let wins0 = (0..1000).filter(|_| ranked.tournament(&mut rng) == 0).count();
+        assert!(wins0 > 400, "rank-0 wins only {wins0}/1000");
+    }
+
+    #[test]
+    fn infeasible_sentinels_rank_last() {
+        let objs = vec![
+            vec![0.1, 10.0],
+            vec![1e30, 5.0], // infeasible sentinel
+            vec![0.2, 8.0],
+        ];
+        let ranked = rank_population(&objs);
+        assert_eq!(ranked.rank[0], 0);
+        assert_eq!(ranked.rank[2], 0);
+        // The sentinel is only non-dominated because of its lower
+        // complexity; it must not dominate anything.
+        assert!(!dominates(&objs[1], &objs[0]));
+    }
+}

@@ -1,0 +1,180 @@
+//! Nondominated filtering utilities for model sets.
+//!
+//! Used twice in the flow: the engine returns the evolved (train-error,
+//! complexity) front, and the post-processing step "filters down to only
+//! models that are on the tradeoff of *testing* error and complexity"
+//! (paper Sec. 5.1) — the rightmost column of Fig. 3.
+
+use crate::model::Model;
+use crate::nsga2::dominates;
+
+/// Indices of the nondominated points (minimization on both coordinates).
+/// Duplicate points are all kept.
+pub fn nondominated_indices(points: &[(f64, f64)]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !(0..points.len()).any(|j| {
+                j != i
+                    && dominates(
+                        &[points[j].0, points[j].1],
+                        &[points[i].0, points[i].1],
+                    )
+            })
+        })
+        .collect()
+}
+
+/// Drops models with bit-identical (error, complexity) pairs, keeping the
+/// first occurrence — evolved populations carry many exact clones.
+fn dedup_by_objectives(models: Vec<Model>, error_of: impl Fn(&Model) -> f64) -> Vec<Model> {
+    let mut seen = std::collections::HashSet::new();
+    models
+        .into_iter()
+        .filter(|m| seen.insert((error_of(m).to_bits(), m.complexity.to_bits())))
+        .collect()
+}
+
+/// Walking the complexity-sorted front, drops models whose error
+/// improvement over the best simpler model is negligible (relative factor
+/// `1e-9` with an absolute floor): numerically-identical fits with extra
+/// zero-weight structure would otherwise clutter the tradeoff.
+fn prune_negligible(models: Vec<Model>, error_of: impl Fn(&Model) -> f64) -> Vec<Model> {
+    let mut out: Vec<Model> = Vec::with_capacity(models.len());
+    let mut best = f64::INFINITY;
+    for m in models {
+        let e = error_of(&m);
+        if e < best * (1.0 - 1e-9) - 1e-15 || out.is_empty() {
+            best = e;
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Filters models to the (train-error, complexity) front, deduplicated,
+/// sorted by complexity, and pruned of numerically negligible refinements.
+pub fn train_tradeoff(models: &[Model]) -> Vec<Model> {
+    let pts: Vec<(f64, f64)> = models.iter().map(|m| (m.train_error, m.complexity)).collect();
+    let keep: Vec<Model> = nondominated_indices(&pts)
+        .into_iter()
+        .map(|i| models[i].clone())
+        .collect();
+    let mut keep = dedup_by_objectives(keep, |m| m.train_error);
+    keep.sort_by(|a, b| a.complexity.partial_cmp(&b.complexity).unwrap());
+    prune_negligible(keep, |m| m.train_error)
+}
+
+/// Filters models to the (test-error, complexity) front, sorted by
+/// complexity. Models without a recorded test error are dropped.
+pub fn test_tradeoff(models: &[Model]) -> Vec<Model> {
+    let with_test: Vec<&Model> = models.iter().filter(|m| m.test_error.is_some()).collect();
+    let pts: Vec<(f64, f64)> = with_test
+        .iter()
+        .map(|m| (m.test_error.unwrap_or(f64::INFINITY), m.complexity))
+        .collect();
+    let keep: Vec<Model> = nondominated_indices(&pts)
+        .into_iter()
+        .map(|i| with_test[i].clone())
+        .collect();
+    let mut keep =
+        dedup_by_objectives(keep, |m| m.test_error.unwrap_or(f64::INFINITY));
+    keep.sort_by(|a, b| a.complexity.partial_cmp(&b.complexity).unwrap());
+    prune_negligible(keep, |m| m.test_error.unwrap_or(f64::INFINITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::WeightConfig;
+
+    fn model(train: f64, test: Option<f64>, complexity: f64) -> Model {
+        let mut m = Model::new(vec![], vec![0.0], WeightConfig::default());
+        m.train_error = train;
+        m.test_error = test;
+        m.complexity = complexity;
+        m
+    }
+
+    #[test]
+    fn nondominated_basic() {
+        let pts = vec![(1.0, 4.0), (2.0, 3.0), (3.0, 5.0), (0.5, 6.0)];
+        let nd = nondominated_indices(&pts);
+        assert_eq!(nd, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let pts = vec![(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(nondominated_indices(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn train_front_sorted_by_complexity() {
+        let models = vec![
+            model(0.10, None, 5.0),
+            model(0.05, None, 10.0),
+            model(0.20, None, 1.0),
+            model(0.50, None, 20.0), // dominated
+        ];
+        let front = train_tradeoff(&models);
+        assert_eq!(front.len(), 3);
+        assert!(front.windows(2).all(|w| w[0].complexity <= w[1].complexity));
+        assert!(front.iter().all(|m| m.train_error <= 0.20));
+    }
+
+    #[test]
+    fn test_front_drops_models_without_test_error() {
+        let models = vec![
+            model(0.1, Some(0.2), 5.0),
+            model(0.1, None, 1.0),
+            model(0.2, Some(0.1), 8.0),
+        ];
+        let front = test_tradeoff(&models);
+        assert_eq!(front.len(), 2);
+        assert!(front.iter().all(|m| m.test_error.is_some()));
+    }
+
+    #[test]
+    fn test_front_is_nondominated_in_test_error() {
+        let models = vec![
+            model(0.1, Some(0.30), 5.0),
+            model(0.1, Some(0.25), 6.0),
+            model(0.1, Some(0.40), 7.0), // dominated by both
+        ];
+        let front = test_tradeoff(&models);
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_front() {
+        assert!(train_tradeoff(&[]).is_empty());
+        assert!(test_tradeoff(&[]).is_empty());
+        assert!(nondominated_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn float_dust_refinements_are_pruned() {
+        // Three models whose errors differ only at the 1e-17 level must
+        // collapse to the simplest one.
+        let models = vec![
+            model(1e-16, None, 10.0),
+            model(9e-17, None, 20.0),
+            model(8e-17, None, 30.0),
+            model(0.5, None, 0.0),
+        ];
+        let front = train_tradeoff(&models);
+        assert_eq!(front.len(), 2, "{front:?}");
+        assert_eq!(front[0].complexity, 0.0);
+        assert_eq!(front[1].complexity, 10.0);
+    }
+
+    #[test]
+    fn genuine_refinements_survive_pruning() {
+        let models = vec![
+            model(0.10, None, 0.0),
+            model(0.05, None, 10.0),
+            model(0.02, None, 20.0),
+        ];
+        assert_eq!(train_tradeoff(&models).len(), 3);
+    }
+}

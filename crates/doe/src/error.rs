@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for design-of-experiments construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DoeError {
+    /// The requested design would be degenerate (zero factors or levels).
+    EmptyDesign,
+    /// The construction cannot supply the requested number of columns.
+    TooManyColumns {
+        /// Columns requested.
+        requested: usize,
+        /// Columns the construction supports.
+        available: usize,
+    },
+    /// A parameter is outside the supported range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for DoeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DoeError::EmptyDesign => write!(f, "design has no factors or no levels"),
+            DoeError::TooManyColumns {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} columns but the construction provides only {available}"
+            ),
+            DoeError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for DoeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_quantities() {
+        let e = DoeError::TooManyColumns {
+            requested: 200,
+            available: 121,
+        };
+        let s = e.to_string();
+        assert!(s.contains("200") && s.contains("121"));
+        assert!(!DoeError::EmptyDesign.to_string().is_empty());
+        assert!(DoeError::InvalidParameter("k = 0".into())
+            .to_string()
+            .contains("k = 0"));
+    }
+}

@@ -1,0 +1,111 @@
+use crate::DoeError;
+
+/// Full factorial design: every combination of levels for every factor.
+///
+/// Returns the run matrix as level indices, one `Vec<usize>` per run. The
+/// run count is the product of all level counts, so this is only usable for
+/// small dimensionality — which is exactly why the paper uses an orthogonal
+/// array for its 13-variable problem and why this function exists mostly
+/// for validation and for low-dimensional examples.
+///
+/// # Errors
+///
+/// * [`DoeError::EmptyDesign`] when `levels` is empty or any factor has 0
+///   levels.
+/// * [`DoeError::InvalidParameter`] when the design would exceed 2²⁴ runs.
+///
+/// # Example
+///
+/// ```
+/// use caffeine_doe::full_factorial;
+///
+/// let runs = full_factorial(&[2, 3]).unwrap();
+/// assert_eq!(runs.len(), 6);
+/// assert_eq!(runs[0], vec![0, 0]);
+/// assert_eq!(runs[5], vec![1, 2]);
+/// ```
+pub fn full_factorial(levels: &[usize]) -> Result<Vec<Vec<usize>>, DoeError> {
+    if levels.is_empty() || levels.contains(&0) {
+        return Err(DoeError::EmptyDesign);
+    }
+    let total: usize = levels.iter().try_fold(1usize, |acc, &l| {
+        acc.checked_mul(l).filter(|&t| t <= (1 << 24))
+    }).ok_or_else(|| {
+        DoeError::InvalidParameter("full factorial would exceed 2^24 runs".into())
+    })?;
+
+    let mut runs = Vec::with_capacity(total);
+    let mut current = vec![0usize; levels.len()];
+    loop {
+        runs.push(current.clone());
+        // Odometer increment, least-significant factor first.
+        let mut pos = 0;
+        loop {
+            if pos == levels.len() {
+                return Ok(runs);
+            }
+            current[pos] += 1;
+            if current[pos] < levels[pos] {
+                break;
+            }
+            current[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_three_enumerates_all_combinations() {
+        let runs = full_factorial(&[2, 3]).unwrap();
+        assert_eq!(runs.len(), 6);
+        let mut sorted = runs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn three_level_cube_matches_count() {
+        let runs = full_factorial(&[3, 3, 3]).unwrap();
+        assert_eq!(runs.len(), 27);
+        for run in &runs {
+            assert!(run.iter().all(|&l| l < 3));
+        }
+    }
+
+    #[test]
+    fn single_factor_is_identity() {
+        let runs = full_factorial(&[4]).unwrap();
+        assert_eq!(runs, vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn empty_design_rejected() {
+        assert!(matches!(full_factorial(&[]), Err(DoeError::EmptyDesign)));
+        assert!(matches!(
+            full_factorial(&[3, 0]),
+            Err(DoeError::EmptyDesign)
+        ));
+    }
+
+    #[test]
+    fn oversized_design_rejected() {
+        assert!(matches!(
+            full_factorial(&[2; 30]),
+            Err(DoeError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn level_balance_in_each_factor() {
+        let runs = full_factorial(&[3, 2]).unwrap();
+        let count0 = runs.iter().filter(|r| r[0] == 1).count();
+        assert_eq!(count0, 2); // 6 runs / 3 levels
+        let count1 = runs.iter().filter(|r| r[1] == 1).count();
+        assert_eq!(count1, 3); // 6 runs / 2 levels
+    }
+}

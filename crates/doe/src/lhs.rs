@@ -1,0 +1,108 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::DoeError;
+
+/// Latin hypercube sample of `n` points in `[0, 1]^d`.
+///
+/// Each dimension is divided into `n` equal strata and each stratum is hit
+/// exactly once, with a uniformly random offset inside the stratum and an
+/// independent random permutation per dimension.
+///
+/// Not used by the paper's headline experiment (which uses an orthogonal
+/// array), but provided for broader design-space modeling and the
+/// extension experiments.
+///
+/// # Errors
+///
+/// Returns [`DoeError::EmptyDesign`] when `n == 0` or `d == 0`.
+///
+/// # Example
+///
+/// ```
+/// use caffeine_doe::latin_hypercube;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let pts = latin_hypercube(10, 3, &mut rng).unwrap();
+/// assert_eq!(pts.len(), 10);
+/// assert!(pts.iter().all(|p| p.iter().all(|&v| (0.0..1.0).contains(&v))));
+/// ```
+pub fn latin_hypercube<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<Vec<Vec<f64>>, DoeError> {
+    if n == 0 || d == 0 {
+        return Err(DoeError::EmptyDesign);
+    }
+    let mut points = vec![vec![0.0; d]; n];
+    let mut strata: Vec<usize> = (0..n).collect();
+    for dim in 0..d {
+        strata.shuffle(rng);
+        for (i, &s) in strata.iter().enumerate() {
+            let offset: f64 = rng.gen_range(0.0..1.0);
+            points[i][dim] = (s as f64 + offset) / n as f64;
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn each_stratum_hit_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 16;
+        let pts = latin_hypercube(n, 4, &mut rng).unwrap();
+        for dim in 0..4 {
+            let mut hit = vec![false; n];
+            for p in &pts {
+                let stratum = (p[dim] * n as f64).floor() as usize;
+                assert!(!hit[stratum], "stratum {stratum} hit twice in dim {dim}");
+                hit[stratum] = true;
+            }
+            assert!(hit.iter().all(|&h| h));
+        }
+    }
+
+    #[test]
+    fn values_stay_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = latin_hypercube(100, 2, &mut rng).unwrap();
+        assert!(pts
+            .iter()
+            .all(|p| p.iter().all(|&v| (0.0..1.0).contains(&v))));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            latin_hypercube(0, 3, &mut rng),
+            Err(DoeError::EmptyDesign)
+        ));
+        assert!(matches!(
+            latin_hypercube(3, 0, &mut rng),
+            Err(DoeError::EmptyDesign)
+        ));
+    }
+
+    #[test]
+    fn different_seeds_give_different_designs() {
+        let a = latin_hypercube(8, 2, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = latin_hypercube(8, 2, &mut StdRng::seed_from_u64(2)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let a = latin_hypercube(8, 2, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = latin_hypercube(8, 2, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the DOE substrate.
+
+use caffeine_doe::{full_factorial, latin_hypercube, OrthogonalArray, ScaledHypercube};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Strength-2 must hold for *any* random pair of columns, not just the
+    /// first few.
+    #[test]
+    fn oa_strength_two_on_random_column_pairs(
+        k in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let oa = OrthogonalArray::rao_hamming(k).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let a = rng.gen_range(0..oa.columns());
+        let b = rng.gen_range(0..oa.columns());
+        if a != b {
+            prop_assert!(oa.verify_strength_two(&[a, b]));
+        }
+        prop_assert!(oa.verify_balance(a));
+    }
+
+    #[test]
+    fn full_factorial_count_is_product(levels in proptest::collection::vec(1usize..4, 1..5)) {
+        let runs = full_factorial(&levels).unwrap();
+        let expect: usize = levels.iter().product();
+        prop_assert_eq!(runs.len(), expect);
+        // Every run in bounds and all runs distinct.
+        let mut sorted = runs.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), expect);
+        for run in &runs {
+            for (f, &l) in run.iter().enumerate() {
+                prop_assert!(l < levels[f]);
+            }
+        }
+    }
+
+    #[test]
+    fn lhs_stratification(n in 1usize..40, d in 1usize..5, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = latin_hypercube(n, d, &mut rng).unwrap();
+        for dim in 0..d {
+            let mut hit = vec![false; n];
+            for p in &pts {
+                let s = (p[dim] * n as f64).floor() as usize;
+                prop_assert!(s < n);
+                prop_assert!(!hit[s]);
+                hit[s] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_mapping_brackets_nominal(
+        nominal in proptest::collection::vec(0.1f64..100.0, 1..6),
+        dx in 0.01f64..0.5,
+    ) {
+        let cube = ScaledHypercube::relative(&nominal, dx).unwrap();
+        let lo = cube.map_run(&vec![0; nominal.len()], 3).unwrap();
+        let mid = cube.map_run(&vec![1; nominal.len()], 3).unwrap();
+        let hi = cube.map_run(&vec![2; nominal.len()], 3).unwrap();
+        for i in 0..nominal.len() {
+            prop_assert!(lo[i] < mid[i] && mid[i] < hi[i]);
+            prop_assert!((mid[i] - nominal[i]).abs() < 1e-12);
+            let rel = (hi[i] - nominal[i]) / nominal[i];
+            prop_assert!((rel - dx).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type returned by the fallible linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix dimensions were incompatible for the requested operation.
+    ///
+    /// Carries a human-readable description of the mismatch.
+    DimensionMismatch(String),
+    /// A factorization encountered an (numerically) singular matrix.
+    Singular {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// The matrix was expected to be positive definite but is not.
+    NotPositiveDefinite {
+        /// Column index at which the Cholesky factorization failed.
+        column: usize,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine that failed.
+        routine: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Input contained NaN or infinite entries where finite values are required.
+    NonFiniteInput {
+        /// Name of the offending argument.
+        argument: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch(msg) => {
+                write!(f, "dimension mismatch: {msg}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { column } => {
+                write!(f, "matrix is not positive definite at column {column}")
+            }
+            LinalgError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(f, "{routine} did not converge after {iterations} iterations")
+            }
+            LinalgError::NonFiniteInput { argument } => {
+                write!(f, "argument `{argument}` contains non-finite values")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::DimensionMismatch("3x2 * 3x2".into());
+        assert!(e.to_string().contains("dimension mismatch"));
+        let e = LinalgError::Singular { pivot: 4 };
+        assert!(e.to_string().contains("pivot 4"));
+        let e = LinalgError::NotPositiveDefinite { column: 2 };
+        assert!(e.to_string().contains("column 2"));
+        let e = LinalgError::NoConvergence {
+            routine: "nnls",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("nnls"));
+        assert!(e.to_string().contains("100"));
+        let e = LinalgError::NonFiniteInput { argument: "rhs" };
+        assert!(e.to_string().contains("rhs"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

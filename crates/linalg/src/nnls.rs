@@ -1,0 +1,250 @@
+use crate::{LinalgError, Matrix};
+
+/// Result of a non-negative least-squares solve.
+#[derive(Debug, Clone)]
+pub struct NnlsSolution {
+    /// The coefficient vector, all entries `≥ 0`.
+    pub x: Vec<f64>,
+    /// Euclidean norm of the residual `‖A·x − b‖₂`.
+    pub residual_norm: f64,
+    /// Indices of the strictly positive (active) coefficients.
+    pub support: Vec<usize>,
+    /// Number of outer Lawson–Hanson iterations used.
+    pub iterations: usize,
+}
+
+/// Solves `min ‖A·x − b‖₂ subject to x ≥ 0` with the Lawson–Hanson
+/// active-set algorithm.
+///
+/// This is the fitting kernel of the posynomial baseline: posynomial
+/// coefficients must be positive, so the template fit is an NNLS problem
+/// over the monomial term library.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] on incompatible shapes.
+/// * [`LinalgError::NonFiniteInput`] on NaN/infinite input.
+/// * [`LinalgError::NoConvergence`] if the active-set loop exceeds its
+///   iteration budget (`3 * cols` outer iterations, the customary bound).
+///
+/// # Example
+///
+/// ```
+/// use caffeine_linalg::{nnls, Matrix};
+///
+/// # fn main() -> Result<(), caffeine_linalg::LinalgError> {
+/// // The unconstrained solution would need a negative coefficient;
+/// // NNLS clamps it to zero.
+/// let a: Matrix = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+/// let sol = nnls(&a, &[2.0, -1.0])?;
+/// assert!((sol.x[0] - 2.0).abs() < 1e-12);
+/// assert_eq!(sol.x[1], 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
+    let (m, n) = (a.rows(), a.cols());
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "rhs length {} does not match row count {}",
+            b.len(),
+            m
+        )));
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFiniteInput { argument: "a" });
+    }
+    if b.iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFiniteInput { argument: "b" });
+    }
+
+    let mut x = vec![0.0_f64; n];
+    let mut passive: Vec<bool> = vec![false; n];
+    let max_outer = 3 * n.max(1) + 10;
+    let mut outer = 0;
+
+    // Gradient w = Aᵀ(b − A x).
+    let grad = |x: &[f64]| -> Vec<f64> {
+        let ax = a.matvec(x).expect("dimensions checked");
+        let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, ai)| bi - ai).collect();
+        a.conj_t_matvec(&r).expect("dimensions checked")
+    };
+
+    let tol = {
+        let scale = a.max_abs().max(1.0) * b.iter().fold(0.0_f64, |acc, v| acc.max(v.abs())).max(1.0);
+        10.0 * f64::EPSILON * scale * (m.max(n) as f64)
+    };
+
+    loop {
+        outer += 1;
+        if outer > max_outer {
+            return Err(LinalgError::NoConvergence {
+                routine: "nnls",
+                iterations: outer - 1,
+            });
+        }
+        let w = grad(&x);
+        // Pick the most promising inactive coordinate.
+        let candidate = (0..n)
+            .filter(|&j| !passive[j])
+            .max_by(|&i, &j| w[i].partial_cmp(&w[j]).expect("finite gradient"));
+        let Some(jmax) = candidate else { break };
+        if w[jmax] <= tol {
+            break; // KKT satisfied: all inactive gradients non-positive.
+        }
+        passive[jmax] = true;
+
+        // Inner loop: solve on the passive set; walk back if any passive
+        // coefficient would go negative.
+        loop {
+            let p: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            let ap = a.select_columns(&p);
+            let z = match crate::qr::lstsq(&ap, b) {
+                Ok(z) => z,
+                // Collinear passive set: fall back to a tiny ridge.
+                Err(LinalgError::Singular { .. }) => crate::qr::lstsq_ridge(&ap, b, 1e-10)?,
+                Err(e) => return Err(e),
+            };
+            if z.iter().all(|&v| v > 0.0) {
+                x.iter_mut().for_each(|v| *v = 0.0);
+                for (k, &j) in p.iter().enumerate() {
+                    x[j] = z[k];
+                }
+                break;
+            }
+            // Step as far as possible toward z without leaving the
+            // feasible region, then drop the coordinates that hit zero.
+            let mut alpha = f64::INFINITY;
+            for (k, &j) in p.iter().enumerate() {
+                if z[k] <= 0.0 {
+                    let denom = x[j] - z[k];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    } else {
+                        alpha = 0.0;
+                    }
+                }
+            }
+            let alpha = alpha.clamp(0.0, 1.0);
+            for (k, &j) in p.iter().enumerate() {
+                x[j] += alpha * (z[k] - x[j]);
+            }
+            for &j in &p {
+                if x[j] <= tol.max(1e-14) {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+            if !passive.iter().any(|&p| p) {
+                break;
+            }
+        }
+    }
+
+    let ax = a.matvec(&x)?;
+    let residual_norm = b
+        .iter()
+        .zip(ax.iter())
+        .map(|(bi, ai)| (bi - ai) * (bi - ai))
+        .sum::<f64>()
+        .sqrt();
+    let support = (0..n).filter(|&j| x[j] > 0.0).collect();
+    Ok(NnlsSolution {
+        x,
+        residual_norm,
+        support,
+        iterations: outer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_optimum_feasible_is_returned() {
+        // y = 2 a + 3 b with positive coefficients: NNLS == LS.
+        let a: Matrix = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        let b = vec![2.0, 3.0, 5.0];
+        let sol = nnls(&a, &b).unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-10);
+        assert!((sol.x[1] - 3.0).abs() < 1e-10);
+        assert!(sol.residual_norm < 1e-10);
+        assert_eq!(sol.support, vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_directions_are_clamped() {
+        let a: Matrix = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let sol = nnls(&a, &[-3.0, 4.0]).unwrap();
+        assert_eq!(sol.x[0], 0.0);
+        assert!((sol.x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kkt_conditions_hold() {
+        let a: Matrix = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.3],
+            vec![0.7, 0.1, 1.0],
+            vec![1.5, 0.9, 0.2],
+            vec![0.1, 1.1, 0.9],
+        ]);
+        let b = vec![1.0, -2.0, 0.5, 3.0];
+        let sol = nnls(&a, &b).unwrap();
+        // KKT: for x_j > 0 gradient ≈ 0; for x_j = 0 gradient ≤ 0.
+        let ax = a.matvec(&sol.x).unwrap();
+        let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, ai)| bi - ai).collect();
+        let w = a.conj_t_matvec(&r).unwrap();
+        for j in 0..3 {
+            if sol.x[j] > 0.0 {
+                assert!(w[j].abs() < 1e-8, "gradient at active coord {j}: {}", w[j]);
+            } else {
+                assert!(w[j] <= 1e-8, "gradient at inactive coord {j}: {}", w[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_solution_when_b_opposes_columns() {
+        let a: Matrix = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        let sol = nnls(&a, &[-1.0, -1.0]).unwrap();
+        assert_eq!(sol.x, vec![0.0]);
+        assert!(sol.support.is_empty());
+    }
+
+    #[test]
+    fn collinear_columns_do_not_diverge() {
+        let a: Matrix = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        let sol = nnls(&a, &[3.0, 3.0, 3.0]).unwrap();
+        let ax = a.matvec(&sol.x).unwrap();
+        for v in ax {
+            assert!((v - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a: Matrix = Matrix::zeros(3, 2);
+        assert!(matches!(
+            nnls(&a, &[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let a: Matrix = Matrix::from_rows(&[vec![f64::NAN]]);
+        assert!(matches!(
+            nnls(&a, &[1.0]),
+            Err(LinalgError::NonFiniteInput { .. })
+        ));
+    }
+}

@@ -1,0 +1,457 @@
+use crate::{LinalgError, Matrix};
+
+/// Householder QR factorization of a real `m × n` matrix with `m ≥ n`.
+///
+/// The factorization is stored in compact form: the Householder vectors in
+/// the lower trapezoid and `R` in the upper triangle. This is the engine
+/// behind [`lstsq`], the least-squares driver that CAFFEINE uses to learn
+/// the linear weights of every candidate model, and behind the PRESS
+/// leverages in [`crate::press`].
+///
+/// # Example
+///
+/// ```
+/// use caffeine_linalg::{Matrix, Qr};
+///
+/// # fn main() -> Result<(), caffeine_linalg::LinalgError> {
+/// let a: Matrix = Matrix::from_rows(&[
+///     vec![1.0, 0.0],
+///     vec![1.0, 1.0],
+///     vec![1.0, 2.0],
+/// ]);
+/// let qr = Qr::factor(&a)?;
+/// let x = qr.solve_lstsq(&[1.0, 3.0, 5.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-10 && (x[1] - 2.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Compact factor storage: Householder vectors below the diagonal,
+    /// `R` on and above it.
+    qr: Matrix,
+    /// Scalar `beta` of each Householder reflector `H = I - beta v vᵀ`.
+    betas: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Qr {
+    /// Factors `a` (requires `rows ≥ cols`).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] when `rows < cols`.
+    /// * [`LinalgError::NonFiniteInput`] when `a` has NaN/infinite entries.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "QR least squares requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFiniteInput { argument: "a" });
+        }
+        let mut qr = a.clone();
+        let mut betas = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector annihilating qr[k+1.., k].
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                norm_sq += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = [v0, qr[k+1..,k]]; beta = 2 / (vᵀv)
+            let mut vtv = v0 * v0;
+            for i in (k + 1)..m {
+                vtv += qr[(i, k)] * qr[(i, k)];
+            }
+            if vtv == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let beta = 2.0 / vtv;
+            betas[k] = beta;
+            qr[(k, k)] = alpha;
+            // Store v (normalized so that v[0] = v0) below the diagonal.
+            // Column k entries below diagonal already hold v[1..].
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = v0 * qr[(k, j)];
+                for i in (k + 1)..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let s = beta * dot;
+                qr[(k, j)] -= s * v0;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+            // Stash v0 so we can re-apply Q later: keep it in a side array
+            // via the trick of storing v0 in place of the zeroed entries is
+            // not possible (diagonal holds R), so remember it scaled into
+            // the subdiagonal storage... we instead store v0 implicitly by
+            // renormalizing: divide v[1..] by v0 and fold v0² into beta.
+            if v0 != 0.0 {
+                for i in (k + 1)..m {
+                    qr[(i, k)] /= v0;
+                }
+                betas[k] = beta * v0 * v0;
+            }
+        }
+        Ok(Qr {
+            qr,
+            betas,
+            rows: m,
+            cols: n,
+        })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Applies `Qᵀ` to a vector of length `rows`.
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = (self.rows, self.cols);
+        let mut y = b.to_vec();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            // v = [1, qr[k+1.., k]] in the renormalized storage.
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            let s = beta * dot;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        y
+    }
+
+    /// Applies `Q` to a vector of length `rows`.
+    fn apply_q(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = (self.rows, self.cols);
+        let mut y = b.to_vec();
+        for k in (0..n).rev() {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            let s = beta * dot;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        y
+    }
+
+    /// The upper-triangular factor `R` (the leading `cols × cols` block).
+    pub fn r(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.cols, |i, j| {
+            if j >= i {
+                self.qr[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Reconstructs the thin `Q` factor (`rows × cols`, orthonormal columns).
+    pub fn thin_q(&self) -> Matrix {
+        let mut q = Matrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            let mut e = vec![0.0; self.rows];
+            e[j] = 1.0;
+            let col = self.apply_q(&e);
+            for i in 0..self.rows {
+                q[(i, j)] = col[i];
+            }
+        }
+        q
+    }
+
+    /// Estimated rank of `R` using a relative diagonal threshold.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let max_diag = (0..self.cols)
+            .map(|i| self.qr[(i, i)].abs())
+            .fold(0.0, f64::max);
+        if max_diag == 0.0 {
+            return 0;
+        }
+        (0..self.cols)
+            .filter(|&i| self.qr[(i, i)].abs() > rel_tol * max_diag)
+            .count()
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `b.len() != rows`.
+    /// * [`LinalgError::Singular`] if `R` is numerically rank deficient.
+    /// * [`LinalgError::NonFiniteInput`] if `b` has non-finite entries.
+    pub fn solve_lstsq(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "rhs length {} does not match row count {}",
+                b.len(),
+                self.rows
+            )));
+        }
+        if b.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFiniteInput { argument: "b" });
+        }
+        let y = self.apply_qt(b);
+        let n = self.cols;
+        let max_diag = (0..n).map(|i| self.qr[(i, i)].abs()).fold(0.0, f64::max);
+        let tol = max_diag * (self.rows as f64) * f64::EPSILON;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() <= tol {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+}
+
+/// Solves the dense least-squares problem `min ‖A·x − b‖₂` via Householder QR.
+///
+/// This is the linear-learning kernel of CAFFEINE: `A`'s columns are the
+/// evaluated basis functions (plus the constant column) and `b` is the
+/// simulated circuit performance.
+///
+/// # Errors
+///
+/// See [`Qr::factor`] and [`Qr::solve_lstsq`]. In particular a rank-deficient
+/// design matrix yields [`LinalgError::Singular`]; callers that must always
+/// produce a model should fall back to [`lstsq_ridge`].
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    Qr::factor(a)?.solve_lstsq(b)
+}
+
+/// Ridge-regularized least squares: solves `(AᵀA + λI)·x = Aᵀb`.
+///
+/// Used as the fallback when a candidate model's basis functions are
+/// collinear (which genetic search produces routinely). The small ridge
+/// `lambda` keeps the weights bounded without meaningfully changing
+/// well-posed solutions.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] on incompatible shapes.
+/// * [`LinalgError::NonFiniteInput`] on NaN/infinite input.
+/// * [`LinalgError::Singular`] only if the regularized normal matrix is
+///   still singular (requires `lambda = 0` and exact collinearity).
+pub fn lstsq_ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "rhs length {} does not match row count {}",
+            b.len(),
+            a.rows()
+        )));
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFiniteInput { argument: "a" });
+    }
+    if b.iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFiniteInput { argument: "b" });
+    }
+    let mut g = a.gram();
+    // Scale the ridge with the Gram diagonal so `lambda` is dimensionless.
+    let mean_diag = (0..g.cols()).map(|i| g[(i, i)]).sum::<f64>() / g.cols().max(1) as f64;
+    let shift = lambda * mean_diag.max(f64::MIN_POSITIVE);
+    for i in 0..g.cols() {
+        g[(i, i)] += shift;
+    }
+    let atb = a.conj_t_matvec(b)?;
+    crate::lu::solve_square(&g, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_a() {
+        let a: Matrix = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![-1.0, 0.5, 2.0],
+            vec![0.25, 1.0, -1.0],
+            vec![3.0, -2.0, 1.0],
+        ]);
+        let qr = Qr::factor(&a).unwrap();
+        let recon = qr.thin_q().matmul(&qr.r()).unwrap();
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn thin_q_has_orthonormal_columns() {
+        let a: Matrix = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+            vec![1.0, 4.0],
+        ]);
+        let q = Qr::factor(&a).unwrap().thin_q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_linear_model() {
+        // y = 3 - 2 x1 + 0.5 x2 on a few points.
+        let xs = [
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [1.0, 0.0, 1.0],
+            [1.0, 2.0, 3.0],
+            [1.0, -1.0, 2.0],
+        ];
+        let a: Matrix = Matrix::from_rows(&xs.iter().map(|r| r.to_vec()).collect::<Vec<_>>());
+        let coef_true = [3.0, -2.0, 0.5];
+        let b: Vec<f64> = xs
+            .iter()
+            .map(|r| r.iter().zip(coef_true.iter()).map(|(x, c)| x * c).sum())
+            .collect();
+        let x = lstsq(&a, &b).unwrap();
+        for (xi, ci) in x.iter().zip(coef_true.iter()) {
+            assert!((xi - ci).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_columns() {
+        let a: Matrix = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ]);
+        let b = vec![0.0, 1.0, 0.5, 3.0];
+        let x = lstsq(&a, &b).unwrap();
+        let yhat = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = b.iter().zip(yhat.iter()).map(|(bi, yi)| bi - yi).collect();
+        let atr = a.conj_t_matvec(&resid).unwrap();
+        for v in atr {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_lstsq_errors() {
+        let a: Matrix = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ]);
+        let qr = Qr::factor(&a).unwrap();
+        assert_eq!(qr.rank(1e-10), 1);
+        assert!(matches!(
+            qr.solve_lstsq(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_handles_collinear_columns() {
+        let a: Matrix = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ]);
+        let x = lstsq_ridge(&a, &[1.0, 2.0, 3.0], 1e-8).unwrap();
+        let yhat = a.matvec(&x).unwrap();
+        for (y, b) in yhat.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((y - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ridge_matches_plain_lstsq_when_well_posed() {
+        let a: Matrix = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+        ]);
+        let b = vec![1.0, 3.0, 5.0];
+        let x0 = lstsq(&a, &b).unwrap();
+        let x1 = lstsq_ridge(&a, &b, 1e-12).unwrap();
+        for (u, v) in x0.iter().zip(x1.iter()) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a: Matrix = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Qr::factor(&a),
+            Err(LinalgError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected() {
+        let a: Matrix = Matrix::from_rows(&[vec![1.0], vec![f64::NAN]]);
+        assert!(matches!(
+            Qr::factor(&a),
+            Err(LinalgError::NonFiniteInput { .. })
+        ));
+        let a: Matrix = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(matches!(
+            qr.solve_lstsq(&[f64::INFINITY, 0.0]),
+            Err(LinalgError::NonFiniteInput { .. })
+        ));
+    }
+
+    #[test]
+    fn square_system_solves_exactly() {
+        let a: Matrix = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b = vec![5.0, 10.0];
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

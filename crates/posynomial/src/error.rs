@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+use caffeine_linalg::LinalgError;
+
+/// Error type of the posynomial baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PosynomialError {
+    /// The dataset violates posynomial preconditions (empty, or design
+    /// values that are not strictly positive).
+    InvalidData(String),
+    /// The template generated no terms.
+    EmptyTemplate,
+    /// Underlying numerical failure.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for PosynomialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosynomialError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            PosynomialError::EmptyTemplate => write!(f, "template generated no terms"),
+            PosynomialError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for PosynomialError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PosynomialError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for PosynomialError {
+    fn from(e: LinalgError) -> Self {
+        PosynomialError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        assert!(PosynomialError::InvalidData("neg".into())
+            .to_string()
+            .contains("neg"));
+        assert!(!PosynomialError::EmptyTemplate.to_string().is_empty());
+        let e: PosynomialError = LinalgError::Singular { pivot: 2 }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

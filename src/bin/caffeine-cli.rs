@@ -1,0 +1,110 @@
+//! `caffeine-cli` — template-free symbolic modeling from CSV data.
+//!
+//! ```text
+//! caffeine-cli --data measurements.csv --target PM --test holdout.csv \
+//!              --gens 500 --out models.json
+//! ```
+//!
+//! Reads `{x, y}` samples from a CSV (header row = variable names), runs
+//! the CAFFEINE engine, applies SAG post-processing when a test set is
+//! given, and prints the error/complexity tradeoff as readable
+//! expressions.
+
+use caffeine::cli::{front_summary, front_to_json, parse_csv, usage, CliOptions};
+use caffeine::core::expr::FormatOptions;
+use caffeine::core::sag::{simplify_front, SagSettings};
+use caffeine::core::{pareto, CaffeineEngine};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return;
+    }
+    if let Err(msg) = run(&args) {
+        eprintln!("error: {msg}");
+        eprintln!();
+        eprint!("{}", usage());
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = CliOptions::parse(args)?;
+
+    let text = std::fs::read_to_string(&opts.data)
+        .map_err(|e| format!("cannot read {}: {e}", opts.data))?;
+    let mut train = parse_csv(&text, opts.target.as_deref())?;
+    let dropped = train.drop_nonfinite();
+    if dropped > 0 {
+        eprintln!("dropped {dropped} samples with non-finite values");
+    }
+    eprintln!(
+        "training data: {} samples, {} variables",
+        train.n_samples(),
+        train.n_vars()
+    );
+
+    let test = match &opts.test {
+        Some(path) => {
+            let t = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut ds = parse_csv(&t, opts.target.as_deref())?;
+            ds.drop_nonfinite();
+            Some(ds)
+        }
+        None => None,
+    };
+
+    let grammar = opts.resolve_grammar(train.n_vars())?;
+    let engine = CaffeineEngine::new(opts.settings(), grammar);
+    eprintln!(
+        "evolving: pop {}, {} generations, max {} bases...",
+        opts.population, opts.generations, opts.max_bases
+    );
+    let result = engine.run(&train).map_err(|e| e.to_string())?;
+
+    let cw = caffeine::core::expr::ComplexityWeights::default();
+    let models: Vec<_> = match &test {
+        Some(test_ds) => {
+            let sag = SagSettings::default();
+            let simplified = simplify_front(&result.models, &train, test_ds, &sag);
+            pareto::train_tradeoff(&simplified)
+        }
+        None => result.models.clone(),
+    }
+    .iter()
+    .map(|m| m.simplified(&cw))
+    .collect();
+
+    let fmt = FormatOptions::with_names(train.names().to_vec());
+    println!("{:>10} {:>10} {:>12}  expression", "train", "test", "complexity");
+    for m in &models {
+        let test_str = m
+            .test_error
+            .map(|t| format!("{:.3}%", 100.0 * t))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:>9.3}% {:>10} {:>12.2}  {}",
+            100.0 * m.train_error,
+            test_str,
+            m.complexity,
+            m.format(&fmt)
+        );
+    }
+
+    if let Some(path) = &opts.out {
+        let json = front_to_json(&models, train.names());
+        std::fs::write(path, serde_json::to_string_pretty(&json).unwrap())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("front written to {path}");
+    }
+
+    let summary = front_summary(&models);
+    eprintln!(
+        "done: {} models, best training error {:.4}%",
+        summary["models"],
+        100.0 * summary["best_train_error"]
+    );
+    Ok(())
+}

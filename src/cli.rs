@@ -1,0 +1,362 @@
+//! Support code for the `caffeine-cli` binary: CSV dataset loading and
+//! argument parsing, kept in the library so they are unit-testable.
+
+use std::collections::BTreeMap;
+
+use caffeine_core::{CaffeineSettings, GrammarConfig};
+use caffeine_doe::Dataset;
+
+/// Parsed command-line options of `caffeine-cli`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Training CSV path.
+    pub data: String,
+    /// Target column name (defaults to the last column).
+    pub target: Option<String>,
+    /// Optional held-out test CSV.
+    pub test: Option<String>,
+    /// Optional grammar file; defaults to the paper's full grammar.
+    pub grammar: Option<String>,
+    /// Optional JSON output path for the model front.
+    pub out: Option<String>,
+    /// Population size.
+    pub population: usize,
+    /// Generations.
+    pub generations: usize,
+    /// Maximum basis functions.
+    pub max_bases: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            data: String::new(),
+            target: None,
+            test: None,
+            grammar: None,
+            out: None,
+            population: 200,
+            generations: 300,
+            max_bases: 10,
+            seed: 0,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses `--key value` style arguments (the program name already
+    /// stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags, missing values,
+    /// or a missing `--data`.
+    pub fn parse(args: &[String]) -> Result<CliOptions, String> {
+        let mut opts = CliOptions::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--data" => opts.data = value("--data")?,
+                "--target" => opts.target = Some(value("--target")?),
+                "--test" => opts.test = Some(value("--test")?),
+                "--grammar" => opts.grammar = Some(value("--grammar")?),
+                "--out" => opts.out = Some(value("--out")?),
+                "--pop" => {
+                    opts.population = value("--pop")?
+                        .parse()
+                        .map_err(|_| "--pop needs an integer".to_string())?
+                }
+                "--gens" => {
+                    opts.generations = value("--gens")?
+                        .parse()
+                        .map_err(|_| "--gens needs an integer".to_string())?
+                }
+                "--max-bases" => {
+                    opts.max_bases = value("--max-bases")?
+                        .parse()
+                        .map_err(|_| "--max-bases needs an integer".to_string())?
+                }
+                "--seed" => {
+                    opts.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed needs an integer".to_string())?
+                }
+                other => return Err(format!("unknown flag `{other}` (see --help)")),
+            }
+        }
+        if opts.data.is_empty() {
+            return Err("missing required flag --data <file.csv>".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// The engine settings implied by these options.
+    pub fn settings(&self) -> CaffeineSettings {
+        let mut s = CaffeineSettings::paper();
+        s.population = self.population;
+        s.generations = self.generations;
+        s.max_bases = self.max_bases;
+        s.seed = self.seed;
+        s.stats_every = (self.generations / 10).max(1);
+        s
+    }
+
+    /// Resolves the grammar: parse the file when given, otherwise the full
+    /// paper grammar over `n_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-IO and grammar-parse failures as strings.
+    pub fn resolve_grammar(&self, n_vars: usize) -> Result<GrammarConfig, String> {
+        match &self.grammar {
+            None => Ok(GrammarConfig::paper_full(n_vars)),
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read grammar file {path}: {e}"))?;
+                let mut g = caffeine_core::grammar::parse_grammar(&text)
+                    .map_err(|e| format!("grammar file {path}: {e}"))?;
+                if g.n_vars != n_vars {
+                    // Data decides the dimensionality; the file's `vars`
+                    // is validated against it.
+                    return Err(format!(
+                        "grammar file declares {} vars but the data has {n_vars}",
+                        g.n_vars
+                    ));
+                }
+                g.n_vars = n_vars;
+                Ok(g)
+            }
+        }
+    }
+}
+
+/// The usage text.
+pub fn usage() -> &'static str {
+    "caffeine-cli: template-free symbolic modeling (CAFFEINE, DATE 2005)\n\
+     \n\
+     usage: caffeine-cli --data train.csv [options]\n\
+     \n\
+     options:\n\
+       --data <file>       training CSV (header row = variable names)\n\
+       --target <name>     target column (default: last column)\n\
+       --test <file>       held-out CSV for testing error + SAG filtering\n\
+       --grammar <file>    grammar configuration file\n\
+       --out <file>        write the model front as JSON\n\
+       --pop <n>           population size (default 200)\n\
+       --gens <n>          generations (default 300)\n\
+       --max-bases <n>     max basis functions per model (default 10)\n\
+       --seed <n>          RNG seed (default 0)\n"
+}
+
+/// Parses a simple CSV (comma-separated, header row, no quoting) into a
+/// [`Dataset`] with the `target` column as `y`.
+///
+/// # Errors
+///
+/// Returns a message naming the line for ragged rows, non-numeric cells,
+/// an unknown target column, or fewer than two columns.
+pub fn parse_csv(text: &str, target: Option<&str>) -> Result<Dataset, String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or("empty CSV")?;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if names.len() < 2 {
+        return Err("need at least one input column and the target".into());
+    }
+    let target_idx = match target {
+        Some(t) => names
+            .iter()
+            .position(|n| n == t)
+            .ok_or_else(|| format!("target column `{t}` not found in header"))?,
+        None => names.len() - 1,
+    };
+    let var_names: Vec<String> = names
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != target_idx)
+        .map(|(_, n)| n.clone())
+        .collect();
+
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (lineno, line) in lines {
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != names.len() {
+            return Err(format!(
+                "line {}: expected {} cells, got {}",
+                lineno + 1,
+                names.len(),
+                cells.len()
+            ));
+        }
+        let mut row = Vec::with_capacity(names.len() - 1);
+        let mut y = f64::NAN;
+        for (i, cell) in cells.iter().enumerate() {
+            let v: f64 = cell
+                .parse()
+                .map_err(|_| format!("line {}: `{cell}` is not a number", lineno + 1))?;
+            if i == target_idx {
+                y = v;
+            } else {
+                row.push(v);
+            }
+        }
+        xs.push(row);
+        ys.push(y);
+    }
+    Dataset::new(var_names, xs, ys).map_err(|e| e.to_string())
+}
+
+/// Serializes a model front into the JSON document `--out` writes.
+pub fn front_to_json(models: &[caffeine_core::Model], var_names: &[String]) -> serde_json::Value {
+    let opts = caffeine_core::expr::FormatOptions::with_names(var_names.to_vec());
+    let rows: Vec<serde_json::Value> = models
+        .iter()
+        .map(|m| {
+            serde_json::json!({
+                "expression": m.format(&opts),
+                "train_error": m.train_error,
+                "test_error": m.test_error,
+                "complexity": m.complexity,
+                "n_bases": m.n_bases(),
+                "model": m,
+            })
+        })
+        .collect();
+    serde_json::json!({ "variables": var_names, "front": rows })
+}
+
+/// Summary statistics of a front, for the CLI's closing line.
+pub fn front_summary(models: &[caffeine_core::Model]) -> BTreeMap<&'static str, f64> {
+    let mut out = BTreeMap::new();
+    out.insert("models", models.len() as f64);
+    out.insert(
+        "best_train_error",
+        models
+            .iter()
+            .map(|m| m.train_error)
+            .fold(f64::INFINITY, f64::min),
+    );
+    out.insert(
+        "max_complexity",
+        models.iter().map(|m| m.complexity).fold(0.0, f64::max),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_csv_uses_last_column_by_default() {
+        let csv = "a,b,y\n1,2,3\n4,5,6\n";
+        let ds = parse_csv(csv, None).unwrap();
+        assert_eq!(ds.names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(ds.targets(), &[3.0, 6.0]);
+        assert_eq!(ds.point(1), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn parse_csv_honors_named_target() {
+        let csv = "a,y,b\n1,9,2\n";
+        let ds = parse_csv(csv, Some("y")).unwrap();
+        assert_eq!(ds.names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(ds.targets(), &[9.0]);
+    }
+
+    #[test]
+    fn parse_csv_reports_errors_with_line_numbers() {
+        assert!(parse_csv("", None).is_err());
+        assert!(parse_csv("only\n1\n", None).is_err());
+        let ragged = parse_csv("a,y\n1\n", None).unwrap_err();
+        assert!(ragged.contains("line 2"), "{ragged}");
+        let nonnum = parse_csv("a,y\n1,x\n", None).unwrap_err();
+        assert!(nonnum.contains("not a number"), "{nonnum}");
+        let badtarget = parse_csv("a,y\n1,2\n", Some("z")).unwrap_err();
+        assert!(badtarget.contains("`z`"), "{badtarget}");
+    }
+
+    #[test]
+    fn parse_csv_skips_blank_lines() {
+        let ds = parse_csv("a,y\n\n1,2\n\n3,4\n", None).unwrap();
+        assert_eq!(ds.n_samples(), 2);
+    }
+
+    #[test]
+    fn options_parse_full_flag_set() {
+        let args: Vec<String> = [
+            "--data", "d.csv", "--target", "pm", "--test", "t.csv", "--pop", "50",
+            "--gens", "10", "--max-bases", "4", "--seed", "9", "--out", "m.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = CliOptions::parse(&args).unwrap();
+        assert_eq!(o.data, "d.csv");
+        assert_eq!(o.target.as_deref(), Some("pm"));
+        assert_eq!(o.population, 50);
+        assert_eq!(o.generations, 10);
+        assert_eq!(o.max_bases, 4);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.out.as_deref(), Some("m.json"));
+        let s = o.settings();
+        assert_eq!(s.population, 50);
+        assert_eq!(s.max_bases, 4);
+    }
+
+    #[test]
+    fn options_reject_bad_input() {
+        let parse = |v: &[&str]| {
+            CliOptions::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        assert!(parse(&[]).is_err()); // missing --data
+        assert!(parse(&["--data"]).is_err()); // missing value
+        assert!(parse(&["--data", "x", "--pop", "abc"]).is_err());
+        assert!(parse(&["--data", "x", "--wat", "1"]).is_err());
+    }
+
+    #[test]
+    fn default_grammar_matches_data_dimensionality() {
+        let o = CliOptions {
+            data: "d.csv".into(),
+            ..CliOptions::default()
+        };
+        let g = o.resolve_grammar(7).unwrap();
+        assert_eq!(g.n_vars, 7);
+    }
+
+    #[test]
+    fn front_json_and_summary() {
+        use caffeine_core::expr::{BasisFunction, VarCombo, WeightConfig};
+        let m = caffeine_core::Model::new(
+            vec![BasisFunction::from_vc(VarCombo::single(1, 0, -1))],
+            vec![1.0, 2.0],
+            WeightConfig::default(),
+        )
+        .with_metrics(0.05, 11.25);
+        let json = front_to_json(&[m.clone()], &["x".to_string()]);
+        assert_eq!(json["front"][0]["n_bases"], 1);
+        assert!(json["front"][0]["expression"]
+            .as_str()
+            .unwrap()
+            .contains("1 / x"));
+        let summary = front_summary(&[m]);
+        assert_eq!(summary["models"], 1.0);
+        assert!((summary["best_train_error"] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let u = usage();
+        for flag in ["--data", "--target", "--test", "--grammar", "--out", "--pop", "--gens", "--max-bases", "--seed"] {
+            assert!(u.contains(flag), "usage missing {flag}");
+        }
+    }
+}

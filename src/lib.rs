@@ -1,0 +1,13 @@
+//! CAFFEINE: template-free symbolic model generation of analog circuits.
+//!
+//! Umbrella crate re-exporting the workspace members. See `caffeine-core`
+//! for the algorithm, `caffeine-circuit` for the OTA testbench, and the
+//! examples for end-to-end usage.
+
+pub use caffeine_circuit as circuit;
+pub use caffeine_core as core;
+pub use caffeine_doe as doe;
+pub use caffeine_linalg as linalg;
+pub use caffeine_posynomial as posynomial;
+
+pub mod cli;
