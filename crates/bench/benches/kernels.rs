@@ -19,7 +19,11 @@ fn bench_expr_eval(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let bases: Vec<_> = (0..15).map(|_| gen.gen_basis(&mut rng)).collect();
     let points: Vec<Vec<f64>> = (0..243)
-        .map(|i| (0..13).map(|j| 1.0 + ((i * 13 + j) % 17) as f64 * 0.05).collect())
+        .map(|i| {
+            (0..13)
+                .map(|j| 1.0 + ((i * 13 + j) % 17) as f64 * 0.05)
+                .collect()
+        })
         .collect();
     let ctx = EvalContext::default();
     c.bench_function("expr_eval_15bases_243pts", |b| {
@@ -56,7 +60,9 @@ fn bench_nondominated_sort(c: &mut Criterion) {
 }
 
 fn bench_mos_evaluate(c: &mut Criterion) {
-    let inst = MosProcess::nmos_07um().size_for(10e-6, 0.3, 1.0, 1e-6).unwrap();
+    let inst = MosProcess::nmos_07um()
+        .size_for(10e-6, 0.3, 1.0, 1e-6)
+        .unwrap();
     c.bench_function("mos_evaluate", |b| {
         b.iter(|| {
             let mut acc = 0.0;

@@ -1,0 +1,116 @@
+//! Throughput benchmarks of the `caffeine-runtime` execution layer:
+//! population-evaluation scaling over worker threads, and full
+//! engine-generation throughput for serial vs parallel vs island
+//! execution on an OTA-shaped workload (13 variables, 243 design points —
+//! the paper's orthogonal-array sampling plan).
+//!
+//! Recorded results live in `crates/bench/RESULTS-runtime.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use caffeine_core::gp::Individual;
+use caffeine_core::grammar::RandomExprGen;
+use caffeine_core::{CaffeineSettings, DatasetEvaluator, Evaluator, GrammarConfig};
+use caffeine_doe::Dataset;
+use caffeine_runtime::{IslandRunner, ParallelEvaluator, RuntimeConfig};
+
+/// 243 points × 13 variables with a rational multi-term target — the
+/// shape (and cost profile) of one OTA performance table.
+fn ota_shaped_dataset() -> Dataset {
+    let n_vars = 13;
+    let xs: Vec<Vec<f64>> = (0..243)
+        .map(|i| {
+            (0..n_vars)
+                .map(|j| 0.8 + ((i * 13 + j * 7) % 17) as f64 * 0.05)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x: &Vec<f64>| 2.0 * x[0] / x[3] + 1.5 * x[7] * x[1] + 3.0 / (x[5] * x[9]) + x[12])
+        .collect();
+    let names = (0..n_vars).map(|j| format!("x{j}")).collect();
+    Dataset::new(names, xs, ys).unwrap()
+}
+
+fn population(grammar: &GrammarConfig, n: usize) -> Vec<Individual> {
+    let gen = RandomExprGen::new(grammar);
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..n)
+        .map(|_| {
+            Individual::new(vec![
+                gen.gen_basis(&mut rng),
+                gen.gen_basis(&mut rng),
+                gen.gen_basis(&mut rng),
+            ])
+        })
+        .collect()
+}
+
+/// Population-evaluation throughput at 1/2/4/8 threads (pop 200, the
+/// paper's population size).
+fn bench_parallel_evaluation(c: &mut Criterion) {
+    let data = ota_shaped_dataset();
+    let grammar = GrammarConfig::paper_full(13);
+    let settings = CaffeineSettings::paper();
+    let base = population(&grammar, 200);
+    for threads in [1usize, 2, 4, 8] {
+        let evaluator = ParallelEvaluator::new(
+            DatasetEvaluator::new(&settings, &grammar, &data).unwrap(),
+            threads,
+        );
+        c.bench_function(&format!("runtime_eval_pop200_threads{threads}"), |b| {
+            b.iter(|| {
+                let mut pop = base.clone();
+                for ind in &mut pop {
+                    ind.invalidate();
+                }
+                evaluator.evaluate_all(&mut pop);
+                std::hint::black_box(pop.len())
+            })
+        });
+    }
+}
+
+/// Whole-run throughput: serial engine vs parallel vs islands (short runs
+/// so the bench finishes in seconds; the per-generation cost dominates).
+fn bench_run_modes(c: &mut Criterion) {
+    let data = ota_shaped_dataset();
+    let grammar = GrammarConfig::paper_full(13);
+    let mut settings = CaffeineSettings::paper();
+    settings.population = 100;
+    settings.generations = 3;
+    settings.seed = 9;
+    settings.stats_every = 1000;
+
+    let modes: [(&str, usize, usize); 3] = [
+        ("serial", 1, 1),
+        ("threads4", 4, 1),
+        ("islands4_threads4", 4, 4),
+    ];
+    for (name, threads, islands) in modes {
+        let config = RuntimeConfig {
+            threads,
+            islands,
+            migrate_every: 2,
+            ..RuntimeConfig::default()
+        };
+        c.bench_function(&format!("runtime_run_pop100_gen3_{name}"), |b| {
+            b.iter(|| {
+                let mut runner =
+                    IslandRunner::new(settings.clone(), grammar.clone(), config.clone(), &data)
+                        .unwrap();
+                std::hint::black_box(runner.run(&data).unwrap().models.len())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_evaluation, bench_run_modes
+}
+criterion_main!(benches);

@@ -20,9 +20,16 @@ fn setup() -> (Model, Dataset) {
     let model = Model::new(bases, coefficients, WeightConfig::default());
 
     let xs: Vec<Vec<f64>> = (0..243)
-        .map(|i| (0..13).map(|j| 1.0 + ((i * 7 + j * 3) % 13) as f64 * 0.04).collect())
+        .map(|i| {
+            (0..13)
+                .map(|j| 1.0 + ((i * 7 + j * 3) % 13) as f64 * 0.04)
+                .collect()
+        })
         .collect();
-    let ys: Vec<f64> = xs.iter().map(|x| 5.0 + 2.0 * x[0] / x[1] + 1.0 / x[3]).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 5.0 + 2.0 * x[0] / x[1] + 1.0 / x[3])
+        .collect();
     let names = (0..13).map(|j| format!("x{j}")).collect();
     (model, Dataset::new(names, xs, ys).unwrap())
 }

@@ -36,7 +36,11 @@ fn pm_like_model() -> Model {
 fn bench_predict(c: &mut Criterion) {
     let model = pm_like_model();
     let points: Vec<Vec<f64>> = (0..243)
-        .map(|i| (0..13).map(|j| 0.5 + ((i * 11 + j * 5) % 9) as f64 * 0.2).collect())
+        .map(|i| {
+            (0..13)
+                .map(|j| 0.5 + ((i * 11 + j * 5) % 9) as f64 * 0.2)
+                .collect()
+        })
         .collect();
     c.bench_function("table2_predict_243pts", |b| {
         b.iter(|| std::hint::black_box(model.predict(&points)))

@@ -54,7 +54,12 @@ fn run_variant(
             complexity: settings.complexity,
             ..SagSettings::default()
         };
-        pareto::train_tradeoff(&simplify_front(&result.models, &split.train, &split.test, &sag))
+        pareto::train_tradeoff(&simplify_front(
+            &result.models,
+            &split.train,
+            &split.test,
+            &sag,
+        ))
     } else {
         // Record test errors without simplification.
         let metric = paper_metric();
@@ -63,8 +68,7 @@ fn run_variant(
             .iter()
             .map(|m| {
                 let mut m = m.clone();
-                m.test_error =
-                    Some(m.error_on(split.test.points(), split.test.targets(), &metric));
+                m.test_error = Some(m.error_on(split.test.points(), split.test.targets(), &metric));
                 m
             })
             .collect()

@@ -26,8 +26,14 @@ fn main() {
 
         println!();
         println!("=== Figure 3 — {perf} ===");
-        println!("tradeoff of training error vs complexity ({} models):", run.simplified.len());
-        println!("{:>12} {:>10} {:>10} {:>8}", "complexity", "qwc", "qtc", "bases");
+        println!(
+            "tradeoff of training error vs complexity ({} models):",
+            run.simplified.len()
+        );
+        println!(
+            "{:>12} {:>10} {:>10} {:>8}",
+            "complexity", "qwc", "qtc", "bases"
+        );
         for m in &run.simplified {
             println!(
                 "{:>12.2} {:>10} {:>10} {:>8}",
@@ -41,7 +47,10 @@ fn main() {
             "filtered to the (testing error, complexity) tradeoff ({} models):",
             run.test_front.len()
         );
-        println!("{:>12} {:>10} {:>10} {:>8}", "complexity", "qwc", "qtc", "bases");
+        println!(
+            "{:>12} {:>10} {:>10} {:>8}",
+            "complexity", "qwc", "qtc", "bases"
+        );
         for m in &run.test_front {
             println!(
                 "{:>12.2} {:>10} {:>10} {:>8}",
@@ -68,7 +77,11 @@ fn main() {
                 "shape: constant-model qwc {} -> best qwc {} ({}x reduction)",
                 pct(c0),
                 pct(best),
-                if best > 0.0 { (c0 / best).round() } else { f64::INFINITY }
+                if best > 0.0 {
+                    (c0 / best).round()
+                } else {
+                    f64::INFINITY
+                }
             );
         }
 

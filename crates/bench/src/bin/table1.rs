@@ -12,7 +12,9 @@
 //! Run with `cargo run --release -p caffeine-bench --bin table1 [--profile
 //! quick|standard|paper]`.
 
-use caffeine_bench::{ota_format_options, pct, run_performance, write_artifact, OtaExperiment, Profile};
+use caffeine_bench::{
+    ota_format_options, pct, run_performance, write_artifact, OtaExperiment, Profile,
+};
 use caffeine_circuit::ota::PerfId;
 
 fn main() {
@@ -41,9 +43,7 @@ fn main() {
         let candidate = run
             .simplified
             .iter()
-            .filter(|m| {
-                m.train_error < target && m.test_error.map(|t| t < target).unwrap_or(false)
-            })
+            .filter(|m| m.train_error < target && m.test_error.map(|t| t < target).unwrap_or(false))
             .min_by(|a, b| a.complexity.partial_cmp(&b.complexity).unwrap());
         match candidate {
             Some(m) => {

@@ -6,7 +6,9 @@
 //! Run with `cargo run --release -p caffeine-bench --bin table2 [--profile
 //! quick|standard|paper]`.
 
-use caffeine_bench::{ota_format_options, pct, run_performance, write_artifact, OtaExperiment, Profile};
+use caffeine_bench::{
+    ota_format_options, pct, run_performance, write_artifact, OtaExperiment, Profile,
+};
 use caffeine_circuit::ota::PerfId;
 
 fn main() {

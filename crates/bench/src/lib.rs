@@ -145,9 +145,8 @@ impl OtaExperiment {
                     })
                     .collect()
             };
-            let train =
-                Dataset::new(names.clone(), train_rows.clone(), extract(&train_perf))
-                    .expect("train dataset");
+            let train = Dataset::new(names.clone(), train_rows.clone(), extract(&train_perf))
+                .expect("train dataset");
             let test = Dataset::new(names.clone(), test_rows.clone(), extract(&test_perf))
                 .expect("test dataset");
             data.insert(

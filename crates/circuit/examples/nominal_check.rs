@@ -6,11 +6,16 @@ fn main() {
     let t0 = Instant::now();
     let p = tb.simulate(&OtaDesign::nominal()).unwrap();
     println!("one simulate(): {:?}", t0.elapsed());
-    println!("ALF={:.2} dB fu={:.3e} Hz PM={:.2} deg voffset={:.4e} V SRp={:.3e} SRn={:.3e}", p.alf, p.fu, p.pm, p.voffset, p.srp, p.srn);
+    println!(
+        "ALF={:.2} dB fu={:.3e} Hz PM={:.2} deg voffset={:.4e} V SRp={:.3e} SRn={:.3e}",
+        p.alf, p.fu, p.pm, p.voffset, p.srp, p.srn
+    );
     let nom = OtaDesign::nominal().to_vec();
     for i in 0..13 {
-        let mut lo = nom.clone(); lo[i] *= 0.9;
-        let mut hi = nom.clone(); hi[i] *= 1.1;
+        let mut lo = nom.clone();
+        lo[i] *= 0.9;
+        let mut hi = nom.clone();
+        hi[i] *= 1.1;
         let pl = tb.simulate(&OtaDesign::from_slice(&lo).unwrap()).unwrap();
         let ph = tb.simulate(&OtaDesign::from_slice(&hi).unwrap()).unwrap();
         println!("{:>6}: ALF {:6.2}..{:6.2}  PM {:6.2}..{:6.2}  fu {:9.3e}..{:9.3e}  vos {:9.2e}..{:9.2e}  SRp {:9.3e}..{:9.3e}",

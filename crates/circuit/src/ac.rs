@@ -54,7 +54,10 @@ impl AcSweep {
 ///
 /// Panics if the interval is not positive-increasing or `points < 2`.
 pub fn log_frequencies(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
-    assert!(f_start > 0.0 && f_stop > f_start, "need 0 < f_start < f_stop");
+    assert!(
+        f_start > 0.0 && f_stop > f_start,
+        "need 0 < f_start < f_stop"
+    );
     assert!(points >= 2, "need at least two points");
     let l0 = f_start.log10();
     let l1 = f_stop.log10();
@@ -133,11 +136,7 @@ pub fn solve_ac(
                     // Device capacitances; bulk approximated as AC ground.
                     sys.stamp_conductance(g, s, Complex64::new(0.0, omega * op.cgs));
                     sys.stamp_conductance(g, d, Complex64::new(0.0, omega * op.cgd));
-                    sys.stamp_conductance(
-                        d,
-                        NodeId::GROUND,
-                        Complex64::new(0.0, omega * op.cdb),
-                    );
+                    sys.stamp_conductance(d, NodeId::GROUND, Complex64::new(0.0, omega * op.cdb));
                 }
             }
         }
@@ -348,8 +347,7 @@ mod tests {
             farads: c,
         });
         let dc = solve_dc(&nl, &DcOptions::default()).unwrap();
-        let (fu, phase) =
-            unity_gain_crossing(&nl, &dc, out, 1.0, 1e9, 61).unwrap();
+        let (fu, phase) = unity_gain_crossing(&nl, &dc, out, 1.0, 1e9, 61).unwrap();
         let expect = gm / (2.0 * std::f64::consts::PI * c);
         assert!((fu - expect).abs() / expect < 1e-3, "fu {fu} vs {expect}");
         // Pure integrator: -90 degrees.
@@ -363,10 +361,7 @@ mod tests {
         // Restrict the band to far above the pole so |H| < 1 everywhere.
         let dc = solve_dc(&nl, &DcOptions::default()).unwrap();
         let err = unity_gain_crossing(&nl, &dc, out, 1e9, 1e12, 11);
-        assert!(matches!(
-            err,
-            Err(CircuitError::PerformanceExtraction(_))
-        ));
+        assert!(matches!(err, Err(CircuitError::PerformanceExtraction(_))));
     }
 
     #[test]

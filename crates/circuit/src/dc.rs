@@ -142,8 +142,7 @@ pub fn solve_dc(netlist: &Netlist, options: &DcOptions) -> Result<DcSolution, Ci
 
     let mut mos_ops = Vec::new();
     for (idx, d, g, s, inst) in netlist.mosfets() {
-        let (vgs, vds) =
-            Netlist::mos_control_voltages(d, g, s, inst.process.polarity, &node_v);
+        let (vgs, vds) = Netlist::mos_control_voltages(d, g, s, inst.process.polarity, &node_v);
         mos_ops.push((idx, inst.evaluate(vgs, vds)));
     }
 

@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(CircuitError::UnknownNode { node: 3 }.to_string().contains('3'));
+        assert!(CircuitError::UnknownNode { node: 3 }
+            .to_string()
+            .contains('3'));
         assert!(CircuitError::DcNoConvergence {
             iterations: 50,
             residual: 1e-3

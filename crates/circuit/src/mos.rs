@@ -250,8 +250,7 @@ impl MosInstance {
                 let id = beta0 * core * clm / mob;
                 // d/dvgs: product rule over core/mob.
                 let gm = beta0 * clm * (vds * mob - theta * core) / (mob * mob);
-                let gds =
-                    beta0 * ((vov - vds) * clm + core / va) / mob + 1e-12;
+                let gds = beta0 * ((vov - vds) * clm + core / va) / mob + 1e-12;
                 (id, gm, gds, false)
             }
         };
@@ -347,7 +346,12 @@ mod tests {
         let op = m.evaluate(vgs, vds);
         let h = 1e-7;
         let fd = (m.evaluate(vgs + h, vds).id - m.evaluate(vgs - h, vds).id) / (2.0 * h);
-        assert!((op.gm - fd).abs() / fd.abs() < 1e-4, "gm {} vs fd {}", op.gm, fd);
+        assert!(
+            (op.gm - fd).abs() / fd.abs() < 1e-4,
+            "gm {} vs fd {}",
+            op.gm,
+            fd
+        );
     }
 
     #[test]
@@ -359,7 +363,12 @@ mod tests {
         let fd = (m.evaluate(vgs, vds + h).id - m.evaluate(vgs, vds - h).id) / (2.0 * h);
         // The level-1 CLM derivative neglects the isat·d(clm)/dvds ≈ isat/va
         // coupling with the vds-dependent mobility term; allow 1%.
-        assert!((op.gds - fd).abs() / fd.abs() < 1e-2, "gds {} vs fd {}", op.gds, fd);
+        assert!(
+            (op.gds - fd).abs() / fd.abs() < 1e-2,
+            "gds {} vs fd {}",
+            op.gds,
+            fd
+        );
     }
 
     #[test]

@@ -242,7 +242,7 @@ impl Netlist {
         while let Some(cur) = frontier.pop() {
             for e in &self.elements {
                 let ns = e.nodes();
-                if ns.iter().any(|&m| m == cur) {
+                if ns.contains(&cur) {
                     for m in ns {
                         if !reached[m.0] {
                             reached[m.0] = true;
@@ -351,10 +351,7 @@ mod tests {
             b: c,
             ohms: 1.0,
         });
-        assert!(matches!(
-            nl.validate(),
-            Err(CircuitError::InvalidDevice(_))
-        ));
+        assert!(matches!(nl.validate(), Err(CircuitError::InvalidDevice(_))));
     }
 
     #[test]
@@ -424,12 +421,22 @@ mod tests {
     fn control_voltage_polarity_mapping() {
         // volts indexed by node id; ground = 0.
         let volts = [0.0, 2.0, 1.0, 3.0]; // nodes 0..3
-        let (vgs, vds) =
-            Netlist::mos_control_voltages(NodeId(3), NodeId(1), NodeId(2), MosPolarity::Nmos, &volts);
+        let (vgs, vds) = Netlist::mos_control_voltages(
+            NodeId(3),
+            NodeId(1),
+            NodeId(2),
+            MosPolarity::Nmos,
+            &volts,
+        );
         assert_eq!(vgs, 1.0); // 2 - 1
         assert_eq!(vds, 2.0); // 3 - 1
-        let (vsg, vsd) =
-            Netlist::mos_control_voltages(NodeId(2), NodeId(1), NodeId(3), MosPolarity::Pmos, &volts);
+        let (vsg, vsd) = Netlist::mos_control_voltages(
+            NodeId(2),
+            NodeId(1),
+            NodeId(3),
+            MosPolarity::Pmos,
+            &volts,
+        );
         assert_eq!(vsg, 1.0); // 3 - 2
         assert_eq!(vsd, 2.0); // 3 - 1
     }

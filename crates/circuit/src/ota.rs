@@ -63,8 +63,8 @@ use crate::CircuitError;
 /// The names match those appearing in the paper's Tables I and II
 /// (`id1, id2, vsg1, vgs2, vds2, vsg3, vsg4, vsg5, vsd5, …`).
 pub const OTA_VAR_NAMES: [&str; 13] = [
-    "id1", "id2", "vsg1", "vds1", "vgs2", "vds2", "vsg3", "vsd3", "vsg4", "vsd4", "vsg5",
-    "vsd5", "vsg6",
+    "id1", "id2", "vsg1", "vds1", "vgs2", "vds2", "vsg3", "vsd3", "vsg4", "vsd4", "vsg5", "vsd5",
+    "vsg6",
 ];
 
 /// A design point of the OTA in the operating-point driven formulation.
@@ -126,8 +126,8 @@ impl OtaDesign {
     /// The design as a vector in [`OTA_VAR_NAMES`] order.
     pub fn to_vec(self) -> Vec<f64> {
         vec![
-            self.id1, self.id2, self.vsg1, self.vds1, self.vgs2, self.vds2, self.vsg3,
-            self.vsd3, self.vsg4, self.vsd4, self.vsg5, self.vsd5, self.vsg6,
+            self.id1, self.id2, self.vsg1, self.vds1, self.vgs2, self.vds2, self.vsg3, self.vsd3,
+            self.vsg4, self.vsd4, self.vsg5, self.vsd5, self.vsg6,
         ]
     }
 
@@ -419,25 +419,89 @@ impl OtaTestbench {
 
         let [m1a, m1b, m2a, m2b, m2c, m2d, m3, m4, m6, m5] = devices;
         // Elements 0..=9: the devices, in fixed order.
-        nl.add(Element::Mosfet { d: a, g: inn, s: tail, instance: m1a });
-        nl.add(Element::Mosfet { d: b, g: inp, s: tail, instance: m1b });
-        nl.add(Element::Mosfet { d: a, g: a, s: gnd, instance: m2a });
-        nl.add(Element::Mosfet { d: b, g: b, s: gnd, instance: m2b });
-        nl.add(Element::Mosfet { d: c, g: a, s: gnd, instance: m2c });
-        nl.add(Element::Mosfet { d: out, g: b, s: gnd, instance: m2d });
-        nl.add(Element::Mosfet { d: c, g: c, s: vdd, instance: m3 });
-        nl.add(Element::Mosfet { d: d4, g: g4, s: vdd, instance: m4 });
-        nl.add(Element::Mosfet { d: out, g: g6, s: d4, instance: m6 });
-        nl.add(Element::Mosfet { d: tail, g: g5, s: vdd, instance: m5 });
+        nl.add(Element::Mosfet {
+            d: a,
+            g: inn,
+            s: tail,
+            instance: m1a,
+        });
+        nl.add(Element::Mosfet {
+            d: b,
+            g: inp,
+            s: tail,
+            instance: m1b,
+        });
+        nl.add(Element::Mosfet {
+            d: a,
+            g: a,
+            s: gnd,
+            instance: m2a,
+        });
+        nl.add(Element::Mosfet {
+            d: b,
+            g: b,
+            s: gnd,
+            instance: m2b,
+        });
+        nl.add(Element::Mosfet {
+            d: c,
+            g: a,
+            s: gnd,
+            instance: m2c,
+        });
+        nl.add(Element::Mosfet {
+            d: out,
+            g: b,
+            s: gnd,
+            instance: m2d,
+        });
+        nl.add(Element::Mosfet {
+            d: c,
+            g: c,
+            s: vdd,
+            instance: m3,
+        });
+        nl.add(Element::Mosfet {
+            d: d4,
+            g: g4,
+            s: vdd,
+            instance: m4,
+        });
+        nl.add(Element::Mosfet {
+            d: out,
+            g: g6,
+            s: d4,
+            instance: m6,
+        });
+        nl.add(Element::Mosfet {
+            d: tail,
+            g: g5,
+            s: vdd,
+            instance: m5,
+        });
 
         // Load.
-        nl.add(Element::Capacitor { a: out, b: gnd, farads: t.cl });
+        nl.add(Element::Capacitor {
+            a: out,
+            b: gnd,
+            farads: t.cl,
+        });
 
         // Rails and bias. Voltage-source branch order: vdd=0, g5=1, g6=2,
         // shift(c→g4)=3, then config-specific sources (inp=4, inn=5,
         // hold=6).
-        nl.add(Element::VSource { pos: vdd, neg: gnd, dc: t.vdd, ac: 0.0 });
-        nl.add(Element::VSource { pos: g5, neg: gnd, dc: t.vdd - d.vsg5, ac: 0.0 });
+        nl.add(Element::VSource {
+            pos: vdd,
+            neg: gnd,
+            dc: t.vdd,
+            ac: 0.0,
+        });
+        nl.add(Element::VSource {
+            pos: g5,
+            neg: gnd,
+            dc: t.vdd - d.vsg5,
+            ac: 0.0,
+        });
         nl.add(Element::VSource {
             pos: g6,
             neg: gnd,
@@ -456,18 +520,42 @@ impl OtaTestbench {
         let mut hold_branch = None;
         match config {
             Config::OpenLoopAc { inn_dc } => {
-                nl.add(Element::VSource { pos: inp, neg: gnd, dc: vcm, ac: 0.5 });
-                nl.add(Element::VSource { pos: inn, neg: gnd, dc: inn_dc, ac: -0.5 });
+                nl.add(Element::VSource {
+                    pos: inp,
+                    neg: gnd,
+                    dc: vcm,
+                    ac: 0.5,
+                });
+                nl.add(Element::VSource {
+                    pos: inn,
+                    neg: gnd,
+                    dc: inn_dc,
+                    ac: -0.5,
+                });
             }
-            Config::HeldOutput { vdiff, inn_dc, vout } => {
+            Config::HeldOutput {
+                vdiff,
+                inn_dc,
+                vout,
+            } => {
                 nl.add(Element::VSource {
                     pos: inp,
                     neg: gnd,
                     dc: vcm + vdiff,
                     ac: 0.0,
                 });
-                nl.add(Element::VSource { pos: inn, neg: gnd, dc: inn_dc, ac: 0.0 });
-                nl.add(Element::VSource { pos: out, neg: gnd, dc: vout, ac: 0.0 });
+                nl.add(Element::VSource {
+                    pos: inn,
+                    neg: gnd,
+                    dc: inn_dc,
+                    ac: 0.0,
+                });
+                nl.add(Element::VSource {
+                    pos: out,
+                    neg: gnd,
+                    dc: vout,
+                    ac: 0.0,
+                });
                 hold_branch = Some(6);
             }
         }
@@ -485,7 +573,14 @@ impl OtaTestbench {
         inn_dc: f64,
         vout: f64,
     ) -> Result<(DcSolution, f64), CircuitError> {
-        let (nl, _, hold) = self.build(d, Config::HeldOutput { vdiff, inn_dc, vout })?;
+        let (nl, _, hold) = self.build(
+            d,
+            Config::HeldOutput {
+                vdiff,
+                inn_dc,
+                vout,
+            },
+        )?;
         let sol = solve_dc(&nl, &self.dc_options)?;
         // MNA branch current convention: positive = flowing into the
         // source's positive terminal, i.e. the source absorbs circuit
@@ -570,8 +665,7 @@ impl OtaTestbench {
                 "low-frequency gain {alf:.2} dB is not an amplifier"
             )));
         }
-        let (fu, phase_at_fu) =
-            unity_gain_crossing(&ac_nl, &dc0, ac_nodes.out, 1e2, 1e10, 81)?;
+        let (fu, phase_at_fu) = unity_gain_crossing(&ac_nl, &dc0, ac_nodes.out, 1e2, 1e10, 81)?;
         let pm = 180.0 + phase_at_fu;
 
         // 3. Slew rates: output held at the designed level, input
@@ -607,10 +701,7 @@ impl OtaTestbench {
     ///
     /// Same conditions as [`OtaTestbench::simulate`], plus transient
     /// non-convergence.
-    pub fn simulate_slew_transient(
-        &self,
-        design: &OtaDesign,
-    ) -> Result<(f64, f64), CircuitError> {
+    pub fn simulate_slew_transient(&self, design: &OtaDesign) -> Result<(f64, f64), CircuitError> {
         use crate::tran::{solve_tran, TranOptions};
 
         let vcm = self.vcm(design);
@@ -708,8 +799,14 @@ mod tests {
     #[test]
     fn bandwidth_and_slew_rise_with_output_current() {
         let tb = OtaTestbench::default_07um();
-        let lo = OtaDesign { id2: 32e-6, ..OtaDesign::nominal() };
-        let hi = OtaDesign { id2: 48e-6, ..OtaDesign::nominal() };
+        let lo = OtaDesign {
+            id2: 32e-6,
+            ..OtaDesign::nominal()
+        };
+        let hi = OtaDesign {
+            id2: 48e-6,
+            ..OtaDesign::nominal()
+        };
         let p_lo = tb.simulate(&lo).unwrap();
         let p_hi = tb.simulate(&hi).unwrap();
         assert!(p_hi.fu > p_lo.fu, "fu: {} vs {}", p_lo.fu, p_hi.fu);
@@ -735,16 +832,29 @@ mod tests {
     fn unphysical_designs_are_rejected() {
         let tb = OtaTestbench::default_07um();
         // Drive below threshold: no overdrive.
-        let bad = OtaDesign { vsg1: 0.5, ..OtaDesign::nominal() };
+        let bad = OtaDesign {
+            vsg1: 0.5,
+            ..OtaDesign::nominal()
+        };
         assert!(tb.simulate(&bad).is_err());
         // Negative current.
-        let bad = OtaDesign { id1: -1e-6, ..OtaDesign::nominal() };
+        let bad = OtaDesign {
+            id1: -1e-6,
+            ..OtaDesign::nominal()
+        };
         assert!(tb.simulate(&bad).is_err());
         // Common mode pushed out of range.
-        let bad = OtaDesign { vsd5: 4.5, ..OtaDesign::nominal() };
+        let bad = OtaDesign {
+            vsd5: 4.5,
+            ..OtaDesign::nominal()
+        };
         assert!(tb.simulate(&bad).is_err());
         // Cascode headroom collapsed.
-        let bad = OtaDesign { vsd4: 3.0, vds2: 2.2, ..OtaDesign::nominal() };
+        let bad = OtaDesign {
+            vsd4: 3.0,
+            vds2: 2.2,
+            ..OtaDesign::nominal()
+        };
         assert!(tb.simulate(&bad).is_err());
     }
 

@@ -143,14 +143,7 @@ pub fn solve_tran(
         for _ in 0..options.max_newton {
             total_newton += 1;
             let sys = assemble_tran(
-                netlist,
-                n_nodes,
-                n_branches,
-                &volts,
-                &prev,
-                options,
-                t,
-                &stimulus,
+                netlist, n_nodes, n_branches, &volts, &prev, options, t, &stimulus,
             );
             let x = sys.solve().map_err(CircuitError::from)?;
             let new_v = node_voltages(&x, n_nodes);
@@ -308,16 +301,18 @@ mod tests {
             dt: tau / 200.0,
             ..TranOptions::default()
         };
-        let tran = solve_tran(&nl, &dc, &opts, |b, _| if b == 0 { Some(1.0) } else { None })
-            .unwrap();
+        let tran = solve_tran(
+            &nl,
+            &dc,
+            &opts,
+            |b, _| if b == 0 { Some(1.0) } else { None },
+        )
+        .unwrap();
         for (k, &t) in tran.times.iter().enumerate() {
             let expect = 1.0 - (-t / tau).exp();
             let got = tran.node_voltages[k][out.0];
             // Backward Euler at dt = tau/200: sub-1% local truncation.
-            assert!(
-                (got - expect).abs() < 0.01,
-                "t = {t}: {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 0.01, "t = {t}: {got} vs {expect}");
         }
     }
 

@@ -16,12 +16,28 @@ fn nmos_mirror_chain_scales_currents() {
     let dio = nl.node("dio");
     let o1 = nl.node("o1");
     let o2 = nl.node("o2");
-    nl.add(Element::VSource { pos: vdd, neg: NodeId::GROUND, dc: 5.0, ac: 0.0 });
+    nl.add(Element::VSource {
+        pos: vdd,
+        neg: NodeId::GROUND,
+        dc: 5.0,
+        ac: 0.0,
+    });
     // Reference current pushed into the diode from the supply rail.
-    nl.add(Element::ISource { from: vdd, to: dio, dc: 20e-6 });
+    nl.add(Element::ISource {
+        from: vdd,
+        to: dio,
+        dc: 20e-6,
+    });
 
-    let unit = MosProcess::nmos_07um().size_for(20e-6, 0.3, 1.06, 1e-6).unwrap();
-    nl.add(Element::Mosfet { d: dio, g: dio, s: NodeId::GROUND, instance: unit });
+    let unit = MosProcess::nmos_07um()
+        .size_for(20e-6, 0.3, 1.06, 1e-6)
+        .unwrap();
+    nl.add(Element::Mosfet {
+        d: dio,
+        g: dio,
+        s: NodeId::GROUND,
+        instance: unit,
+    });
     let m1 = nl.add(Element::Mosfet {
         d: o1,
         g: dio,
@@ -34,8 +50,16 @@ fn nmos_mirror_chain_scales_currents() {
         s: NodeId::GROUND,
         instance: unit.scaled_width(0.5).unwrap(),
     });
-    nl.add(Element::Resistor { a: vdd, b: o1, ohms: 40e3 });
-    nl.add(Element::Resistor { a: vdd, b: o2, ohms: 200e3 });
+    nl.add(Element::Resistor {
+        a: vdd,
+        b: o1,
+        ohms: 40e3,
+    });
+    nl.add(Element::Resistor {
+        a: vdd,
+        b: o2,
+        ohms: 200e3,
+    });
 
     let sol = solve_dc(&nl, &DcOptions::default()).unwrap();
     let i1 = sol.mos_op(m1).unwrap().id;
@@ -53,11 +77,32 @@ fn rc_ladder_matches_analytic_transfer() {
     let vin = nl.node("in");
     let mid = nl.node("mid");
     let out = nl.node("out");
-    nl.add(Element::VSource { pos: vin, neg: NodeId::GROUND, dc: 0.0, ac: 1.0 });
-    nl.add(Element::Resistor { a: vin, b: mid, ohms: r1 });
-    nl.add(Element::Capacitor { a: mid, b: NodeId::GROUND, farads: c1 });
-    nl.add(Element::Resistor { a: mid, b: out, ohms: r2 });
-    nl.add(Element::Capacitor { a: out, b: NodeId::GROUND, farads: c2 });
+    nl.add(Element::VSource {
+        pos: vin,
+        neg: NodeId::GROUND,
+        dc: 0.0,
+        ac: 1.0,
+    });
+    nl.add(Element::Resistor {
+        a: vin,
+        b: mid,
+        ohms: r1,
+    });
+    nl.add(Element::Capacitor {
+        a: mid,
+        b: NodeId::GROUND,
+        farads: c1,
+    });
+    nl.add(Element::Resistor {
+        a: mid,
+        b: out,
+        ohms: r2,
+    });
+    nl.add(Element::Capacitor {
+        a: out,
+        b: NodeId::GROUND,
+        farads: c2,
+    });
 
     let dc = solve_dc(&nl, &DcOptions::default()).unwrap();
     let freqs = log_frequencies(1e3, 1e7, 9);
@@ -88,12 +133,37 @@ fn kcl_holds_at_operating_point() {
     let g = nl.node("g");
     let d = nl.node("d");
     let s = nl.node("s");
-    nl.add(Element::VSource { pos: vdd, neg: NodeId::GROUND, dc: 5.0, ac: 0.0 });
-    nl.add(Element::VSource { pos: g, neg: NodeId::GROUND, dc: 2.0, ac: 0.0 });
-    nl.add(Element::Resistor { a: vdd, b: d, ohms: 30e3 });
-    nl.add(Element::Resistor { a: s, b: NodeId::GROUND, ohms: 10e3 });
-    let inst = MosProcess::nmos_07um().size_for(50e-6, 0.35, 1.5, 1e-6).unwrap();
-    let midx = nl.add(Element::Mosfet { d, g, s, instance: inst });
+    nl.add(Element::VSource {
+        pos: vdd,
+        neg: NodeId::GROUND,
+        dc: 5.0,
+        ac: 0.0,
+    });
+    nl.add(Element::VSource {
+        pos: g,
+        neg: NodeId::GROUND,
+        dc: 2.0,
+        ac: 0.0,
+    });
+    nl.add(Element::Resistor {
+        a: vdd,
+        b: d,
+        ohms: 30e3,
+    });
+    nl.add(Element::Resistor {
+        a: s,
+        b: NodeId::GROUND,
+        ohms: 10e3,
+    });
+    let inst = MosProcess::nmos_07um()
+        .size_for(50e-6, 0.35, 1.5, 1e-6)
+        .unwrap();
+    let midx = nl.add(Element::Mosfet {
+        d,
+        g,
+        s,
+        instance: inst,
+    });
 
     let sol = solve_dc(&nl, &DcOptions::default()).unwrap();
     // Source degeneration: current through Rs equals the device current.
@@ -136,7 +206,11 @@ fn load_capacitance_scales_bandwidth_and_slew() {
     tb.tech.cl = 20e-12; // double the load
     let heavy = tb.simulate(&d).unwrap();
     // fu and SR halve (approximately); ALF unchanged (gain is DC).
-    assert!((heavy.fu / base.fu - 0.5).abs() < 0.1, "fu ratio {}", heavy.fu / base.fu);
+    assert!(
+        (heavy.fu / base.fu - 0.5).abs() < 0.1,
+        "fu ratio {}",
+        heavy.fu / base.fu
+    );
     assert!((heavy.srp / base.srp - 0.5).abs() < 0.1);
     assert!((heavy.alf - base.alf).abs() < 0.5);
     // More load helps phase margin on a one-dominant-pole amp.

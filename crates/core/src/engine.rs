@@ -1,8 +1,31 @@
 //! The CAFFEINE evolutionary engine: NSGA-II over grammar-constrained
 //! basis-function sets with least-squares linear learning.
+//!
+//! # Architecture: state / step / evaluator
+//!
+//! The engine is factored into three orthogonal pieces so that execution
+//! policy (serial, thread-pooled, island-distributed, checkpointed) lives
+//! *outside* the algorithm:
+//!
+//! * [`EngineState`] owns everything that evolves — the population, the
+//!   RNG, the generation counter, and recorded statistics. It is fully
+//!   serializable, which is what makes checkpoint/resume possible.
+//! * [`EngineState::step`] advances exactly one generation. Driving the
+//!   loop is the caller's job; `caffeine-runtime` drives many states
+//!   (islands) side by side and injects migration between steps.
+//! * [`Evaluator`] abstracts fitness evaluation. The engine only requires
+//!   that after [`Evaluator::evaluate_all`] every individual carries an
+//!   [`Evaluation`](crate::gp::Evaluation); *how* the batch is computed —
+//!   serially ([`DatasetEvaluator`]) or fanned out over a worker pool —
+//!   is pluggable. Evaluation is pure per individual, so any scheduling
+//!   of the batch yields bit-identical populations.
+//!
+//! [`CaffeineEngine::run`] remains the one-call serial entry point and is
+//! exactly `init → step × generations → harvest`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use caffeine_doe::Dataset;
 
@@ -16,7 +39,7 @@ use crate::pareto;
 use crate::{CaffeineError, GrammarConfig};
 
 /// Run settings (defaults follow the paper's Sec. 6.1 where stated).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CaffeineSettings {
     /// Population size (paper: 200).
     pub population: usize,
@@ -102,7 +125,7 @@ impl CaffeineSettings {
 }
 
 /// A progress snapshot taken during evolution.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvolutionStats {
     /// Generation index of the snapshot.
     pub generation: usize,
@@ -117,7 +140,7 @@ pub struct EvolutionStats {
 }
 
 /// The result of a run: the evolved tradeoff set plus progress statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CaffeineResult {
     /// Nondominated (train-error, complexity) models, sorted by
     /// complexity. Includes the zero-complexity constant model as the
@@ -144,6 +167,312 @@ impl CaffeineResult {
     }
 }
 
+/// Pluggable fitness evaluation.
+///
+/// Implementations must fill `ind.eval` for every individual whose cached
+/// evaluation is `None`, and must be *pure per individual*: the outcome for
+/// one individual may not depend on the others or on evaluation order.
+/// That contract is what lets `caffeine-runtime` chunk a batch across
+/// worker threads while reproducing the serial run bit for bit.
+pub trait Evaluator {
+    /// Evaluates every not-yet-evaluated individual in the slice.
+    fn evaluate_all(&self, population: &mut [Individual]);
+}
+
+/// The reference serial [`Evaluator`]: least-squares weight learning plus
+/// the complexity measure against one training [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct DatasetEvaluator<'a> {
+    data: &'a Dataset,
+    metric: ErrorMetric,
+    complexity: ComplexityWeights,
+    infeasible_error: f64,
+    ctx: EvalContext,
+}
+
+impl<'a> DatasetEvaluator<'a> {
+    /// Builds an evaluator, validating the dataset against the grammar.
+    ///
+    /// # Errors
+    ///
+    /// [`CaffeineError::InvalidData`] for an empty dataset, a variable
+    /// count mismatching the grammar, or non-finite targets.
+    pub fn new(
+        settings: &CaffeineSettings,
+        grammar: &GrammarConfig,
+        data: &'a Dataset,
+    ) -> Result<DatasetEvaluator<'a>, CaffeineError> {
+        if data.n_samples() < 3 {
+            return Err(CaffeineError::InvalidData(
+                "need at least 3 training samples".into(),
+            ));
+        }
+        if data.n_vars() != grammar.n_vars {
+            return Err(CaffeineError::InvalidData(format!(
+                "dataset has {} variables but the grammar expects {}",
+                data.n_vars(),
+                grammar.n_vars
+            )));
+        }
+        if !data.targets().iter().all(|y| y.is_finite()) {
+            return Err(CaffeineError::InvalidData(
+                "targets contain non-finite values (drop them first)".into(),
+            ));
+        }
+        Ok(DatasetEvaluator {
+            data,
+            metric: settings.metric,
+            complexity: settings.complexity,
+            infeasible_error: settings.infeasible_error,
+            ctx: EvalContext::new(grammar.weights),
+        })
+    }
+
+    /// The training dataset.
+    pub fn data(&self) -> &'a Dataset {
+        self.data
+    }
+
+    /// Fits the linear weights and fills the cached evaluation of one
+    /// individual (no-op when already evaluated). Pure: depends only on
+    /// the individual and this evaluator's immutable configuration.
+    pub fn evaluate_one(&self, ind: &mut Individual) {
+        if ind.eval.is_some() {
+            return;
+        }
+        let cx = complexity(&ind.bases, &self.complexity);
+        let eval = match fit_linear_weights(
+            &ind.bases,
+            self.data.points(),
+            self.data.targets(),
+            &self.ctx,
+        ) {
+            FitOutcome::Fit(fit) => {
+                let err = self.metric.compute(&fit.predictions, self.data.targets());
+                let feasible = err.is_finite();
+                Evaluation {
+                    coefficients: fit.coefficients,
+                    train_error: if feasible { err } else { self.infeasible_error },
+                    complexity: cx,
+                    feasible,
+                }
+            }
+            FitOutcome::Infeasible => Evaluation {
+                coefficients: vec![0.0; ind.bases.len() + 1],
+                train_error: self.infeasible_error,
+                complexity: cx,
+                feasible: false,
+            },
+        };
+        ind.eval = Some(eval);
+    }
+
+    /// The zero-complexity anchor: intercept-only least squares.
+    pub fn constant_model(&self, weights: crate::expr::WeightConfig) -> Model {
+        let mean = self.data.targets().iter().sum::<f64>() / self.data.n_samples().max(1) as f64;
+        let predictions = vec![mean; self.data.n_samples()];
+        let err = self.metric.compute(&predictions, self.data.targets());
+        Model::new(vec![], vec![mean], weights).with_metrics(err, 0.0)
+    }
+}
+
+impl Evaluator for DatasetEvaluator<'_> {
+    fn evaluate_all(&self, population: &mut [Individual]) {
+        for ind in population {
+            self.evaluate_one(ind);
+        }
+    }
+}
+
+/// The complete evolving state of one CAFFEINE search.
+///
+/// Serializable: a snapshot of this struct *is* a checkpoint, and because
+/// the vendored RNG's stream is a stability contract, deserializing a
+/// snapshot and continuing reproduces the uninterrupted run exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineState {
+    /// The run settings this state evolves under.
+    pub settings: CaffeineSettings,
+    /// The grammar configuration.
+    pub grammar: GrammarConfig,
+    /// Number of completed generations.
+    pub generation: usize,
+    /// The current population (always evaluated between steps).
+    pub population: Vec<Individual>,
+    /// The RNG, positioned exactly after the last completed step.
+    pub rng: StdRng,
+    /// Progress snapshots recorded so far.
+    pub stats: Vec<EvolutionStats>,
+}
+
+impl EngineState {
+    /// Initializes a state: validates settings/grammar, draws the initial
+    /// population (1..=min(4, max_bases) random bases each), and evaluates
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// * [`CaffeineError::InvalidSettings`] / [`CaffeineError::InvalidGrammar`]
+    ///   for bad configuration.
+    pub fn new(
+        settings: CaffeineSettings,
+        grammar: GrammarConfig,
+        evaluator: &dyn Evaluator,
+    ) -> Result<EngineState, CaffeineError> {
+        settings.check()?;
+        grammar.check()?;
+        let mut rng = StdRng::seed_from_u64(settings.seed);
+        let ops = GpOperators::new(&grammar, op_settings(&settings));
+        let mut population: Vec<Individual> = (0..settings.population)
+            .map(|_| {
+                let n = rng.gen_range(1..=settings.max_bases.min(4));
+                Individual::new(
+                    (0..n)
+                        .map(|_| ops.generator().gen_basis(&mut rng))
+                        .collect(),
+                )
+            })
+            .collect();
+        evaluator.evaluate_all(&mut population);
+        Ok(EngineState {
+            settings,
+            grammar,
+            generation: 0,
+            population,
+            rng,
+            stats: Vec::new(),
+        })
+    }
+
+    /// `true` once `settings.generations` generations have completed.
+    pub fn is_done(&self) -> bool {
+        self.generation >= self.settings.generations
+    }
+
+    /// Advances exactly one generation: tournament selection + variation,
+    /// batch evaluation of the offspring through `evaluator`, then elitist
+    /// NSGA-II environmental selection. Records an [`EvolutionStats`]
+    /// snapshot on the configured schedule.
+    ///
+    /// Offspring are generated *before* any of them is evaluated, so the
+    /// RNG stream never depends on evaluation scheduling — the hook that
+    /// makes parallel evaluation deterministic.
+    pub fn step(&mut self, evaluator: &dyn Evaluator) {
+        let generation = self.generation;
+        let ops = GpOperators::new(&self.grammar, op_settings(&self.settings));
+
+        let objectives: Vec<Vec<f64>> = self
+            .population
+            .iter()
+            .map(|i| i.objectives().to_vec())
+            .collect();
+        let ranked = nsga2::rank_population(&objectives);
+
+        // Offspring via binary tournament + the operator suite.
+        let mut offspring: Vec<Individual> = Vec::with_capacity(self.settings.population);
+        while offspring.len() < self.settings.population {
+            let p1 = &self.population[ranked.tournament(&mut self.rng)];
+            let p2 = &self.population[ranked.tournament(&mut self.rng)];
+            offspring.push(ops.make_offspring(&mut self.rng, p1, p2));
+        }
+        evaluator.evaluate_all(&mut offspring);
+
+        // Elitist environmental selection over parents + offspring.
+        let mut combined = std::mem::take(&mut self.population);
+        combined.append(&mut offspring);
+        let combined_objs: Vec<Vec<f64>> =
+            combined.iter().map(|i| i.objectives().to_vec()).collect();
+        let survivors = nsga2::environmental_selection(&combined_objs, self.settings.population);
+        self.population = survivors.into_iter().map(|i| combined[i].clone()).collect();
+
+        if generation.is_multiple_of(self.settings.stats_every)
+            || generation + 1 == self.settings.generations
+        {
+            let snap = snapshot(generation, &self.population);
+            self.stats.push(snap);
+        }
+        self.generation = generation + 1;
+    }
+
+    /// Harvests the feasible individuals of the current population as
+    /// fitted [`Model`]s (unfiltered — see [`assemble_result`]).
+    pub fn harvest(&self) -> Vec<Model> {
+        self.population
+            .iter()
+            .filter_map(|ind| {
+                let eval = ind.eval.as_ref()?;
+                if !eval.feasible {
+                    return None;
+                }
+                Some(
+                    Model::new(
+                        ind.bases.clone(),
+                        eval.coefficients.clone(),
+                        self.grammar.weights,
+                    )
+                    .with_metrics(eval.train_error, eval.complexity),
+                )
+            })
+            .collect()
+    }
+}
+
+fn op_settings(settings: &CaffeineSettings) -> OperatorSettings {
+    OperatorSettings {
+        param_mutation_weight: settings.param_mutation_weight,
+        max_bases: settings.max_bases,
+        ..OperatorSettings::default()
+    }
+}
+
+fn snapshot(generation: usize, population: &[Individual]) -> EvolutionStats {
+    let feasible: Vec<&Individual> = population
+        .iter()
+        .filter(|i| i.eval.as_ref().is_some_and(|e| e.feasible))
+        .collect();
+    let best_error = feasible
+        .iter()
+        .map(|i| i.eval.as_ref().expect("evaluated").train_error)
+        .fold(f64::INFINITY, f64::min);
+    let min_complexity = feasible
+        .iter()
+        .map(|i| i.eval.as_ref().expect("evaluated").complexity)
+        .fold(f64::INFINITY, f64::min);
+    let objectives: Vec<Vec<f64>> = population.iter().map(|i| i.objectives().to_vec()).collect();
+    let front_size = nsga2::fast_nondominated_sort(&objectives)[0].len();
+    EvolutionStats {
+        generation,
+        best_error,
+        min_complexity,
+        front_size,
+        feasible: feasible.len(),
+    }
+}
+
+/// Assembles a [`CaffeineResult`] from harvested models: appends the
+/// zero-complexity constant anchor and filters to the (train-error,
+/// complexity) nondominated front.
+///
+/// # Errors
+///
+/// [`CaffeineError::NoFeasibleModel`] when `models` is empty.
+pub fn assemble_result(
+    mut models: Vec<Model>,
+    anchor: Model,
+    stats: Vec<EvolutionStats>,
+) -> Result<CaffeineResult, CaffeineError> {
+    if models.is_empty() {
+        return Err(CaffeineError::NoFeasibleModel);
+    }
+    // Anchor: the zero-complexity constant model of Fig. 3.
+    models.push(anchor);
+    let front = pareto::train_tradeoff(&models);
+    Ok(CaffeineResult {
+        models: front,
+        stats,
+    })
+}
+
 /// The CAFFEINE engine.
 #[derive(Debug, Clone)]
 pub struct CaffeineEngine {
@@ -167,7 +496,8 @@ impl CaffeineEngine {
         &self.grammar
     }
 
-    /// Runs the evolutionary search on a training dataset.
+    /// Runs the evolutionary search on a training dataset (serial
+    /// reference driver: `init → step × generations → harvest`).
     ///
     /// # Errors
     ///
@@ -178,179 +508,14 @@ impl CaffeineEngine {
     /// * [`CaffeineError::NoFeasibleModel`] when nothing evaluable evolved
     ///   (pathological data).
     pub fn run(&self, data: &Dataset) -> Result<CaffeineResult, CaffeineError> {
-        self.settings.check()?;
-        self.grammar.check()?;
-        if data.n_samples() < 3 {
-            return Err(CaffeineError::InvalidData(
-                "need at least 3 training samples".into(),
-            ));
+        let evaluator = DatasetEvaluator::new(&self.settings, &self.grammar, data)?;
+        let mut state = EngineState::new(self.settings.clone(), self.grammar.clone(), &evaluator)?;
+        while !state.is_done() {
+            state.step(&evaluator);
         }
-        if data.n_vars() != self.grammar.n_vars {
-            return Err(CaffeineError::InvalidData(format!(
-                "dataset has {} variables but the grammar expects {}",
-                data.n_vars(),
-                self.grammar.n_vars
-            )));
-        }
-        if !data.targets().iter().all(|y| y.is_finite()) {
-            return Err(CaffeineError::InvalidData(
-                "targets contain non-finite values (drop them first)".into(),
-            ));
-        }
-
-        let mut rng = StdRng::seed_from_u64(self.settings.seed);
-        let op_settings = OperatorSettings {
-            param_mutation_weight: self.settings.param_mutation_weight,
-            max_bases: self.settings.max_bases,
-            ..OperatorSettings::default()
-        };
-        let ops = GpOperators::new(&self.grammar, op_settings);
-        let ctx = EvalContext::new(self.grammar.weights);
-
-        // Initial population: 1..=min(4, max_bases) random bases each.
-        let mut population: Vec<Individual> = (0..self.settings.population)
-            .map(|_| {
-                let n = rng.gen_range(1..=self.settings.max_bases.min(4));
-                Individual::new((0..n).map(|_| ops.generator().gen_basis(&mut rng)).collect())
-            })
-            .collect();
-        for ind in &mut population {
-            self.evaluate(ind, data, &ctx);
-        }
-
-        let mut stats = Vec::new();
-        for generation in 0..self.settings.generations {
-            let objectives: Vec<Vec<f64>> =
-                population.iter().map(|i| i.objectives().to_vec()).collect();
-            let ranked = nsga2::rank_population(&objectives);
-
-            // Offspring via binary tournament + the operator suite.
-            let mut offspring: Vec<Individual> = Vec::with_capacity(self.settings.population);
-            while offspring.len() < self.settings.population {
-                let p1 = &population[ranked.tournament(&mut rng)];
-                let p2 = &population[ranked.tournament(&mut rng)];
-                let mut child = ops.make_offspring(&mut rng, p1, p2);
-                self.evaluate(&mut child, data, &ctx);
-                offspring.push(child);
-            }
-
-            // Elitist environmental selection over parents + offspring.
-            let mut combined = population;
-            combined.append(&mut offspring);
-            let combined_objs: Vec<Vec<f64>> =
-                combined.iter().map(|i| i.objectives().to_vec()).collect();
-            let survivors = nsga2::environmental_selection(&combined_objs, self.settings.population);
-            population = survivors.into_iter().map(|i| combined[i].clone()).collect();
-
-            if generation % self.settings.stats_every == 0
-                || generation + 1 == self.settings.generations
-            {
-                stats.push(self.snapshot(generation, &population));
-            }
-        }
-
-        // Harvest: nondominated feasible individuals -> models.
-        let mut models = self.harvest(&population, data, &ctx);
-        if models.is_empty() {
-            return Err(CaffeineError::NoFeasibleModel);
-        }
-        // Anchor: the zero-complexity constant model of Fig. 3.
-        models.push(self.constant_model(data));
-        let front = pareto::train_tradeoff(&models);
-        Ok(CaffeineResult {
-            models: front,
-            stats,
-        })
-    }
-
-    /// Fits the linear weights and fills the cached evaluation.
-    fn evaluate(&self, ind: &mut Individual, data: &Dataset, ctx: &EvalContext) {
-        if ind.eval.is_some() {
-            return;
-        }
-        let cx = complexity(&ind.bases, &self.settings.complexity);
-        let eval = match fit_linear_weights(&ind.bases, data.points(), data.targets(), ctx) {
-            FitOutcome::Fit(fit) => {
-                let err = self.settings.metric.compute(&fit.predictions, data.targets());
-                let feasible = err.is_finite();
-                Evaluation {
-                    coefficients: fit.coefficients,
-                    train_error: if feasible {
-                        err
-                    } else {
-                        self.settings.infeasible_error
-                    },
-                    complexity: cx,
-                    feasible,
-                }
-            }
-            FitOutcome::Infeasible => Evaluation {
-                coefficients: vec![0.0; ind.bases.len() + 1],
-                train_error: self.settings.infeasible_error,
-                complexity: cx,
-                feasible: false,
-            },
-        };
-        ind.eval = Some(eval);
-    }
-
-    fn snapshot(&self, generation: usize, population: &[Individual]) -> EvolutionStats {
-        let feasible: Vec<&Individual> = population
-            .iter()
-            .filter(|i| i.eval.as_ref().is_some_and(|e| e.feasible))
-            .collect();
-        let best_error = feasible
-            .iter()
-            .map(|i| i.eval.as_ref().expect("evaluated").train_error)
-            .fold(f64::INFINITY, f64::min);
-        let min_complexity = feasible
-            .iter()
-            .map(|i| i.eval.as_ref().expect("evaluated").complexity)
-            .fold(f64::INFINITY, f64::min);
-        let objectives: Vec<Vec<f64>> =
-            population.iter().map(|i| i.objectives().to_vec()).collect();
-        let front_size = nsga2::fast_nondominated_sort(&objectives)[0].len();
-        EvolutionStats {
-            generation,
-            best_error,
-            min_complexity,
-            front_size,
-            feasible: feasible.len(),
-        }
-    }
-
-    fn harvest(
-        &self,
-        population: &[Individual],
-        _data: &Dataset,
-        _ctx: &EvalContext,
-    ) -> Vec<Model> {
-        population
-            .iter()
-            .filter_map(|ind| {
-                let eval = ind.eval.as_ref()?;
-                if !eval.feasible {
-                    return None;
-                }
-                Some(
-                    Model::new(
-                        ind.bases.clone(),
-                        eval.coefficients.clone(),
-                        self.grammar.weights,
-                    )
-                    .with_metrics(eval.train_error, eval.complexity),
-                )
-            })
-            .collect()
-    }
-
-    /// The zero-complexity anchor: intercept-only least squares.
-    fn constant_model(&self, data: &Dataset) -> Model {
-        let mean =
-            data.targets().iter().sum::<f64>() / data.n_samples().max(1) as f64;
-        let predictions = vec![mean; data.n_samples()];
-        let err = self.settings.metric.compute(&predictions, data.targets());
-        Model::new(vec![], vec![mean], self.grammar.weights).with_metrics(err, 0.0)
+        let anchor = evaluator.constant_model(state.grammar.weights);
+        let stats = std::mem::take(&mut state.stats);
+        assemble_result(state.harvest(), anchor, stats)
     }
 }
 
@@ -361,8 +526,9 @@ mod tests {
     fn dataset(f: impl Fn(&[f64]) -> f64, n: usize, d: usize) -> Dataset {
         let mut xs = Vec::with_capacity(n);
         for i in 0..n {
-            let row: Vec<f64> =
-                (0..d).map(|j| 1.0 + ((i * 7 + j * 3) % 11) as f64 * 0.35).collect();
+            let row: Vec<f64> = (0..d)
+                .map(|j| 1.0 + ((i * 7 + j * 3) % 11) as f64 * 0.35)
+                .collect();
             xs.push(row);
         }
         let ys: Vec<f64> = xs.iter().map(|x| f(x)).collect();
@@ -503,5 +669,87 @@ mod tests {
         let simplest = result.simplest_within(best.train_error.max(1e-9) * 2.0);
         assert!(simplest.is_some());
         assert!(simplest.unwrap().complexity <= best.complexity + 1e-12);
+    }
+
+    #[test]
+    fn manual_stepping_matches_run() {
+        let data = dataset(|x| 2.0 * x[0] + 1.0 / x[0], 24, 1);
+        let mut settings = CaffeineSettings::quick_test();
+        settings.generations = 12;
+        settings.seed = 17;
+        let grammar = GrammarConfig::rational(1);
+
+        let engine = CaffeineEngine::new(settings.clone(), grammar.clone());
+        let reference = engine.run(&data).unwrap();
+
+        let evaluator = DatasetEvaluator::new(&settings, &grammar, &data).unwrap();
+        let mut state = EngineState::new(settings, grammar, &evaluator).unwrap();
+        for _ in 0..12 {
+            assert!(!state.is_done());
+            state.step(&evaluator);
+        }
+        assert!(state.is_done());
+        let anchor = evaluator.constant_model(state.grammar.weights);
+        let manual = assemble_result(state.harvest(), anchor, state.stats.clone()).unwrap();
+
+        let e1: Vec<f64> = reference.models.iter().map(|m| m.train_error).collect();
+        let e2: Vec<f64> = manual.models.iter().map(|m| m.train_error).collect();
+        assert_eq!(e1, e2);
+        assert_eq!(reference.stats, manual.stats);
+    }
+
+    #[test]
+    fn engine_state_serde_round_trip() {
+        let data = dataset(|x| x[0] * x[0], 18, 1);
+        let mut settings = CaffeineSettings::quick_test();
+        settings.generations = 6;
+        settings.population = 20;
+        settings.seed = 23;
+        let grammar = GrammarConfig::rational(1);
+        let evaluator = DatasetEvaluator::new(&settings, &grammar, &data).unwrap();
+        let mut state = EngineState::new(settings, grammar, &evaluator).unwrap();
+        for _ in 0..3 {
+            state.step(&evaluator);
+        }
+
+        let value = serde::Serialize::to_value(&state);
+        let mut restored: EngineState = serde::Deserialize::from_value(&value).unwrap();
+
+        assert_eq!(state.generation, restored.generation);
+        assert_eq!(state.population, restored.population);
+        assert_eq!(state.settings, restored.settings);
+        assert_eq!(state.stats, restored.stats);
+
+        // Continuing both copies produces identical evolution — the RNG
+        // state survived the round trip.
+        let mut original = state.clone();
+        for _ in 0..3 {
+            original.step(&evaluator);
+            restored.step(&evaluator);
+        }
+        assert_eq!(original.population, restored.population);
+    }
+
+    #[test]
+    fn result_front_serde_round_trip() {
+        let data = dataset(|x| 1.0 + 2.0 * x[0], 20, 1);
+        let mut settings = CaffeineSettings::quick_test();
+        settings.generations = 6;
+        let engine = CaffeineEngine::new(settings, GrammarConfig::rational(1));
+        let result = engine.run(&data).unwrap();
+        let v = serde::Serialize::to_value(&result);
+        let back: CaffeineResult = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(result.models, back.models);
+        assert_eq!(result.stats, back.stats);
+    }
+
+    #[test]
+    fn settings_serde_round_trip() {
+        let mut s = CaffeineSettings::paper();
+        s.seed = u64::MAX; // exceeds f64's integer precision on purpose
+        s.infeasible_error = 1e30;
+        let v = serde::Serialize::to_value(&s);
+        let back: CaffeineSettings = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(s, back);
     }
 }

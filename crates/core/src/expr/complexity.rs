@@ -15,7 +15,10 @@ pub struct ComplexityWeights {
 
 impl Default for ComplexityWeights {
     fn default() -> Self {
-        ComplexityWeights { wb: 10.0, wvc: 0.25 }
+        ComplexityWeights {
+            wb: 10.0,
+            wvc: 0.25,
+        }
     }
 }
 
@@ -118,7 +121,7 @@ mod tests {
     fn complexity_is_monotone_in_bases() {
         let b1 = BasisFunction::from_vc(VarCombo::single(2, 0, 1));
         let b2 = BasisFunction::from_vc(VarCombo::single(2, 1, -1));
-        let one = complexity(&[b1.clone()], &w());
+        let one = complexity(std::slice::from_ref(&b1), &w());
         let two = complexity(&[b1, b2], &w());
         assert!(two > one);
     }
@@ -149,9 +152,18 @@ mod tests {
     #[test]
     fn custom_weights_scale_measure() {
         let b = BasisFunction::from_vc(VarCombo::from_exponents(vec![1]));
-        let cheap = complexity(&[b.clone()], &ComplexityWeights { wb: 0.0, wvc: 0.0 });
+        let cheap = complexity(
+            std::slice::from_ref(&b),
+            &ComplexityWeights { wb: 0.0, wvc: 0.0 },
+        );
         assert_eq!(cheap, 1.0); // just the node
-        let pricey = complexity(&[b], &ComplexityWeights { wb: 100.0, wvc: 10.0 });
+        let pricey = complexity(
+            &[b],
+            &ComplexityWeights {
+                wb: 100.0,
+                wvc: 10.0,
+            },
+        );
         assert_eq!(pricey, 111.0);
     }
 }

@@ -74,9 +74,7 @@ fn eval_sum(sum: &WeightedSum, x: &[f64], ctx: &EvalContext) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::{
-        BinaryArgs, BinaryOp, UnaryOp, VarCombo, Weight, WeightedTerm,
-    };
+    use crate::expr::{BinaryArgs, BinaryOp, UnaryOp, VarCombo, Weight, WeightedTerm};
 
     fn ctx() -> EvalContext {
         EvalContext::default()

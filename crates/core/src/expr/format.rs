@@ -103,7 +103,13 @@ fn format_vc(basis: &BasisFunction, opts: &FormatOptions) -> String {
     let mut num: Vec<String> = Vec::new();
     let mut den: Vec<String> = Vec::new();
     for (i, &e) in basis.vc.exponents().iter().enumerate() {
-        let target = if e > 0 { &mut num } else if e < 0 { &mut den } else { continue };
+        let target = if e > 0 {
+            &mut num
+        } else if e < 0 {
+            &mut den
+        } else {
+            continue;
+        };
         let name = opts.var(i);
         if e.abs() == 1 {
             target.push(name);

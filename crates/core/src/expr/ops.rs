@@ -119,7 +119,12 @@ pub enum BinaryOp {
 
 impl BinaryOp {
     /// Every dual-input operator of the paper's setup.
-    pub const ALL: [BinaryOp; 4] = [BinaryOp::Divide, BinaryOp::Pow, BinaryOp::Max, BinaryOp::Min];
+    pub const ALL: [BinaryOp; 4] = [
+        BinaryOp::Divide,
+        BinaryOp::Pow,
+        BinaryOp::Max,
+        BinaryOp::Min,
+    ];
 
     /// Applies the operator (unprotected, like [`UnaryOp::apply`]).
     #[inline]

@@ -74,10 +74,7 @@ pub fn constant_value(basis: &BasisFunction, ctx: &EvalContext) -> Option<f64> {
 /// Splits a basis into its constant factors' product and the remaining
 /// variable part. Returns `(constant multiplier, stripped basis)`; the
 /// multiplier is 1.0 when nothing was stripped.
-pub fn strip_constant_factors(
-    basis: &BasisFunction,
-    ctx: &EvalContext,
-) -> (f64, BasisFunction) {
+pub fn strip_constant_factors(basis: &BasisFunction, ctx: &EvalContext) -> (f64, BasisFunction) {
     let mut multiplier = 1.0;
     let mut kept = Vec::with_capacity(basis.factors.len());
     for f in &basis.factors {
@@ -130,7 +127,10 @@ mod tests {
                 arg: WeightedSum {
                     offset: w(1.0),
                     terms: vec![
-                        WeightedTerm { weight: Weight::zero(), term: BasisFunction::from_vc(VarCombo::single(1, 0, -1)) },
+                        WeightedTerm {
+                            weight: Weight::zero(),
+                            term: BasisFunction::from_vc(VarCombo::single(1, 0, -1)),
+                        },
                         x_term(2.0),
                     ],
                 },

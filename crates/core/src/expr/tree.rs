@@ -144,7 +144,11 @@ impl OpApplication {
             OpApplication::Unary { arg, .. } => arg.depth(),
             OpApplication::Binary { args, .. } => args.left.depth().max(args.right.depth()),
             OpApplication::Lte(l) => {
-                let mut d = l.test.depth().max(l.if_less.depth()).max(l.otherwise.depth());
+                let mut d = l
+                    .test
+                    .depth()
+                    .max(l.if_less.depth())
+                    .max(l.otherwise.depth());
                 if let Some(c) = &l.cond {
                     d = d.max(c.depth());
                 }
@@ -208,12 +212,7 @@ impl WeightedSum {
 
     /// Tree depth of this sum.
     pub fn depth(&self) -> usize {
-        1 + self
-            .terms
-            .iter()
-            .map(|t| t.term.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.terms.iter().map(|t| t.term.depth()).max().unwrap_or(0)
     }
 
     pub(crate) fn collect_vcs_into<'a>(&'a self, out: &mut Vec<&'a VarCombo>) {

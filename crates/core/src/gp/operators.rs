@@ -253,7 +253,12 @@ impl<'g> GpOperators<'g> {
         };
         let delta = crate::expr::cauchy_sample(rng, self.settings.cauchy_gamma);
         let new = w.perturbed(delta, &g.weights);
-        set_site(&mut child.bases[bi], SiteKind::Weight, idx, Subtree::Weight(new));
+        set_site(
+            &mut child.bases[bi],
+            SiteKind::Weight,
+            idx,
+            Subtree::Weight(new),
+        );
         child
     }
 
@@ -313,10 +318,7 @@ impl<'g> GpOperators<'g> {
         let g = self.grammar();
         let bi = rng.gen_range(0..child.bases.len());
         let budget = g.max_depth.saturating_sub(2).max(1);
-        let has_ops = !g.unary_ops.is_empty()
-            || !g.binary_ops.is_empty()
-            || g.lte
-            || g.lte_zero;
+        let has_ops = !g.unary_ops.is_empty() || !g.binary_ops.is_empty() || g.lte || g.lte_zero;
         let mut kinds: Vec<SiteKind> = vec![SiteKind::Product, SiteKind::Vc, SiteKind::Weight];
         if has_ops {
             kinds.push(SiteKind::Op);
@@ -330,17 +332,16 @@ impl<'g> GpOperators<'g> {
             }
             let idx = rng.gen_range(0..n);
             let replacement = match kind {
-                SiteKind::Product => {
-                    Subtree::Product(self.generator.gen_basis_depth(rng, budget))
-                }
+                SiteKind::Product => Subtree::Product(self.generator.gen_basis_depth(rng, budget)),
                 SiteKind::Op => Subtree::Op(self.generator.gen_op(rng, budget)),
-                SiteKind::Sum => Subtree::Sum(self.generator.gen_sum(rng, budget.saturating_sub(1).max(1))),
+                SiteKind::Sum => {
+                    Subtree::Sum(self.generator.gen_sum(rng, budget.saturating_sub(1).max(1)))
+                }
                 SiteKind::Vc => Subtree::Vc(self.generator.gen_nonidentity_vc(rng)),
                 SiteKind::Weight => Subtree::Weight(self.generator.gen_weight(rng)),
             };
             let mut candidate = child.bases[bi].clone();
-            if set_site(&mut candidate, kind, idx, replacement)
-                && candidate.depth() <= g.max_depth
+            if set_site(&mut candidate, kind, idx, replacement) && candidate.depth() <= g.max_depth
             {
                 child.bases[bi] = candidate;
                 break;

@@ -318,7 +318,12 @@ mod tests {
     fn set_site_replaces_nested_vc() {
         let mut b = sample();
         let new_vc = VarCombo::from_exponents(vec![-2, 0]);
-        assert!(set_site(&mut b, SiteKind::Vc, 1, Subtree::Vc(new_vc.clone())));
+        assert!(set_site(
+            &mut b,
+            SiteKind::Vc,
+            1,
+            Subtree::Vc(new_vc.clone())
+        ));
         match get_site(&b, SiteKind::Vc, 1) {
             Some(Subtree::Vc(vc)) => assert_eq!(vc, new_vc),
             other => panic!("unexpected {other:?}"),
@@ -378,7 +383,12 @@ mod tests {
         }
         // Replacing the top-level product (index 0) swaps the whole tree...
         let mut whole = a.clone();
-        assert!(set_site(&mut whole, SiteKind::Product, 0, Subtree::Product(b.clone())));
+        assert!(set_site(
+            &mut whole,
+            SiteKind::Product,
+            0,
+            Subtree::Product(b.clone())
+        ));
         assert_eq!(whole, b);
     }
 
@@ -386,7 +396,12 @@ mod tests {
     fn sum_sites_swap() {
         let mut b = sample();
         let new_sum = WeightedSum::constant(w(7.0));
-        assert!(set_site(&mut b, SiteKind::Sum, 0, Subtree::Sum(new_sum.clone())));
+        assert!(set_site(
+            &mut b,
+            SiteKind::Sum,
+            0,
+            Subtree::Sum(new_sum.clone())
+        ));
         match &b.factors[0] {
             OpApplication::Unary { arg, .. } => assert_eq!(*arg, new_sum),
             other => panic!("unexpected {other:?}"),

@@ -82,13 +82,11 @@ pub fn parse_grammar(text: &str) -> Result<GrammarConfig, CaffeineError> {
             }
             "lte" => config.lte = parse_switch(value).map_err(err)?,
             "lte0" => config.lte_zero = parse_switch(value).map_err(err)?,
-            "negative_exponents" => {
-                config.negative_exponents = parse_switch(value).map_err(err)?
-            }
+            "negative_exponents" => config.negative_exponents = parse_switch(value).map_err(err)?,
             "max_exponent" => {
-                config.max_exponent = value
-                    .parse()
-                    .map_err(|_| err(format!("`max_exponent` must be an integer, got `{value}`")))?;
+                config.max_exponent = value.parse().map_err(|_| {
+                    err(format!("`max_exponent` must be an integer, got `{value}`"))
+                })?;
             }
             "max_depth" => {
                 config.max_depth = value

@@ -8,8 +8,7 @@
 use rand::Rng;
 
 use crate::expr::{
-    BasisFunction, BinaryArgs, LteArgs, OpApplication, VarCombo, Weight, WeightedSum,
-    WeightedTerm,
+    BasisFunction, BinaryArgs, LteArgs, OpApplication, VarCombo, Weight, WeightedSum, WeightedTerm,
 };
 use crate::GrammarConfig;
 
@@ -168,9 +167,15 @@ impl<'g> RandomExprGen<'g> {
                 self.gen_sum(rng, depth - 1)
             };
             let args = if rng.gen_bool(0.5) {
-                BinaryArgs { left: full, right: maybe }
+                BinaryArgs {
+                    left: full,
+                    right: maybe,
+                }
             } else {
-                BinaryArgs { left: maybe, right: full }
+                BinaryArgs {
+                    left: maybe,
+                    right: full,
+                }
             };
             OpApplication::Binary { op, args }
         } else {

@@ -27,6 +27,26 @@
 //!   PRESS statistic and forward regression, then filtering to the
 //!   (test-error, complexity) nondominated front.
 //!
+//! # Runtime integration: the step / evaluator split
+//!
+//! [`CaffeineEngine::run`] is only a convenience driver. The algorithm's
+//! real surface is the pair [`EngineState`] + [`Evaluator`]:
+//!
+//! * [`EngineState`] is the *complete* evolving state (population, RNG,
+//!   generation counter, statistics). It serializes, so a snapshot is a
+//!   checkpoint, and [`EngineState::step`] advances exactly one
+//!   generation. External drivers — notably the `caffeine-runtime` crate's
+//!   island runner — own the loop, which lets them interleave concerns the
+//!   core knows nothing about: migration between island states, periodic
+//!   checkpoint writes, live progress reporting.
+//! * [`Evaluator`] decouples *what* fitness is (least-squares weight
+//!   learning against a dataset — [`DatasetEvaluator`]) from *how* a
+//!   population batch is scheduled. Evaluation is pure per individual and
+//!   RNG-free, and [`EngineState::step`] generates all offspring before
+//!   evaluating any of them, so an evaluator may compute the batch in any
+//!   order — including across a thread pool — and the run remains
+//!   bit-identical to the serial one.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -65,7 +85,10 @@ pub mod nsga2;
 pub mod pareto;
 pub mod sag;
 
-pub use engine::{CaffeineEngine, CaffeineResult, CaffeineSettings, EvolutionStats};
+pub use engine::{
+    assemble_result, CaffeineEngine, CaffeineResult, CaffeineSettings, DatasetEvaluator,
+    EngineState, Evaluator, EvolutionStats,
+};
 pub use error::CaffeineError;
 pub use fit::{fit_linear_weights, FitOutcome, LinearFit};
 pub use grammar::GrammarConfig;

@@ -180,11 +180,7 @@ impl Model {
 
     /// Variables used anywhere in the model (sorted indices).
     pub fn used_variables(&self) -> Vec<usize> {
-        let mut used: Vec<usize> = self
-            .bases
-            .iter()
-            .flat_map(|b| b.used_variables())
-            .collect();
+        let mut used: Vec<usize> = self.bases.iter().flat_map(|b| b.used_variables()).collect();
         used.sort_unstable();
         used.dedup();
         used

@@ -173,9 +173,7 @@ pub fn environmental_selection(objectives: &[Vec<f64>], n: usize) -> Vec<usize> 
         } else {
             let dist = crowding_distances(objectives, &front);
             let mut by_crowding: Vec<usize> = (0..front.len()).collect();
-            by_crowding.sort_by(|&a, &b| {
-                dist[b].partial_cmp(&dist[a]).unwrap_or(Ordering::Equal)
-            });
+            by_crowding.sort_by(|&a, &b| dist[b].partial_cmp(&dist[a]).unwrap_or(Ordering::Equal));
             for &i in by_crowding.iter().take(n - survivors.len()) {
                 survivors.push(front[i]);
             }
@@ -302,7 +300,9 @@ mod tests {
         assert!(!ranked.crowded_less(2, 1));
         let mut rng = StdRng::seed_from_u64(3);
         // Tournament always returns a valid index and favors rank 0.
-        let wins0 = (0..1000).filter(|_| ranked.tournament(&mut rng) == 0).count();
+        let wins0 = (0..1000)
+            .filter(|_| ranked.tournament(&mut rng) == 0)
+            .count();
         assert!(wins0 > 400, "rank-0 wins only {wins0}/1000");
     }
 

@@ -14,11 +14,7 @@ pub fn nondominated_indices(points: &[(f64, f64)]) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| {
             !(0..points.len()).any(|j| {
-                j != i
-                    && dominates(
-                        &[points[j].0, points[j].1],
-                        &[points[i].0, points[i].1],
-                    )
+                j != i && dominates(&[points[j].0, points[j].1], &[points[i].0, points[i].1])
             })
         })
         .collect()
@@ -54,7 +50,10 @@ fn prune_negligible(models: Vec<Model>, error_of: impl Fn(&Model) -> f64) -> Vec
 /// Filters models to the (train-error, complexity) front, deduplicated,
 /// sorted by complexity, and pruned of numerically negligible refinements.
 pub fn train_tradeoff(models: &[Model]) -> Vec<Model> {
-    let pts: Vec<(f64, f64)> = models.iter().map(|m| (m.train_error, m.complexity)).collect();
+    let pts: Vec<(f64, f64)> = models
+        .iter()
+        .map(|m| (m.train_error, m.complexity))
+        .collect();
     let keep: Vec<Model> = nondominated_indices(&pts)
         .into_iter()
         .map(|i| models[i].clone())
@@ -76,8 +75,7 @@ pub fn test_tradeoff(models: &[Model]) -> Vec<Model> {
         .into_iter()
         .map(|i| with_test[i].clone())
         .collect();
-    let mut keep =
-        dedup_by_objectives(keep, |m| m.test_error.unwrap_or(f64::INFINITY));
+    let mut keep = dedup_by_objectives(keep, |m| m.test_error.unwrap_or(f64::INFINITY));
     keep.sort_by(|a, b| a.complexity.partial_cmp(&b.complexity).unwrap());
     prune_negligible(keep, |m| m.test_error.unwrap_or(f64::INFINITY))
 }

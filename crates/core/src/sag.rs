@@ -101,7 +101,9 @@ pub fn simplify_model(
                 continue; // collinear with the current set: skip
             };
             if report.press < best_press * settings.min_improvement
-                && best_candidate.map(|(_, p)| report.press < p).unwrap_or(true)
+                && best_candidate
+                    .map(|(_, p)| report.press < p)
+                    .unwrap_or(true)
             {
                 best_candidate = Some((k, report.press));
             }

@@ -28,11 +28,14 @@ pub fn full_factorial(levels: &[usize]) -> Result<Vec<Vec<usize>>, DoeError> {
     if levels.is_empty() || levels.contains(&0) {
         return Err(DoeError::EmptyDesign);
     }
-    let total: usize = levels.iter().try_fold(1usize, |acc, &l| {
-        acc.checked_mul(l).filter(|&t| t <= (1 << 24))
-    }).ok_or_else(|| {
-        DoeError::InvalidParameter("full factorial would exceed 2^24 runs".into())
-    })?;
+    let total: usize = levels
+        .iter()
+        .try_fold(1usize, |acc, &l| {
+            acc.checked_mul(l).filter(|&t| t <= (1 << 24))
+        })
+        .ok_or_else(|| {
+            DoeError::InvalidParameter("full factorial would exceed 2^24 runs".into())
+        })?;
 
     let mut runs = Vec::with_capacity(total);
     let mut current = vec![0usize; levels.len()];

@@ -138,11 +138,7 @@ impl OrthogonalArray {
                 available: self.columns,
             });
         }
-        let levels: Vec<Vec<u8>> = self
-            .levels
-            .iter()
-            .map(|row| row[..n].to_vec())
-            .collect();
+        let levels: Vec<Vec<u8>> = self.levels.iter().map(|row| row[..n].to_vec()).collect();
         Ok(OrthogonalArray {
             levels,
             runs: self.runs,

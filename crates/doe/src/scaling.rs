@@ -74,7 +74,10 @@ impl ScaledHypercube {
                 half_range.len()
             )));
         }
-        if !nominal.iter().chain(half_range.iter()).all(|v| v.is_finite())
+        if !nominal
+            .iter()
+            .chain(half_range.iter())
+            .all(|v| v.is_finite())
             || half_range.iter().any(|&h| h < 0.0)
         {
             return Err(DoeError::InvalidParameter(

@@ -48,7 +48,10 @@ impl fmt::Display for LinalgError {
                 routine,
                 iterations,
             } => {
-                write!(f, "{routine} did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "{routine} did not converge after {iterations} iterations"
+                )
             }
             LinalgError::NonFiniteInput { argument } => {
                 write!(f, "argument `{argument}` contains non-finite values")

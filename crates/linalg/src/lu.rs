@@ -243,13 +243,13 @@ mod tests {
         // stays reproducible without pulling `rand` into unit scope.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for n in [1usize, 2, 5, 10, 20] {
-            let a: Matrix = Matrix::from_fn(n, n, |i, j| {
-                next() + if i == j { 4.0 } else { 0.0 }
-            });
+            let a: Matrix = Matrix::from_fn(n, n, |i, j| next() + if i == j { 4.0 } else { 0.0 });
             let b: Vec<f64> = (0..n).map(|_| next()).collect();
             let x = solve_square(&a, &b).unwrap();
             assert!(residual_inf_norm(&a, &x, &b) < 1e-9, "n={n}");

@@ -156,7 +156,11 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics if `j >= cols`.
     pub fn column(&self, j: usize) -> Vec<T> {
-        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -169,7 +173,11 @@ impl<T: Scalar> Matrix<T> {
     /// Panics if any index is out of bounds.
     pub fn select_columns(&self, indices: &[usize]) -> Matrix<T> {
         for &j in indices {
-            assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+            assert!(
+                j < self.cols,
+                "column index {j} out of bounds ({})",
+                self.cols
+            );
         }
         Matrix::from_fn(self.rows, indices.len(), |i, k| self[(i, indices[k])])
     }

@@ -71,7 +71,8 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, LinalgError> {
     };
 
     let tol = {
-        let scale = a.max_abs().max(1.0) * b.iter().fold(0.0_f64, |acc, v| acc.max(v.abs())).max(1.0);
+        let scale =
+            a.max_abs().max(1.0) * b.iter().fold(0.0_f64, |acc, v| acc.max(v.abs())).max(1.0);
         10.0 * f64::EPSILON * scale * (m.max(n) as f64)
     };
 
@@ -164,11 +165,7 @@ mod tests {
     #[test]
     fn unconstrained_optimum_feasible_is_returned() {
         // y = 2 a + 3 b with positive coefficients: NNLS == LS.
-        let a: Matrix = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ]);
+        let a: Matrix = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
         let b = vec![2.0, 3.0, 5.0];
         let sol = nnls(&a, &b).unwrap();
         assert!((sol.x[0] - 2.0).abs() < 1e-10);
@@ -218,11 +215,7 @@ mod tests {
 
     #[test]
     fn collinear_columns_do_not_diverge() {
-        let a: Matrix = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![1.0, 1.0],
-            vec![1.0, 1.0],
-        ]);
+        let a: Matrix = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]]);
         let sol = nnls(&a, &[3.0, 3.0, 3.0]).unwrap();
         let ax = a.matvec(&sol.x).unwrap();
         for v in ax {

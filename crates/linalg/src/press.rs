@@ -100,12 +100,7 @@ mod tests {
             let sub = Matrix::from_fn(m - 1, a.cols(), |i, j| a[(keep[i], j)]);
             let bsub: Vec<f64> = keep.iter().map(|&i| b[i]).collect();
             let coef = crate::qr::lstsq(&sub, &bsub).unwrap();
-            let pred: f64 = a
-                .row(t)
-                .iter()
-                .zip(coef.iter())
-                .map(|(x, c)| x * c)
-                .sum();
+            let pred: f64 = a.row(t).iter().zip(coef.iter()).map(|(x, c)| x * c).sum();
             press += (b[t] - pred) * (b[t] - pred);
         }
         press

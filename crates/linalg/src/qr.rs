@@ -380,11 +380,7 @@ mod tests {
 
     #[test]
     fn rank_deficient_lstsq_errors() {
-        let a: Matrix = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ]);
+        let a: Matrix = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
         let qr = Qr::factor(&a).unwrap();
         assert_eq!(qr.rank(1e-10), 1);
         assert!(matches!(
@@ -395,11 +391,7 @@ mod tests {
 
     #[test]
     fn ridge_handles_collinear_columns() {
-        let a: Matrix = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ]);
+        let a: Matrix = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
         let x = lstsq_ridge(&a, &[1.0, 2.0, 3.0], 1e-8).unwrap();
         let yhat = a.matvec(&x).unwrap();
         for (y, b) in yhat.iter().zip([1.0, 2.0, 3.0]) {
@@ -409,11 +401,7 @@ mod tests {
 
     #[test]
     fn ridge_matches_plain_lstsq_when_well_posed() {
-        let a: Matrix = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-        ]);
+        let a: Matrix = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]);
         let b = vec![1.0, 3.0, 5.0];
         let x0 = lstsq(&a, &b).unwrap();
         let x1 = lstsq_ridge(&a, &b, 1e-12).unwrap();

@@ -119,7 +119,10 @@ mod tests {
         assert_eq!(z.modulus(), 5.0);
         assert_eq!(Scalar::conj(z), Complex64::new(3.0, 4.0));
         assert!(Scalar::is_finite_scalar(z));
-        assert!(!Scalar::is_finite_scalar(Complex64::new(f64::INFINITY, 0.0)));
+        assert!(!Scalar::is_finite_scalar(Complex64::new(
+            f64::INFINITY,
+            0.0
+        )));
         assert_eq!(<Complex64 as Scalar>::one(), Complex64::new(1.0, 0.0));
     }
 }

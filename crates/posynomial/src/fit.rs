@@ -41,9 +41,12 @@ fn normalize_columns(a: &Matrix) -> (Matrix, Vec<f64>) {
     let mut norms = vec![0.0f64; a.cols()];
     for j in 0..a.cols() {
         let col = a.column(j);
-        let rms =
-            (col.iter().map(|v| v * v).sum::<f64>() / a.rows().max(1) as f64).sqrt();
-        norms[j] = if rms > 0.0 && rms.is_finite() { rms } else { 1.0 };
+        let rms = (col.iter().map(|v| v * v).sum::<f64>() / a.rows().max(1) as f64).sqrt();
+        norms[j] = if rms > 0.0 && rms.is_finite() {
+            rms
+        } else {
+            1.0
+        };
     }
     let scaled = Matrix::from_fn(a.rows(), a.cols(), |i, j| a[(i, j)] / norms[j]);
     (scaled, norms)
@@ -179,12 +182,8 @@ mod tests {
 
     #[test]
     fn nonpositive_design_values_rejected() {
-        let data = Dataset::new(
-            vec!["a".into()],
-            vec![vec![1.0], vec![0.0]],
-            vec![1.0, 2.0],
-        )
-        .unwrap();
+        let data =
+            Dataset::new(vec!["a".into()], vec![vec![1.0], vec![0.0]], vec![1.0, 2.0]).unwrap();
         assert!(matches!(
             fit_posynomial(&data, &TemplateSpec::order2()),
             Err(PosynomialError::InvalidData(_))

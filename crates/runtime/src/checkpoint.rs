@@ -1,0 +1,129 @@
+//! Checkpoint snapshots: the full runner state as JSON on disk.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use caffeine_core::{CaffeineError, CaffeineSettings, EngineState, GrammarConfig};
+
+use crate::config::RuntimeConfig;
+
+/// Runtime error: the engine's own failures plus checkpoint IO/decode.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// An engine/validation failure.
+    Engine(CaffeineError),
+    /// A checkpoint file could not be read or written.
+    Io(std::io::Error),
+    /// A checkpoint file was unreadable or inconsistent with the run.
+    Corrupt(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Engine(e) => write!(f, "{e}"),
+            RuntimeError::Io(e) => write!(f, "checkpoint IO failure: {e}"),
+            RuntimeError::Corrupt(msg) => write!(f, "checkpoint unusable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Engine(e) => Some(e),
+            RuntimeError::Io(e) => Some(e),
+            RuntimeError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<CaffeineError> for RuntimeError {
+    fn from(e: CaffeineError) -> Self {
+        RuntimeError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for RuntimeError {
+    fn from(e: std::io::Error) -> Self {
+        RuntimeError::Io(e)
+    }
+}
+
+/// A complete, resumable snapshot of an [`crate::IslandRunner`].
+///
+/// Contains every island's population *and* RNG position, so resuming
+/// reproduces the uninterrupted run bit for bit. The dataset itself is not
+/// stored (it can be large and lives in the user's files); its shape is,
+/// and is re-validated on resume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeCheckpoint {
+    /// Format version (see [`RuntimeCheckpoint::VERSION`]).
+    pub version: u32,
+    /// The master settings the run was started with.
+    pub master: CaffeineSettings,
+    /// The grammar configuration.
+    pub grammar: GrammarConfig,
+    /// The runtime configuration.
+    pub config: RuntimeConfig,
+    /// Completed generations.
+    pub completed: usize,
+    /// Every island's full engine state.
+    pub islands: Vec<EngineState>,
+    /// Variable count of the training dataset (resume validation).
+    pub n_vars: usize,
+    /// Sample count of the training dataset (resume validation).
+    pub n_samples: usize,
+}
+
+impl RuntimeCheckpoint {
+    /// Current checkpoint format version.
+    pub const VERSION: u32 = 1;
+
+    /// Writes the checkpoint as JSON, atomically (temp file + rename), so
+    /// an interruption mid-write never corrupts the previous snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), RuntimeError> {
+        let json = serde_json::to_string(self).map_err(|e| RuntimeError::Corrupt(e.to_string()))?;
+        // Append (never replace) a suffix: `with_extension` would map both
+        // `a.json` and `a.ckpt` — or `state.tmp` and the staging file
+        // itself — onto the same path, truncating the good snapshot.
+        let mut staged = path.as_os_str().to_owned();
+        staged.push(".partial");
+        let tmp = std::path::PathBuf::from(staged);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint back from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Io`] for filesystem failures,
+    /// [`RuntimeError::Corrupt`] for undecodable or version-mismatched
+    /// files.
+    pub fn load(path: &Path) -> Result<RuntimeCheckpoint, RuntimeError> {
+        let text = std::fs::read_to_string(path)?;
+        let cp: RuntimeCheckpoint = serde_json::from_str(&text)
+            .map_err(|e| RuntimeError::Corrupt(format!("{}: {e}", path.display())))?;
+        if cp.version != RuntimeCheckpoint::VERSION {
+            return Err(RuntimeError::Corrupt(format!(
+                "checkpoint version {} (this build reads {})",
+                cp.version,
+                RuntimeCheckpoint::VERSION
+            )));
+        }
+        Ok(cp)
+    }
+}

@@ -1,0 +1,64 @@
+//! Runtime configuration.
+
+use serde::{Deserialize, Serialize};
+
+use caffeine_core::CaffeineError;
+
+/// Execution policy for an [`crate::IslandRunner`] run.
+///
+/// Only `islands`, `migrate_every`, and `migrants` shape the search result;
+/// `threads` and the checkpoint cadence are pure execution details (any
+/// thread count reproduces the same front, and checkpointing never
+/// perturbs the run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Worker threads for fitness evaluation (1 = serial).
+    pub threads: usize,
+    /// Number of islands (1 = plain panmictic NSGA-II).
+    pub islands: usize,
+    /// Ring-migrate every this many generations (0 disables migration).
+    pub migrate_every: usize,
+    /// Individuals cloned to the ring neighbor per migration event.
+    pub migrants: usize,
+    /// Write a checkpoint every this many generations (0 = only on
+    /// completion; ignored without a checkpoint path).
+    pub checkpoint_every: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            threads: 1,
+            islands: 1,
+            migrate_every: 25,
+            migrants: 2,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CaffeineError::InvalidSettings`] for zero thread/island counts.
+    pub fn check(&self) -> Result<(), CaffeineError> {
+        if self.threads == 0 {
+            return Err(CaffeineError::InvalidSettings(
+                "threads must be at least 1".into(),
+            ));
+        }
+        if self.islands == 0 {
+            return Err(CaffeineError::InvalidSettings(
+                "islands must be at least 1".into(),
+            ));
+        }
+        if self.migrants == 0 && self.islands > 1 && self.migrate_every > 0 {
+            return Err(CaffeineError::InvalidSettings(
+                "migrants must be at least 1 when migration is enabled".into(),
+            ));
+        }
+        Ok(())
+    }
+}

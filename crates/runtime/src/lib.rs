@@ -1,0 +1,60 @@
+//! `caffeine-runtime` — the parallel island-model execution runtime for
+//! the CAFFEINE engine.
+//!
+//! The core crate deliberately exposes evolution as *state + step +
+//! evaluator* ([`caffeine_core::EngineState`], [`caffeine_core::Evaluator`]);
+//! this crate supplies the execution policy around that surface:
+//!
+//! * [`ParallelEvaluator`]: evaluates a population in contiguous chunks on
+//!   scoped worker threads. Fitness evaluation is pure per individual, so
+//!   the result is **bit-identical** for 1 or N threads — parallelism is
+//!   an execution detail, never an algorithmic one.
+//! * [`IslandRunner`]: the island model. The population is split over K
+//!   islands, each evolving under its own RNG stream derived from the
+//!   master seed; every `migrate_every` generations each island's best
+//!   nondominated individuals are cloned to its ring neighbor, replacing
+//!   the neighbor's worst. With K = 1 the runner reduces exactly to
+//!   [`caffeine_core::CaffeineEngine::run`].
+//! * [`RuntimeCheckpoint`]: serde snapshots of the full runner state
+//!   (every island's population *and* RNG position) written as JSON, with
+//!   [`IslandRunner::from_checkpoint`] resuming a run bit-exactly — a
+//!   5000-generation reference run survives interruption.
+//! * [`RunEvent`]: a live statistics channel; attach any
+//!   `std::sync::mpsc::Sender<RunEvent>` to watch progress while a run is
+//!   executing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use caffeine_core::{CaffeineSettings, GrammarConfig};
+//! use caffeine_doe::Dataset;
+//! use caffeine_runtime::{IslandRunner, RuntimeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let xs: Vec<Vec<f64>> = (1..=24).map(|i| vec![i as f64 * 0.25]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 3.0 / x[0]).collect();
+//! let data = Dataset::new(vec!["x0".into()], xs, ys)?;
+//!
+//! let mut settings = CaffeineSettings::quick_test();
+//! settings.seed = 7;
+//! let config = RuntimeConfig { threads: 2, islands: 2, ..RuntimeConfig::default() };
+//! let mut runner = IslandRunner::new(settings, GrammarConfig::rational(1), config, &data)?;
+//! let result = runner.run(&data)?;
+//! assert!(!result.models.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod checkpoint;
+mod config;
+mod island;
+mod pool;
+mod stats;
+
+pub use checkpoint::{RuntimeCheckpoint, RuntimeError};
+pub use config::RuntimeConfig;
+pub use island::{derive_island_seed, IslandRunner};
+pub use pool::ParallelEvaluator;
+pub use stats::RunEvent;

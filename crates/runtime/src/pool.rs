@@ -1,0 +1,106 @@
+//! Deterministic parallel fitness evaluation.
+
+use caffeine_core::gp::Individual;
+use caffeine_core::{DatasetEvaluator, Evaluator};
+
+/// An [`Evaluator`] that fans a population batch out over scoped worker
+/// threads.
+///
+/// The population slice is split into `threads` contiguous chunks; each
+/// worker evaluates its chunk in place with the wrapped serial
+/// [`DatasetEvaluator`]. Because per-individual evaluation is pure (no
+/// RNG, no cross-individual state), the filled-in evaluations — and hence
+/// the whole run — are bit-identical regardless of the thread count or
+/// scheduling order. Threads are scoped (`std::thread::scope`), so no
+/// `'static` bounds or channel plumbing are needed and a panic in any
+/// worker propagates.
+#[derive(Debug)]
+pub struct ParallelEvaluator<'a> {
+    inner: DatasetEvaluator<'a>,
+    threads: usize,
+}
+
+impl<'a> ParallelEvaluator<'a> {
+    /// Wraps a serial evaluator with a thread count (clamped to ≥ 1).
+    pub fn new(inner: DatasetEvaluator<'a>, threads: usize) -> ParallelEvaluator<'a> {
+        ParallelEvaluator {
+            inner,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The wrapped serial evaluator.
+    pub fn inner(&self) -> &DatasetEvaluator<'a> {
+        &self.inner
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Evaluator for ParallelEvaluator<'_> {
+    fn evaluate_all(&self, population: &mut [Individual]) {
+        if self.threads == 1 || population.len() < 2 {
+            self.inner.evaluate_all(population);
+            return;
+        }
+        let chunk = population.len().div_ceil(self.threads);
+        std::thread::scope(|scope| {
+            for part in population.chunks_mut(chunk) {
+                let inner = &self.inner;
+                scope.spawn(move || {
+                    for ind in part {
+                        inner.evaluate_one(ind);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caffeine_core::grammar::RandomExprGen;
+    use caffeine_core::{CaffeineSettings, GrammarConfig};
+    use caffeine_doe::Dataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> Dataset {
+        let xs: Vec<Vec<f64>> = (1..=20).map(|i| vec![0.5 + i as f64 * 0.2]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 / x[0]).collect();
+        Dataset::new(vec!["x0".into()], xs, ys).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let settings = CaffeineSettings::quick_test();
+        let grammar = GrammarConfig::rational(1);
+        let data = data();
+        let gen = RandomExprGen::new(&grammar);
+        let mut rng = StdRng::seed_from_u64(5);
+        let make = |rng: &mut StdRng| -> Vec<Individual> {
+            (0..37)
+                .map(|_| Individual::new(vec![gen.gen_basis(rng), gen.gen_basis(rng)]))
+                .collect()
+        };
+        let population = make(&mut rng);
+
+        let serial = DatasetEvaluator::new(&settings, &grammar, &data).unwrap();
+        let mut expect = population.clone();
+        serial.evaluate_all(&mut expect);
+
+        for threads in [2, 3, 8, 64] {
+            let par = ParallelEvaluator::new(
+                DatasetEvaluator::new(&settings, &grammar, &data).unwrap(),
+                threads,
+            );
+            let mut got = population.clone();
+            par.evaluate_all(&mut got);
+            assert_eq!(expect, got, "thread count {threads} diverged");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Live progress events.
+
+use caffeine_core::EvolutionStats;
+use serde::{Deserialize, Serialize};
+
+/// One progress event emitted by [`crate::IslandRunner`] while a run is
+/// executing (send half: any `std::sync::mpsc::Sender<RunEvent>`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunEvent {
+    /// Periodic per-island statistics (emitted on the engine's
+    /// `stats_every` schedule).
+    Progress {
+        /// Which island the snapshot belongs to.
+        island: usize,
+        /// The snapshot.
+        stats: EvolutionStats,
+    },
+    /// A migration round completed after this many total generations.
+    Migrated {
+        /// Completed generations at migration time.
+        generation: usize,
+    },
+    /// A checkpoint was written.
+    Checkpointed {
+        /// Completed generations at checkpoint time.
+        generation: usize,
+    },
+    /// The run finished all generations.
+    Finished {
+        /// Total completed generations.
+        generation: usize,
+    },
+}

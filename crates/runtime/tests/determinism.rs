@@ -1,0 +1,228 @@
+//! Determinism guarantees of the runtime: thread count must never change
+//! a result, islands must reduce to the serial engine at K = 1, and a
+//! resumed checkpoint must match the uninterrupted run.
+
+use caffeine_core::{CaffeineEngine, CaffeineSettings, GrammarConfig};
+use caffeine_doe::Dataset;
+use caffeine_runtime::{IslandRunner, RuntimeCheckpoint, RuntimeConfig};
+
+fn ota_like_dataset() -> Dataset {
+    // 3 variables, multiplicative/rational target — the shape of the
+    // paper's OTA performances, sized for test speed.
+    let mut xs = Vec::new();
+    for i in 0..36 {
+        xs.push(vec![
+            0.5 + (i % 6) as f64 * 0.4,
+            1.0 + (i / 6) as f64 * 0.3,
+            0.8 + ((i * 5) % 7) as f64 * 0.25,
+        ]);
+    }
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 3.0 * x[0] / x[1] + 0.5 * x[2] + 1.0 / (x[0] * x[2]))
+        .collect();
+    Dataset::new(vec!["x0".into(), "x1".into(), "x2".into()], xs, ys).unwrap()
+}
+
+fn settings() -> CaffeineSettings {
+    let mut s = CaffeineSettings::quick_test();
+    s.population = 40;
+    s.generations = 15;
+    s.seed = 29;
+    s.stats_every = 5;
+    s
+}
+
+fn front_errors(models: &[caffeine_core::Model]) -> Vec<(u64, u64)> {
+    models
+        .iter()
+        .map(|m| (m.train_error.to_bits(), m.complexity.to_bits()))
+        .collect()
+}
+
+#[test]
+fn thread_count_never_changes_the_front() {
+    let data = ota_like_dataset();
+    let grammar = GrammarConfig::rational(3);
+    let mut fronts = Vec::new();
+    for threads in [1, 2, 8] {
+        let config = RuntimeConfig {
+            threads,
+            islands: 1,
+            ..RuntimeConfig::default()
+        };
+        let mut runner = IslandRunner::new(settings(), grammar.clone(), config, &data).unwrap();
+        let result = runner.run(&data).unwrap();
+        fronts.push((threads, front_errors(&result.models)));
+    }
+    for w in fronts.windows(2) {
+        assert_eq!(
+            w[0].1, w[1].1,
+            "fronts differ between {} and {} threads",
+            w[0].0, w[1].0
+        );
+    }
+}
+
+#[test]
+fn islands_are_deterministic_across_thread_counts() {
+    let data = ota_like_dataset();
+    let grammar = GrammarConfig::rational(3);
+    let run = |threads: usize| {
+        let config = RuntimeConfig {
+            threads,
+            islands: 4,
+            migrate_every: 4,
+            migrants: 2,
+            ..RuntimeConfig::default()
+        };
+        let mut runner = IslandRunner::new(settings(), grammar.clone(), config, &data).unwrap();
+        front_errors(&runner.run(&data).unwrap().models)
+    };
+    assert_eq!(run(1), run(8), "island run depends on thread count");
+}
+
+#[test]
+fn one_island_matches_the_serial_engine_exactly() {
+    let data = ota_like_dataset();
+    let grammar = GrammarConfig::rational(3);
+
+    let reference = CaffeineEngine::new(settings(), grammar.clone())
+        .run(&data)
+        .unwrap();
+
+    let config = RuntimeConfig {
+        threads: 4,
+        islands: 1,
+        ..RuntimeConfig::default()
+    };
+    let mut runner = IslandRunner::new(settings(), grammar, config, &data).unwrap();
+    let result = runner.run(&data).unwrap();
+
+    assert_eq!(
+        front_errors(&reference.models),
+        front_errors(&result.models)
+    );
+    assert_eq!(reference.stats, result.stats);
+}
+
+#[test]
+fn islands_change_the_search_but_keep_the_contract() {
+    // Not an equivalence test — K islands is a *different* (coarser-
+    // grained) search — but the result must still be a valid front.
+    let data = ota_like_dataset();
+    let grammar = GrammarConfig::rational(3);
+    let config = RuntimeConfig {
+        threads: 2,
+        islands: 3,
+        migrate_every: 5,
+        migrants: 1,
+        ..RuntimeConfig::default()
+    };
+    let mut runner = IslandRunner::new(settings(), grammar, config, &data).unwrap();
+    let result = runner.run(&data).unwrap();
+    assert!(!result.models.is_empty());
+    for w in result.models.windows(2) {
+        assert!(w[0].complexity <= w[1].complexity, "front not sorted");
+    }
+    // The constant anchor is present.
+    assert!(result.models.iter().any(|m| m.complexity == 0.0));
+}
+
+#[test]
+fn resumed_checkpoint_matches_uninterrupted_run() {
+    let data = ota_like_dataset();
+    let grammar = GrammarConfig::rational(3);
+    let config = RuntimeConfig {
+        threads: 2,
+        islands: 2,
+        migrate_every: 4,
+        migrants: 1,
+        ..RuntimeConfig::default()
+    };
+
+    // Uninterrupted reference.
+    let mut full = IslandRunner::new(settings(), grammar.clone(), config.clone(), &data).unwrap();
+    let reference = full.run(&data).unwrap();
+
+    // Interrupted run: 7 generations, snapshot (through JSON text, the
+    // same path the CLI uses), rebuild, continue.
+    let mut first = IslandRunner::new(settings(), grammar.clone(), config.clone(), &data).unwrap();
+    first.run_generations(&data, 7).unwrap();
+    assert_eq!(first.completed_generations(), 7);
+    let json = serde_json::to_string(&first.checkpoint(&data)).unwrap();
+    drop(first);
+
+    let checkpoint: RuntimeCheckpoint = serde_json::from_str(&json).unwrap();
+    assert_eq!(checkpoint.completed, 7);
+    let mut resumed = IslandRunner::from_checkpoint(checkpoint, &data).unwrap();
+    let result = resumed.run(&data).unwrap();
+
+    assert_eq!(
+        front_errors(&reference.models),
+        front_errors(&result.models)
+    );
+    assert_eq!(reference.stats, result.stats);
+}
+
+#[test]
+fn checkpoint_file_round_trip_and_validation() {
+    let data = ota_like_dataset();
+    let grammar = GrammarConfig::rational(3);
+    let mut runner =
+        IslandRunner::new(settings(), grammar, RuntimeConfig::default(), &data).unwrap();
+    runner.run_generations(&data, 3).unwrap();
+
+    let dir = std::env::temp_dir().join("caffeine-runtime-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ckpt.json");
+    runner.checkpoint(&data).save(&path).unwrap();
+    let loaded = RuntimeCheckpoint::load(&path).unwrap();
+    assert_eq!(loaded.completed, 3);
+
+    // A mismatched dataset is rejected on resume.
+    let other = Dataset::new(
+        vec!["a".into()],
+        vec![vec![1.0], vec![2.0], vec![3.0]],
+        vec![1.0, 2.0, 3.0],
+    )
+    .unwrap();
+    assert!(IslandRunner::from_checkpoint(loaded, &other).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn events_are_emitted_in_order() {
+    use caffeine_runtime::RunEvent;
+    let data = ota_like_dataset();
+    let grammar = GrammarConfig::rational(3);
+    let config = RuntimeConfig {
+        threads: 1,
+        islands: 2,
+        migrate_every: 5,
+        migrants: 1,
+        ..RuntimeConfig::default()
+    };
+    let mut runner = IslandRunner::new(settings(), grammar, config, &data).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    runner.set_events(tx);
+    runner.run(&data).unwrap();
+    let events: Vec<RunEvent> = rx.try_iter().collect();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, RunEvent::Progress { .. })),
+        "no progress events"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, RunEvent::Migrated { .. })),
+        "no migration events"
+    );
+    assert!(
+        matches!(events.last(), Some(RunEvent::Finished { generation }) if *generation == 15),
+        "missing final event: {:?}",
+        events.last()
+    );
+}

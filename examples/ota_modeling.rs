@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let perf = PerfId::Pm;
     let (train_x, train_y) = simulate_table(&tb, &train_pts, perf);
     let (test_x, test_y) = simulate_table(&tb, &test_pts, perf);
-    println!("simulated {} train / {} test samples of {perf}", train_y.len(), test_y.len());
+    println!(
+        "simulated {} train / {} test samples of {perf}",
+        train_y.len(),
+        test_y.len()
+    );
 
     let names: Vec<String> = OTA_VAR_NAMES.iter().map(|s| s.to_string()).collect();
     let train = Dataset::new(names.clone(), train_x, train_y)?;

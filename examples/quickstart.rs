@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Inspect the error/complexity tradeoff.
     let opts = FormatOptions::with_names(vec!["x".into()]);
-    println!("error/complexity tradeoff ({} models):", result.models.len());
+    println!(
+        "error/complexity tradeoff ({} models):",
+        result.models.len()
+    );
     println!("{:>10} {:>12}  expression", "error", "complexity");
     for model in &result.models {
         println!(

@@ -2,18 +2,23 @@
 //!
 //! ```text
 //! caffeine-cli --data measurements.csv --target PM --test holdout.csv \
-//!              --gens 500 --out models.json
+//!              --gens 500 --threads 8 --islands 4 \
+//!              --checkpoint pm.ckpt --out models.json
 //! ```
 //!
 //! Reads `{x, y}` samples from a CSV (header row = variable names), runs
-//! the CAFFEINE engine, applies SAG post-processing when a test set is
-//! given, and prints the error/complexity tradeoff as readable
-//! expressions.
+//! the CAFFEINE engine through the `caffeine-runtime` island runner
+//! (parallel evaluation, optional islands, resumable checkpoints), applies
+//! SAG post-processing when a test set is given, and prints the
+//! error/complexity tradeoff as readable expressions.
+
+use std::path::Path;
 
 use caffeine::cli::{front_summary, front_to_json, parse_csv, usage, CliOptions};
 use caffeine::core::expr::FormatOptions;
 use caffeine::core::sag::{simplify_front, SagSettings};
-use caffeine::core::{pareto, CaffeineEngine};
+use caffeine::core::{pareto, CaffeineResult};
+use caffeine::runtime::{IslandRunner, RunEvent, RuntimeCheckpoint};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +32,86 @@ fn main() {
         eprint!("{}", usage());
         std::process::exit(1);
     }
+}
+
+fn evolve(opts: &CliOptions, train: &caffeine::doe::Dataset) -> Result<CaffeineResult, String> {
+    let grammar = opts.resolve_grammar(train.n_vars())?;
+    let settings = opts.settings();
+    let config = opts.runtime_config();
+
+    let resume_from = opts
+        .checkpoint
+        .as_deref()
+        .filter(|p| opts.resume && Path::new(p).exists());
+    let mut runner = match resume_from {
+        Some(path) => {
+            let checkpoint = RuntimeCheckpoint::load(Path::new(path)).map_err(|e| e.to_string())?;
+            eprintln!(
+                "resuming from {path}: {} of {} generations done",
+                checkpoint.completed, checkpoint.master.generations
+            );
+            // Search-shaping flags are fixed by the checkpoint; warn when
+            // the command line tries to change one instead of silently
+            // ignoring it.
+            for flag in [
+                "--pop",
+                "--seed",
+                "--max-bases",
+                "--islands",
+                "--migrate-every",
+            ] {
+                if opts.was_set(flag) {
+                    eprintln!("warning: {flag} is fixed by the checkpoint and was ignored");
+                }
+            }
+            let mut runner =
+                IslandRunner::from_checkpoint(checkpoint, train).map_err(|e| e.to_string())?;
+            // An *explicit* `--gens` retargets the total so a resumed run
+            // can be extended; otherwise the checkpointed total stands
+            // (the bare-resume case must not truncate to the default).
+            if opts.was_set("--gens") {
+                runner.set_total_generations(opts.generations);
+            }
+            // Execution policy never changes the result: always honor it.
+            runner.set_threads(opts.threads);
+            if opts.was_set("--checkpoint-every") {
+                runner.set_checkpoint_every(opts.checkpoint_every);
+            }
+            runner
+        }
+        None => IslandRunner::new(settings, grammar, config, train).map_err(|e| e.to_string())?,
+    };
+    if let Some(path) = &opts.checkpoint {
+        runner.set_checkpoint_path(path);
+    }
+
+    // Live progress: print runtime events to stderr from a printer thread.
+    let (tx, rx) = std::sync::mpsc::channel();
+    runner.set_events(tx);
+    let printer = std::thread::spawn(move || {
+        for event in rx {
+            match event {
+                RunEvent::Progress { island, stats } => eprintln!(
+                    "gen {:>5} island {island}: best error {:.4}%, front {}, feasible {}",
+                    stats.generation,
+                    100.0 * stats.best_error,
+                    stats.front_size,
+                    stats.feasible
+                ),
+                RunEvent::Migrated { generation } => {
+                    eprintln!("gen {generation:>5}: ring migration")
+                }
+                RunEvent::Checkpointed { generation } => {
+                    eprintln!("gen {generation:>5}: checkpoint written")
+                }
+                RunEvent::Finished { .. } => {}
+            }
+        }
+    });
+    let result = runner.run(train).map_err(|e| e.to_string());
+    drop(runner); // closes the channel so the printer exits
+    printer.join().expect("progress printer panicked");
+    result
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -47,8 +132,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let test = match &opts.test {
         Some(path) => {
-            let t = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let t =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let mut ds = parse_csv(&t, opts.target.as_deref())?;
             ds.drop_nonfinite();
             Some(ds)
@@ -56,13 +141,11 @@ fn run(args: &[String]) -> Result<(), String> {
         None => None,
     };
 
-    let grammar = opts.resolve_grammar(train.n_vars())?;
-    let engine = CaffeineEngine::new(opts.settings(), grammar);
     eprintln!(
-        "evolving: pop {}, {} generations, max {} bases...",
-        opts.population, opts.generations, opts.max_bases
+        "evolving: pop {}, {} generations, max {} bases, {} thread(s), {} island(s)...",
+        opts.population, opts.generations, opts.max_bases, opts.threads, opts.islands
     );
-    let result = engine.run(&train).map_err(|e| e.to_string())?;
+    let result = evolve(&opts, &train)?;
 
     let cw = caffeine::core::expr::ComplexityWeights::default();
     let models: Vec<_> = match &test {
@@ -78,7 +161,10 @@ fn run(args: &[String]) -> Result<(), String> {
     .collect();
 
     let fmt = FormatOptions::with_names(train.names().to_vec());
-    println!("{:>10} {:>10} {:>12}  expression", "train", "test", "complexity");
+    println!(
+        "{:>10} {:>10} {:>12}  expression",
+        "train", "test", "complexity"
+    );
     for m in &models {
         let test_str = m
             .test_error

@@ -27,6 +27,21 @@ pub struct CliOptions {
     pub max_bases: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Evaluation worker threads.
+    pub threads: usize,
+    /// Number of islands.
+    pub islands: usize,
+    /// Ring-migration period in generations (0 disables).
+    pub migrate_every: usize,
+    /// Checkpoint file path.
+    pub checkpoint: Option<String>,
+    /// Checkpoint cadence in generations (0 = only on completion).
+    pub checkpoint_every: usize,
+    /// Resume from the `--checkpoint` file when it exists.
+    pub resume: bool,
+    /// Flags that were explicitly given (distinguishes `--gens 300` from
+    /// the default — resume semantics depend on it).
+    pub explicit: Vec<&'static str>,
 }
 
 impl Default for CliOptions {
@@ -41,8 +56,62 @@ impl Default for CliOptions {
             generations: 300,
             max_bases: 10,
             seed: 0,
+            threads: 1,
+            islands: 1,
+            migrate_every: 25,
+            checkpoint: None,
+            checkpoint_every: 0,
+            resume: false,
+            explicit: Vec::new(),
         }
     }
+}
+
+/// Every flag the CLI knows, in usage order. Used for duplicate detection
+/// and nearest-flag suggestions.
+const KNOWN_FLAGS: &[&str] = &[
+    "--data",
+    "--target",
+    "--test",
+    "--grammar",
+    "--out",
+    "--pop",
+    "--gens",
+    "--max-bases",
+    "--seed",
+    "--threads",
+    "--islands",
+    "--migrate-every",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--resume",
+];
+
+/// Levenshtein edit distance (for `did you mean ...?` suggestions).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest known flag, when it is close enough to be a plausible typo.
+fn nearest_flag(unknown: &str) -> Option<&'static str> {
+    KNOWN_FLAGS
+        .iter()
+        .map(|&f| (edit_distance(unknown, f), f))
+        .min()
+        .filter(|&(d, f)| d <= (f.len() / 2).max(2))
+        .map(|(_, f)| f)
 }
 
 impl CliOptions {
@@ -51,16 +120,28 @@ impl CliOptions {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message for unknown flags, missing values,
-    /// or a missing `--data`.
+    /// Returns a human-readable message for unknown flags (with a
+    /// nearest-flag suggestion), duplicated flags, missing values, or a
+    /// missing `--data`.
     pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         let mut opts = CliOptions::default();
         let mut it = args.iter();
         while let Some(flag) = it.next() {
+            if let Some(known) = KNOWN_FLAGS.iter().find(|&&f| f == flag.as_str()) {
+                if opts.explicit.contains(known) {
+                    return Err(format!("flag {known} given more than once"));
+                }
+                opts.explicit.push(known);
+            }
             let mut value = |name: &str| -> Result<String, String> {
                 it.next()
                     .cloned()
                     .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            let mut int = |name: &str| -> Result<usize, String> {
+                value(name)?
+                    .parse()
+                    .map_err(|_| format!("{name} needs an integer"))
             };
             match flag.as_str() {
                 "--data" => opts.data = value("--data")?,
@@ -68,33 +149,53 @@ impl CliOptions {
                 "--test" => opts.test = Some(value("--test")?),
                 "--grammar" => opts.grammar = Some(value("--grammar")?),
                 "--out" => opts.out = Some(value("--out")?),
-                "--pop" => {
-                    opts.population = value("--pop")?
-                        .parse()
-                        .map_err(|_| "--pop needs an integer".to_string())?
-                }
-                "--gens" => {
-                    opts.generations = value("--gens")?
-                        .parse()
-                        .map_err(|_| "--gens needs an integer".to_string())?
-                }
-                "--max-bases" => {
-                    opts.max_bases = value("--max-bases")?
-                        .parse()
-                        .map_err(|_| "--max-bases needs an integer".to_string())?
-                }
+                "--pop" => opts.population = int("--pop")?,
+                "--gens" => opts.generations = int("--gens")?,
+                "--max-bases" => opts.max_bases = int("--max-bases")?,
                 "--seed" => {
                     opts.seed = value("--seed")?
                         .parse()
                         .map_err(|_| "--seed needs an integer".to_string())?
                 }
-                other => return Err(format!("unknown flag `{other}` (see --help)")),
+                "--threads" => opts.threads = int("--threads")?,
+                "--islands" => opts.islands = int("--islands")?,
+                "--migrate-every" => opts.migrate_every = int("--migrate-every")?,
+                "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")?),
+                "--checkpoint-every" => opts.checkpoint_every = int("--checkpoint-every")?,
+                "--resume" => opts.resume = true,
+                other => {
+                    return Err(match nearest_flag(other) {
+                        Some(near) => {
+                            format!("unknown flag `{other}` — did you mean `{near}`? (see --help)")
+                        }
+                        None => format!("unknown flag `{other}` (see --help)"),
+                    })
+                }
             }
         }
         if opts.data.is_empty() {
             return Err("missing required flag --data <file.csv>".to_string());
         }
+        if opts.resume && opts.checkpoint.is_none() {
+            return Err("--resume needs --checkpoint <file> to resume from".to_string());
+        }
         Ok(opts)
+    }
+
+    /// `true` when the flag was explicitly present on the command line.
+    pub fn was_set(&self, flag: &str) -> bool {
+        self.explicit.contains(&flag)
+    }
+
+    /// The runtime configuration implied by these options.
+    pub fn runtime_config(&self) -> caffeine_runtime::RuntimeConfig {
+        caffeine_runtime::RuntimeConfig {
+            threads: self.threads.max(1),
+            islands: self.islands.max(1),
+            migrate_every: self.migrate_every,
+            checkpoint_every: self.checkpoint_every,
+            ..caffeine_runtime::RuntimeConfig::default()
+        }
     }
 
     /// The engine settings implied by these options.
@@ -152,7 +253,19 @@ pub fn usage() -> &'static str {
        --pop <n>           population size (default 200)\n\
        --gens <n>          generations (default 300)\n\
        --max-bases <n>     max basis functions per model (default 10)\n\
-       --seed <n>          RNG seed (default 0)\n"
+       --seed <n>          RNG seed (default 0)\n\
+     \n\
+     runtime options (caffeine-runtime):\n\
+       --threads <n>          evaluation worker threads; any n reproduces\n\
+                              the --threads 1 result exactly (default 1)\n\
+       --islands <k>          island-model islands; the population is split\n\
+                              over them (default 1)\n\
+       --migrate-every <n>    ring-migrate nondominated individuals every n\n\
+                              generations, 0 disables (default 25)\n\
+       --checkpoint <file>    write resumable JSON snapshots of the run\n\
+       --checkpoint-every <n> snapshot cadence in generations\n\
+                              (default: only on completion)\n\
+       --resume               continue from --checkpoint if the file exists\n"
 }
 
 /// Parses a simple CSV (comma-separated, header row, no quoting) into a
@@ -163,7 +276,10 @@ pub fn usage() -> &'static str {
 /// Returns a message naming the line for ragged rows, non-numeric cells,
 /// an unknown target column, or fewer than two columns.
 pub fn parse_csv(text: &str, target: Option<&str>) -> Result<Dataset, String> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines.next().ok_or("empty CSV")?;
     let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     if names.len() < 2 {
@@ -292,8 +408,22 @@ mod tests {
     #[test]
     fn options_parse_full_flag_set() {
         let args: Vec<String> = [
-            "--data", "d.csv", "--target", "pm", "--test", "t.csv", "--pop", "50",
-            "--gens", "10", "--max-bases", "4", "--seed", "9", "--out", "m.json",
+            "--data",
+            "d.csv",
+            "--target",
+            "pm",
+            "--test",
+            "t.csv",
+            "--pop",
+            "50",
+            "--gens",
+            "10",
+            "--max-bases",
+            "4",
+            "--seed",
+            "9",
+            "--out",
+            "m.json",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -313,13 +443,97 @@ mod tests {
 
     #[test]
     fn options_reject_bad_input() {
-        let parse = |v: &[&str]| {
-            CliOptions::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
-        };
+        let parse =
+            |v: &[&str]| CliOptions::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>());
         assert!(parse(&[]).is_err()); // missing --data
         assert!(parse(&["--data"]).is_err()); // missing value
         assert!(parse(&["--data", "x", "--pop", "abc"]).is_err());
         assert!(parse(&["--data", "x", "--wat", "1"]).is_err());
+    }
+
+    #[test]
+    fn options_parse_runtime_flags() {
+        let args: Vec<String> = [
+            "--data",
+            "d.csv",
+            "--threads",
+            "8",
+            "--islands",
+            "4",
+            "--migrate-every",
+            "10",
+            "--checkpoint",
+            "run.ckpt",
+            "--checkpoint-every",
+            "50",
+            "--resume",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = CliOptions::parse(&args).unwrap();
+        assert_eq!(o.threads, 8);
+        assert_eq!(o.islands, 4);
+        assert_eq!(o.migrate_every, 10);
+        assert_eq!(o.checkpoint.as_deref(), Some("run.ckpt"));
+        assert_eq!(o.checkpoint_every, 50);
+        assert!(o.resume);
+        let rc = o.runtime_config();
+        assert_eq!(rc.threads, 8);
+        assert_eq!(rc.islands, 4);
+        assert_eq!(rc.migrate_every, 10);
+        assert_eq!(rc.checkpoint_every, 50);
+    }
+
+    #[test]
+    fn explicit_flags_are_tracked() {
+        let args: Vec<String> = ["--data", "d.csv", "--gens", "40", "--threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = CliOptions::parse(&args).unwrap();
+        assert!(o.was_set("--gens"));
+        assert!(o.was_set("--threads"));
+        // Defaults are not "set": bare resume must keep the checkpointed
+        // total instead of truncating to the default generations.
+        assert!(!o.was_set("--pop"));
+        assert!(!o.was_set("--checkpoint-every"));
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        let parse =
+            |v: &[&str]| CliOptions::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        let err = parse(&["--data", "a.csv", "--data", "b.csv"]).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        assert!(err.contains("--data"), "{err}");
+        let err = parse(&["--data", "a.csv", "--seed", "1", "--seed", "2"]).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_suggest_the_nearest_known_one() {
+        let parse =
+            |v: &[&str]| CliOptions::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        let err = parse(&["--data", "x", "--thread", "4"]).unwrap_err();
+        assert!(err.contains("did you mean `--threads`"), "{err}");
+        let err = parse(&["--data", "x", "--sed", "4"]).unwrap_err();
+        assert!(err.contains("did you mean `--seed`"), "{err}");
+        let err = parse(&["--data", "x", "--migrateevery", "4"]).unwrap_err();
+        assert!(err.contains("did you mean `--migrate-every`"), "{err}");
+        // Nothing plausible: no suggestion.
+        let err = parse(&["--data", "x", "--zzzzqqqq", "4"]).unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn resume_requires_checkpoint() {
+        let args: Vec<String> = ["--data", "d.csv", "--resume"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = CliOptions::parse(&args).unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
     }
 
     #[test]
@@ -341,7 +555,7 @@ mod tests {
             WeightConfig::default(),
         )
         .with_metrics(0.05, 11.25);
-        let json = front_to_json(&[m.clone()], &["x".to_string()]);
+        let json = front_to_json(std::slice::from_ref(&m), &["x".to_string()]);
         assert_eq!(json["front"][0]["n_bases"], 1);
         assert!(json["front"][0]["expression"]
             .as_str()
@@ -355,7 +569,7 @@ mod tests {
     #[test]
     fn usage_mentions_every_flag() {
         let u = usage();
-        for flag in ["--data", "--target", "--test", "--grammar", "--out", "--pop", "--gens", "--max-bases", "--seed"] {
+        for flag in super::KNOWN_FLAGS {
             assert!(u.contains(flag), "usage missing {flag}");
         }
     }

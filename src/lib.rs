@@ -9,5 +9,6 @@ pub use caffeine_core as core;
 pub use caffeine_doe as doe;
 pub use caffeine_linalg as linalg;
 pub use caffeine_posynomial as posynomial;
+pub use caffeine_runtime as runtime;
 
 pub mod cli;

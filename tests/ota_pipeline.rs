@@ -79,8 +79,7 @@ fn pm_pipeline_produces_interpretable_tradeoff() {
 fn fu_is_modeled_on_log_scale() {
     let split = build_split(PerfId::Fu);
     // log10(fu) for a ~3.4 MHz amplifier is ~6.5.
-    let mean: f64 =
-        split.train.targets().iter().sum::<f64>() / split.train.n_samples() as f64;
+    let mean: f64 = split.train.targets().iter().sum::<f64>() / split.train.n_samples() as f64;
     assert!((5.5..7.5).contains(&mean), "mean log10(fu) = {mean}");
 }
 

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], `criterion_group!`, `criterion_main!` — over
+//! a simple auto-calibrating wall-clock loop. Reported figures are
+//! median / min / max time per iteration across the configured number of
+//! samples. No statistics beyond that: the point is a stable, dependency-
+//! free way to compare kernels on one machine.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the wall-clock budget per sample (calibration target).
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.target_sample_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            target_sample_time: self.target_sample_time,
+            sample_size: self.sample_size,
+            per_iter: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    target_sample_time: Duration,
+    sample_size: usize,
+    per_iter: Vec<f64>,
+}
+
+/// Batch sizing for [`Bencher::iter_batched`] (setup cost excluded from
+/// timing either way in this shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times `routine` (auto-calibrated batches, `sample_size` samples).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fit the per-sample budget?
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= self.target_sample_time / 4 || iters >= 1 << 24 {
+                let per = elapsed.as_secs_f64() / iters as f64;
+                let budget = self.target_sample_time.as_secs_f64();
+                iters = ((budget / per.max(1e-12)) as u64).clamp(1, 1 << 24);
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        self.per_iter.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.per_iter
+                .push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Times `routine` with a fresh `setup()` input per call; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.per_iter.clear();
+        // Calibrate on a single run.
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let per = t0.elapsed().as_secs_f64();
+        let budget = self.target_sample_time.as_secs_f64();
+        let iters = ((budget / per.max(1e-12)) as u64).clamp(1, 4096);
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.per_iter
+                .push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.per_iter.is_empty() {
+            println!("{name:<44} (no measurement)");
+            return;
+        }
+        let mut sorted = self.per_iter.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Mirrors `criterion::black_box` (std's since 1.66).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group (both the simple and the
+/// `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

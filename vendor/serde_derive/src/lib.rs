@@ -1,0 +1,465 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` implementations for
+//! the vendored `serde` shim *without* `syn`/`quote`: the item is parsed by
+//! walking the raw [`TokenStream`] and the impl is emitted as source text
+//! (which `TokenStream: FromStr` turns back into tokens).
+//!
+//! Supported shapes — everything the workspace derives on:
+//! * structs with named fields (including one simple type parameter, e.g.
+//!   `Matrix<T = f64>`),
+//! * tuple structs (newtype structs serialize transparently),
+//! * unit structs,
+//! * enums with any mix of unit, tuple, and struct variants, using serde's
+//!   externally-tagged representation.
+//!
+//! Unsupported: lifetimes, const generics, `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!(\"serde shim derive: {msg}\");")
+                .parse()
+                .unwrap()
+        }
+    };
+    let code = match which {
+        Trait::Serialize => gen_serialize(&item),
+        Trait::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde shim derive produced invalid code: {e}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = ident_at(&tokens, pos).ok_or("expected `struct` or `enum`")?;
+    pos += 1;
+    let name = ident_at(&tokens, pos).ok_or("expected item name")?;
+    pos += 1;
+
+    let mut generics = Vec::new();
+    if is_punct(tokens.get(pos), '<') {
+        let end = matching_angle(&tokens, pos)?;
+        generics = parse_generics(&tokens[pos + 1..end])?;
+        pos = end + 1;
+    }
+    // Skip a `where` clause if present (none in this workspace, but cheap).
+    while pos < tokens.len() && !matches!(tokens.get(pos), Some(TokenTree::Group(_)) | None) {
+        if is_punct(tokens.get(pos), ';') {
+            return Ok(Item {
+                name,
+                generics,
+                kind: Kind::UnitStruct,
+            });
+        }
+        pos += 1;
+    }
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if keyword == "struct" {
+                Kind::NamedStruct(parse_named_fields(&inner)?)
+            } else {
+                Kind::Enum(parse_variants(&inner)?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Kind::TupleStruct(count_tuple_fields(&inner))
+        }
+        None => Kind::UnitStruct,
+        other => return Err(format!("unexpected token {other:?}")),
+    };
+    if keyword == "enum" && !matches!(kind, Kind::Enum(_)) {
+        return Err("enum without a brace body".into());
+    }
+    Ok(Item {
+        name,
+        generics,
+        kind,
+    })
+}
+
+fn ident_at(tokens: &[TokenTree], pos: usize) -> Option<String> {
+    match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        if is_punct(tokens.get(*pos), '#') {
+            *pos += 2; // `#` + bracketed group
+            continue;
+        }
+        if ident_at(tokens, *pos).as_deref() == Some("pub") {
+            *pos += 1;
+            if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                *pos += 1; // `pub(crate)` etc.
+            }
+            continue;
+        }
+        break;
+    }
+}
+
+/// Index of the `>` matching the `<` at `open`.
+fn matching_angle(tokens: &[TokenTree], open: usize) -> Result<usize, String> {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Err("unbalanced generics".into())
+}
+
+/// Extracts type-parameter names from the tokens between `<` and `>`,
+/// dropping bounds (`: ...`) and defaults (`= ...`).
+fn parse_generics(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    let mut expect_name = true;
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => expect_name = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                return Err("lifetimes are not supported by the serde shim derive".into())
+            }
+            TokenTree::Ident(id) if expect_name && depth == 0 => {
+                if id.to_string() == "const" {
+                    return Err("const generics are not supported by the serde shim derive".into());
+                }
+                params.push(id.to_string());
+                expect_name = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Ok(params)
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = ident_at(tokens, pos).ok_or("expected field name")?;
+        fields.push(name);
+        pos += 1;
+        if !is_punct(tokens.get(pos), ':') {
+            return Err("expected `:` after field name".into());
+        }
+        // Skip the type up to a top-level comma.
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = ident_at(tokens, pos).ok_or("expected variant name")?;
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantShape::Named(parse_named_fields(&inner)?)
+            }
+            _ => VariantShape::Unit,
+        };
+        if is_punct(tokens.get(pos), '=') {
+            return Err("enum discriminants are not supported by the serde shim derive".into());
+        }
+        if is_punct(tokens.get(pos), ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let plain = item.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{plain}>",
+            bounded.join(", "),
+            item.name
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut b = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            b.push_str("::serde::Value::Object(__m)");
+            b
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "Self::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "Self::{vn}({}) => {{ let mut __m = ::serde::Map::new(); __m.insert(::std::string::String::from(\"{vn}\"), {inner}); ::serde::Value::Object(__m) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner =
+                            String::from("let mut __fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fm.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {binds} }} => {{ {inner} let mut __m = ::serde::Map::new(); __m.insert(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(__fm)); ::serde::Value::Object(__m) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{} {{\nfn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(__v, \"{f}\")?"))
+                .collect();
+            format!(
+                "::core::result::Result::Ok(Self {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            "::core::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ ::serde::Value::Array(__a) if __a.len() == {n} => ::core::result::Result::Ok(Self({})), _ => ::core::result::Result::Err(::serde::Error::msg(\"expected {n}-element array for {name}\")) }}",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => "::core::result::Result::Ok(Self)".to_string(),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => return ::core::result::Result::Ok(Self::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return ::core::result::Result::Ok(Self::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ if let ::serde::Value::Array(__a) = __inner {{ if __a.len() == {n} {{ return ::core::result::Result::Ok(Self::{vn}({})); }} }} return ::core::result::Result::Err(::serde::Error::msg(\"expected {n}-element array for variant {vn}\")); }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::get_field(__inner, \"{f}\")?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return ::core::result::Result::Ok(Self::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(__s) = __v {{\nmatch __s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n}}\nif let ::serde::Value::Object(__m) = __v {{\nif __m.len() == 1 {{\nif let ::core::option::Option::Some((__tag, __inner)) = __m.get_index(0) {{\nmatch __tag {{\n{tagged_arms}_ => {{}}\n}}\n}}\n}}\n}}\n::core::result::Result::Err(::serde::Error::msg(\"no matching variant of {name}\"))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{} {{\nfn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n",
+        impl_header(item, "Deserialize")
+    )
+}
