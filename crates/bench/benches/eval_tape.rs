@@ -1,0 +1,108 @@
+//! Before/after benchmarks of the compiled-tape fitness path and the
+//! incremental-QR SAG against the preserved reference implementations
+//! (`caffeine_bench::perf`):
+//!
+//! * raw basis evaluation — tree-walk interpreter vs compiled tape over
+//!   the same 243-point OTA-shaped table;
+//! * end-to-end fitness evaluation of a population × points generation
+//!   batch (the engine's inner loop), reference vs cached/compiled;
+//! * SAG forward regression on a 26-basis model, from-scratch
+//!   refactorization vs one shared incremental factorization.
+//!
+//! Recorded results live in `crates/bench/RESULTS-runtime.md` and
+//! `BENCH_eval.json` at the repo root (emitted by `perfsnap`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use caffeine_bench::perf;
+use caffeine_core::expr::{eval_basis_all, EvalContext, Tape, TapeVm};
+use caffeine_core::grammar::RandomExprGen;
+use caffeine_core::sag::{simplify_model, SagSettings};
+use caffeine_core::{CaffeineSettings, DatasetEvaluator, Evaluator, GrammarConfig};
+
+fn bench_basis_eval(c: &mut Criterion) {
+    let grammar = GrammarConfig::paper_full(13);
+    let gen = RandomExprGen::new(&grammar);
+    let mut rng = StdRng::seed_from_u64(7);
+    let bases: Vec<_> = (0..15).map(|_| gen.gen_basis(&mut rng)).collect();
+    let data = perf::ota_shaped_dataset();
+    let ctx = EvalContext::new(grammar.weights);
+
+    c.bench_function("eval_interp_15bases_243pts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for basis in &bases {
+                let col = eval_basis_all(basis, data.points(), &ctx);
+                acc += col.iter().filter(|v| v.is_finite()).sum::<f64>();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    let pm = data.point_matrix();
+    let tapes: Vec<Tape> = bases.iter().map(|b| Tape::compile(b, &ctx)).collect();
+    c.bench_function("eval_tape_15bases_243pts", |b| {
+        let mut vm = TapeVm::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for tape in &tapes {
+                let col = vm.eval(tape, &pm);
+                acc += col.iter().filter(|v| v.is_finite()).sum::<f64>();
+                vm.recycle(col);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_fitness_generation(c: &mut Criterion) {
+    let data = perf::ota_shaped_dataset();
+    let grammar = GrammarConfig::paper_full(13);
+    let settings = CaffeineSettings::paper();
+    let base = perf::gp_population(&grammar, 200, 11);
+
+    c.bench_function("fitness_gen_pop200_reference", |b| {
+        b.iter(|| {
+            let mut pop = base.clone();
+            for ind in &mut pop {
+                ind.invalidate();
+            }
+            perf::reference_fitness_eval(&mut pop, &data, &settings, &grammar);
+            std::hint::black_box(pop.len())
+        })
+    });
+
+    let evaluator = DatasetEvaluator::new(&settings, &grammar, &data).unwrap();
+    c.bench_function("fitness_gen_pop200_tape_cached", |b| {
+        b.iter(|| {
+            let mut pop = base.clone();
+            for ind in &mut pop {
+                ind.invalidate();
+            }
+            evaluator.evaluate_all(&mut pop);
+            std::hint::black_box(pop.len())
+        })
+    });
+}
+
+fn bench_sag_forward_regression(c: &mut Criterion) {
+    let (model, data) = perf::sag_workload();
+    let settings = SagSettings::default();
+
+    c.bench_function("sag_forward_26bases_reference", |b| {
+        b.iter(|| std::hint::black_box(perf::reference_sag(&model, &data, &settings).n_bases()))
+    });
+
+    c.bench_function("sag_forward_26bases_incremental", |b| {
+        b.iter(|| std::hint::black_box(simplify_model(&model, &data, &settings).unwrap().n_bases()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_basis_eval, bench_fitness_generation, bench_sag_forward_regression
+}
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! `perfsnap` — a machine-readable snapshot of the hot-path performance
+//! trajectory.
+//!
+//! Measures the three kernels this codebase lives in — basis evaluation,
+//! population fitness per generation, and SAG forward regression — each
+//! as *reference implementation vs. current implementation*, and writes
+//! the numbers to `BENCH_eval.json` so the repo carries a recorded,
+//! diffable perf trajectory rather than anecdotes.
+//!
+//! ```text
+//! cargo run --release -p caffeine-bench --bin perfsnap            # full
+//! cargo run -p caffeine-bench --bin perfsnap -- --smoke           # CI
+//! cargo run -p caffeine-bench --bin perfsnap -- --out path.json
+//! ```
+//!
+//! `--smoke` runs one timed iteration per kernel — enough to prove the
+//! harness works end to end (CI runs it on every push); timings from a
+//! smoke run are not meaningful and are flagged as such in the output.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use caffeine_bench::perf;
+use caffeine_core::expr::{eval_basis_all, EvalContext, Tape, TapeVm};
+use caffeine_core::grammar::RandomExprGen;
+use caffeine_core::sag::{simplify_model, SagSettings};
+use caffeine_core::{CaffeineSettings, DatasetEvaluator, Evaluator, GrammarConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One before/after measurement.
+#[derive(Debug, Serialize)]
+struct Comparison {
+    /// Reference (pre-optimization) implementation, seconds per op.
+    reference_secs: f64,
+    /// Current implementation, seconds per op.
+    current_secs: f64,
+    /// Reference throughput, operations per second.
+    reference_ops_per_sec: f64,
+    /// Current throughput, operations per second.
+    current_ops_per_sec: f64,
+    /// `reference_secs / current_secs`.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Snapshot {
+    /// Snapshot schema version.
+    schema: u32,
+    /// Unix timestamp (seconds) of the run.
+    unix_time: u64,
+    /// `true` when produced by `--smoke` (timings not meaningful).
+    smoke: bool,
+    /// Timed iterations per kernel.
+    iterations: u32,
+    /// 15 random paper-grammar bases × 243 points: tree-walk vs tape.
+    /// One "op" is one basis evaluated over the full point set.
+    eval_basis_column: Comparison,
+    /// Population-200 fitness batch over 243 × 13 points: per-individual
+    /// tree-walk vs compiled + column-cached. One "op" is one generation
+    /// batch.
+    fitness_per_generation: Comparison,
+    /// 26-basis SAG forward regression: from-scratch refactorization per
+    /// candidate vs shared incremental QR. One "op" is one full
+    /// `simplify_model`.
+    sag_forward_regression: Comparison,
+}
+
+fn time_per_op(iters: u32, mut f: impl FnMut()) -> f64 {
+    // One untimed warmup to populate caches/pools fairly.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+fn comparison(
+    iters: u32,
+    ops_per_iter: f64,
+    reference: impl FnMut(),
+    current: impl FnMut(),
+) -> Comparison {
+    let reference_secs = time_per_op(iters, reference) / ops_per_iter;
+    let current_secs = time_per_op(iters, current) / ops_per_iter;
+    Comparison {
+        reference_secs,
+        current_secs,
+        reference_ops_per_sec: 1.0 / reference_secs,
+        current_ops_per_sec: 1.0 / current_secs,
+        speedup: reference_secs / current_secs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_eval.json".into());
+    let iterations: u32 = if smoke { 1 } else { 25 };
+
+    let data = perf::ota_shaped_dataset();
+    let grammar = GrammarConfig::paper_full(13);
+    let settings = CaffeineSettings::paper();
+    let ctx = EvalContext::new(grammar.weights);
+
+    // Kernel 1: basis-column evaluation.
+    let gen = RandomExprGen::new(&grammar);
+    let mut rng = StdRng::seed_from_u64(7);
+    let bases: Vec<_> = (0..15).map(|_| gen.gen_basis(&mut rng)).collect();
+    let pm = data.point_matrix();
+    let tapes: Vec<Tape> = bases.iter().map(|b| Tape::compile(b, &ctx)).collect();
+    let mut vm = TapeVm::new();
+    let eval_basis_column = comparison(
+        iterations,
+        bases.len() as f64,
+        || {
+            for basis in &bases {
+                std::hint::black_box(eval_basis_all(basis, data.points(), &ctx));
+            }
+        },
+        || {
+            for tape in &tapes {
+                let col = vm.eval(tape, &pm);
+                std::hint::black_box(col.len());
+                vm.recycle(col);
+            }
+        },
+    );
+
+    // Kernel 2: one generation's fitness batch.
+    let base_pop = perf::gp_population(&grammar, 200, 11);
+    let evaluator = DatasetEvaluator::new(&settings, &grammar, &data).unwrap();
+    let fitness_per_generation = comparison(
+        iterations,
+        1.0,
+        || {
+            let mut pop = base_pop.clone();
+            for ind in &mut pop {
+                ind.invalidate();
+            }
+            perf::reference_fitness_eval(&mut pop, &data, &settings, &grammar);
+            std::hint::black_box(pop.len());
+        },
+        || {
+            let mut pop = base_pop.clone();
+            for ind in &mut pop {
+                ind.invalidate();
+            }
+            evaluator.evaluate_all(&mut pop);
+            std::hint::black_box(pop.len());
+        },
+    );
+
+    // Kernel 3: SAG forward regression.
+    let (model, sag_data) = perf::sag_workload();
+    let sag_settings = SagSettings::default();
+    let sag_forward_regression = comparison(
+        iterations,
+        1.0,
+        || {
+            std::hint::black_box(perf::reference_sag(&model, &sag_data, &sag_settings).n_bases());
+        },
+        || {
+            std::hint::black_box(
+                simplify_model(&model, &sag_data, &sag_settings)
+                    .unwrap()
+                    .n_bases(),
+            );
+        },
+    );
+
+    let snapshot = Snapshot {
+        schema: 1,
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        smoke,
+        iterations,
+        eval_basis_column,
+        fitness_per_generation,
+        sag_forward_regression,
+    };
+
+    let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
+
+    println!(
+        "perfsnap → {out_path}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let row = |name: &str, c: &Comparison| {
+        println!(
+            "  {name:<24} {:>10.1} ops/s → {:>10.1} ops/s   ({:.1}x)",
+            c.reference_ops_per_sec, c.current_ops_per_sec, c.speedup
+        );
+    };
+    row("eval basis column", &snapshot.eval_basis_column);
+    row("fitness / generation", &snapshot.fitness_per_generation);
+    row("SAG forward regression", &snapshot.sag_forward_regression);
+}

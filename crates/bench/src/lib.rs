@@ -18,6 +18,8 @@
 
 #![deny(missing_docs)]
 
+pub mod perf;
+
 use std::collections::BTreeMap;
 
 use caffeine_circuit::ota::{OtaDesign, OtaPerformance, OtaTestbench, PerfId, OTA_VAR_NAMES};

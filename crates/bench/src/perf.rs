@@ -1,0 +1,199 @@
+//! Shared performance workloads and *reference implementations* for the
+//! evaluator benchmarks and the `perfsnap` binary.
+//!
+//! The compiled-tape fitness path and the incremental-QR SAG replaced
+//! slower tree-walk / refactorize-from-scratch implementations; the
+//! originals are preserved here (not in the library) so before/after
+//! numbers stay measurable on any machine — `cargo bench --bench
+//! eval_tape` and `cargo run --bin perfsnap` both compare against them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use caffeine_core::expr::{complexity, eval_basis_all, BasisFunction, EvalContext, VarCombo};
+use caffeine_core::fit::{fit_linear_weights, FitOutcome};
+use caffeine_core::gp::{Evaluation, GpOperators, Individual, OperatorSettings};
+use caffeine_core::grammar::RandomExprGen;
+use caffeine_core::sag::SagSettings;
+use caffeine_core::{CaffeineSettings, GrammarConfig, Model};
+use caffeine_doe::Dataset;
+use caffeine_linalg::{press_statistic, Matrix};
+
+/// 243 points × 13 variables with a rational multi-term target — the
+/// shape (and cost profile) of one OTA performance table.
+pub fn ota_shaped_dataset() -> Dataset {
+    let n_vars = 13;
+    let xs: Vec<Vec<f64>> = (0..243)
+        .map(|i| {
+            (0..n_vars)
+                .map(|j| 0.8 + ((i * 13 + j * 7) % 17) as f64 * 0.05)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x: &Vec<f64>| 2.0 * x[0] / x[3] + 1.5 * x[7] * x[1] + 3.0 / (x[5] * x[9]) + x[12])
+        .collect();
+    let names = (0..n_vars).map(|j| format!("x{j}")).collect();
+    Dataset::new(names, xs, ys).unwrap()
+}
+
+/// A population with realistic post-crossover redundancy: a small parent
+/// pool recombined into `n` offspring, the way generations actually look
+/// once the GP operators have been mixing subtrees.
+pub fn gp_population(grammar: &GrammarConfig, n: usize, seed: u64) -> Vec<Individual> {
+    let gen = RandomExprGen::new(grammar);
+    let ops = GpOperators::new(grammar, OperatorSettings::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parents: Vec<Individual> = (0..n / 5)
+        .map(|_| {
+            Individual::new(vec![
+                gen.gen_basis(&mut rng),
+                gen.gen_basis(&mut rng),
+                gen.gen_basis(&mut rng),
+            ])
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let p1 = &parents[rng.gen_range(0..parents.len())];
+            let p2 = &parents[rng.gen_range(0..parents.len())];
+            ops.make_offspring(&mut rng, p1, p2)
+        })
+        .collect()
+}
+
+/// The pre-tape fitness path: per-individual tree-walk evaluation and
+/// from-scratch design assembly, exactly as `DatasetEvaluator` scored
+/// populations before the compiled evaluator existed. Scores every
+/// invalidated individual in `population`.
+pub fn reference_fitness_eval(
+    population: &mut [Individual],
+    data: &Dataset,
+    settings: &CaffeineSettings,
+    grammar: &GrammarConfig,
+) {
+    let ctx = EvalContext::new(grammar.weights);
+    for ind in population {
+        if ind.eval.is_some() {
+            continue;
+        }
+        let cx = complexity(&ind.bases, &settings.complexity);
+        let eval = match fit_linear_weights(&ind.bases, data.points(), data.targets(), &ctx) {
+            FitOutcome::Fit(fit) => {
+                let err = settings.metric.compute(&fit.predictions, data.targets());
+                let feasible = err.is_finite();
+                Evaluation {
+                    coefficients: fit.coefficients,
+                    train_error: if feasible {
+                        err
+                    } else {
+                        settings.infeasible_error
+                    },
+                    complexity: cx,
+                    feasible,
+                }
+            }
+            FitOutcome::Infeasible => Evaluation {
+                coefficients: vec![0.0; ind.bases.len() + 1],
+                train_error: settings.infeasible_error,
+                complexity: cx,
+                feasible: false,
+            },
+        };
+        ind.eval = Some(eval);
+    }
+}
+
+/// A SAG workload: a model with 26 usable monomial bases over the OTA
+/// table (well above the paper's 15-basis ceiling, so the forward
+/// regression has real work to do) and a matching dataset.
+pub fn sag_workload() -> (Model, Dataset) {
+    let data = ota_shaped_dataset();
+    let n_vars = data.n_vars();
+    let mut bases = Vec::new();
+    for j in 0..n_vars {
+        bases.push(BasisFunction::from_vc(VarCombo::single(n_vars, j, 1)));
+        bases.push(BasisFunction::from_vc(VarCombo::single(n_vars, j, -1)));
+    }
+    let coefficients = vec![0.0; bases.len() + 1];
+    let model = Model::new(
+        bases,
+        coefficients,
+        caffeine_core::expr::WeightConfig::default(),
+    );
+    (model, data)
+}
+
+/// The pre-incremental SAG forward regression: every candidate in every
+/// round rebuilds the design matrix (`ones.clone()` + per-column clones)
+/// and refactorizes it from scratch through `press_statistic`. Kept
+/// verbatim as the performance baseline for `simplify_model`.
+pub fn reference_sag(model: &Model, data: &Dataset, settings: &SagSettings) -> Model {
+    let ctx = EvalContext::new(model.weight_config);
+    let points = data.points();
+    let targets = data.targets();
+    let mut usable: Vec<(usize, Vec<f64>)> = Vec::new();
+    for (i, b) in model.bases.iter().enumerate() {
+        let col = eval_basis_all(b, points, &ctx);
+        if col.iter().all(|v| v.is_finite() && v.abs() < 1e100) {
+            usable.push((i, col));
+        }
+    }
+    let n = data.n_samples();
+    let ones = vec![1.0; n];
+    let base_design = Matrix::from_columns(std::slice::from_ref(&ones));
+    let mut best_press = press_statistic(&base_design, targets).unwrap().press;
+    let mut selected: Vec<usize> = Vec::new();
+    loop {
+        let mut best_candidate: Option<(usize, f64)> = None;
+        for (k, (_, col)) in usable.iter().enumerate() {
+            if selected.contains(&k) {
+                continue;
+            }
+            let mut cols: Vec<Vec<f64>> = Vec::with_capacity(selected.len() + 2);
+            cols.push(ones.clone());
+            for &s in &selected {
+                cols.push(usable[s].1.clone());
+            }
+            cols.push(col.clone());
+            let design = Matrix::from_columns(&cols);
+            if design.rows() <= design.cols() {
+                continue;
+            }
+            let Ok(report) = press_statistic(&design, targets) else {
+                continue;
+            };
+            if report.press < best_press * settings.min_improvement
+                && best_candidate
+                    .map(|(_, p)| report.press < p)
+                    .unwrap_or(true)
+            {
+                best_candidate = Some((k, report.press));
+            }
+        }
+        match best_candidate {
+            Some((k, press)) => {
+                selected.push(k);
+                best_press = press;
+            }
+            None => break,
+        }
+    }
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(selected.len() + 1);
+    cols.push(ones);
+    for &s in &selected {
+        cols.push(usable[s].1.clone());
+    }
+    let design = Matrix::from_columns(&cols);
+    let report = press_statistic(&design, targets).unwrap();
+    let predictions = design.matvec(&report.coefficients).unwrap();
+    let bases: Vec<BasisFunction> = selected
+        .iter()
+        .map(|&s| model.bases[usable[s].0].clone())
+        .collect();
+    let mut pruned = Model::new(bases, report.coefficients, model.weight_config);
+    pruned.train_error = settings.metric.compute(&predictions, targets);
+    pruned.recompute_complexity(&settings.complexity);
+    pruned
+}

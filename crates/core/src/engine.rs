@@ -27,10 +27,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use caffeine_doe::Dataset;
+use caffeine_doe::{Dataset, PointMatrix};
 
 use crate::expr::{complexity, ComplexityWeights, EvalContext};
-use crate::fit::{fit_linear_weights, FitOutcome};
+use crate::fit::{fit_linear_weights_cached, FitOutcome, FitScratch};
 use crate::gp::{Evaluation, GpOperators, Individual, OperatorSettings};
 use crate::metrics::ErrorMetric;
 use crate::model::Model;
@@ -184,6 +184,9 @@ pub trait Evaluator {
 #[derive(Debug, Clone)]
 pub struct DatasetEvaluator<'a> {
     data: &'a Dataset,
+    /// Column-major transpose of the training points, built once — the
+    /// layout the compiled tape evaluator streams over.
+    pm: PointMatrix,
     metric: ErrorMetric,
     complexity: ComplexityWeights,
     infeasible_error: f64,
@@ -221,6 +224,7 @@ impl<'a> DatasetEvaluator<'a> {
         }
         Ok(DatasetEvaluator {
             data,
+            pm: data.point_matrix(),
             metric: settings.metric,
             complexity: settings.complexity,
             infeasible_error: settings.infeasible_error,
@@ -235,17 +239,19 @@ impl<'a> DatasetEvaluator<'a> {
 
     /// Fits the linear weights and fills the cached evaluation of one
     /// individual (no-op when already evaluated). Pure: depends only on
-    /// the individual and this evaluator's immutable configuration.
-    pub fn evaluate_one(&self, ind: &mut Individual) {
+    /// the individual and this evaluator's immutable configuration —
+    /// the scratch is memoization only and never changes outcomes.
+    pub fn evaluate_one_with(&self, ind: &mut Individual, scratch: &mut FitScratch) {
         if ind.eval.is_some() {
             return;
         }
         let cx = complexity(&ind.bases, &self.complexity);
-        let eval = match fit_linear_weights(
+        let eval = match fit_linear_weights_cached(
             &ind.bases,
-            self.data.points(),
+            &self.pm,
             self.data.targets(),
             &self.ctx,
+            scratch,
         ) {
             FitOutcome::Fit(fit) => {
                 let err = self.metric.compute(&fit.predictions, self.data.targets());
@@ -267,6 +273,23 @@ impl<'a> DatasetEvaluator<'a> {
         ind.eval = Some(eval);
     }
 
+    /// [`DatasetEvaluator::evaluate_one_with`] with a throwaway scratch.
+    /// Prefer the batch APIs in hot loops — a cold scratch means no
+    /// column reuse across individuals.
+    pub fn evaluate_one(&self, ind: &mut Individual) {
+        let mut scratch = FitScratch::new();
+        self.evaluate_one_with(ind, &mut scratch);
+    }
+
+    /// Evaluates a batch through one shared scratch: the basis-column
+    /// cache spans the whole batch, so bases repeated across individuals
+    /// (ubiquitous after crossover) are evaluated once.
+    pub fn evaluate_batch(&self, population: &mut [Individual], scratch: &mut FitScratch) {
+        for ind in population {
+            self.evaluate_one_with(ind, scratch);
+        }
+    }
+
     /// The zero-complexity anchor: intercept-only least squares.
     pub fn constant_model(&self, weights: crate::expr::WeightConfig) -> Model {
         let mean = self.data.targets().iter().sum::<f64>() / self.data.n_samples().max(1) as f64;
@@ -278,9 +301,10 @@ impl<'a> DatasetEvaluator<'a> {
 
 impl Evaluator for DatasetEvaluator<'_> {
     fn evaluate_all(&self, population: &mut [Individual]) {
-        for ind in population {
-            self.evaluate_one(ind);
-        }
+        // One scratch per batch: the column cache lives for exactly one
+        // generation, matching the population the columns came from.
+        let mut scratch = FitScratch::new();
+        self.evaluate_batch(population, &mut scratch);
     }
 }
 

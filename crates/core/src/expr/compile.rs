@@ -1,0 +1,606 @@
+//! Compilation of basis functions to flat postfix instruction tapes.
+//!
+//! The tree-walk interpreter in [`super::eval`] visits every expression
+//! node once *per design point*: recursion, enum dispatch, and weight
+//! decoding all sit inside the innermost loop. This module lowers a
+//! [`BasisFunction`] once into a [`Tape`] — a flat postfix program whose
+//! instructions each process an entire *column* of points — so the
+//! per-node overhead is amortized over the whole point set and the data
+//! walks contiguous [`PointMatrix`] variable slices.
+//!
+//! The tape is **bit-identical** to the interpreter by construction (the
+//! property test in `tests/tape_oracle.rs` enforces it over random
+//! grammar trees):
+//!
+//! * weight terminals are decoded once at compile time, and zero-weight
+//!   terms are skipped exactly where [`super::eval`] skips them;
+//! * the interpreter's per-point early exit on a non-finite partial
+//!   product becomes a per-lane mask ([`Instr::MulFactor`]): a lane that
+//!   went non-finite stops being multiplied. The exit fires *after* a
+//!   multiplication, so the first factor is always multiplied in — a
+//!   non-finite VC value times a zero factor must still produce NaN;
+//! * `lte` evaluates both branches column-wise and selects per lane —
+//!   branch evaluation is pure, so the selected values are the ones the
+//!   interpreter would have produced;
+//! * at the root level, once *every* lane of the accumulator is
+//!   non-finite, the remaining instructions can no longer change any lane
+//!   and evaluation finishes early — the bail-out that keeps garbage
+//!   trees cheap.
+//!
+//! Tapes also serve as canonical cache keys: two bitwise-equal tapes
+//! evaluate to bitwise-equal columns, which is what makes the
+//! basis-column cache in [`crate::fit`] safe for deterministic runs.
+
+use std::hash::{Hash, Hasher};
+
+use caffeine_doe::PointMatrix;
+
+use super::eval::EvalContext;
+use super::ops::{BinaryOp, UnaryOp};
+use super::tree::{BasisFunction, OpApplication, WeightedSum};
+
+/// One postfix instruction. Operands live on a stack of point columns.
+#[derive(Debug, Clone, Copy)]
+enum Instr {
+    /// Push a column filled with a constant.
+    PushConst(f64),
+    /// Push the monomial column `Π x_var^exp` over
+    /// `vc_ops[start..start + len]`.
+    PushVc { start: u32, len: u32 },
+    /// Pop the term column `t`; `top[i] += w · t[i]`.
+    AddTerm(f64),
+    /// Pop the factor column `f` and multiply it into the accumulator.
+    ///
+    /// The interpreter's early exit fires only *after* a factor
+    /// multiplication, so the first factor of a basis multiplies
+    /// unconditionally even into a non-finite VC value (`inf · 0 = NaN`
+    /// matters); later factors (`masked`) only touch lanes still finite.
+    /// For `root` factors, once no lane remains finite the column is
+    /// final and the tape bails out early.
+    MulFactor { masked: bool, root: bool },
+    /// Apply a unary operator to the top column in place.
+    Unary(UnaryOp),
+    /// Pop the right column `r`; `top[i] = op(top[i], r[i])`.
+    Binary(BinaryOp),
+    /// Conditional select. Stack (bottom→top): `test`, `cond` when
+    /// `has_cond`, `if_less`, `otherwise`; result replaces `test`.
+    Lte { has_cond: bool },
+}
+
+impl PartialEq for Instr {
+    fn eq(&self, other: &Instr) -> bool {
+        // Constants compare bitwise: a cache hit must imply bit-identical
+        // evaluation, and 0.0 == -0.0 under `f64::eq` would conflate
+        // columns that differ in zero signs.
+        match (self, other) {
+            (Instr::PushConst(a), Instr::PushConst(b)) => a.to_bits() == b.to_bits(),
+            (Instr::PushVc { start: s1, len: l1 }, Instr::PushVc { start: s2, len: l2 }) => {
+                s1 == s2 && l1 == l2
+            }
+            (Instr::AddTerm(a), Instr::AddTerm(b)) => a.to_bits() == b.to_bits(),
+            (
+                Instr::MulFactor {
+                    masked: m1,
+                    root: r1,
+                },
+                Instr::MulFactor {
+                    masked: m2,
+                    root: r2,
+                },
+            ) => m1 == m2 && r1 == r2,
+            (Instr::Unary(a), Instr::Unary(b)) => a == b,
+            (Instr::Binary(a), Instr::Binary(b)) => a == b,
+            (Instr::Lte { has_cond: a }, Instr::Lte { has_cond: b }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Instr {}
+
+impl Hash for Instr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Instr::PushConst(c) => {
+                state.write_u8(0);
+                state.write_u64(c.to_bits());
+            }
+            Instr::PushVc { start, len } => {
+                state.write_u8(1);
+                state.write_u32(*start);
+                state.write_u32(*len);
+            }
+            Instr::AddTerm(w) => {
+                state.write_u8(2);
+                state.write_u64(w.to_bits());
+            }
+            Instr::MulFactor { masked, root } => {
+                state.write_u8(3);
+                state.write_u8(u8::from(*masked));
+                state.write_u8(u8::from(*root));
+            }
+            Instr::Unary(op) => {
+                state.write_u8(5);
+                op.hash(state);
+            }
+            Instr::Binary(op) => {
+                state.write_u8(6);
+                op.hash(state);
+            }
+            Instr::Lte { has_cond } => {
+                state.write_u8(7);
+                state.write_u8(u8::from(*has_cond));
+            }
+        }
+    }
+}
+
+/// A basis function lowered to a flat postfix program over point columns.
+///
+/// Build one with [`Tape::compile`] (or recycle allocations with
+/// [`Tape::compile_into`]) and evaluate it with [`TapeVm::eval`]. Equality
+/// is bitwise — equal tapes are guaranteed to evaluate to bitwise-equal
+/// columns, which the basis-column cache relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Tape {
+    instrs: Vec<Instr>,
+    /// Flattened `(variable index, exponent)` pairs of every
+    /// [`Instr::PushVc`], zero exponents omitted.
+    vc_ops: Vec<(u32, i32)>,
+}
+
+impl Tape {
+    /// Lowers a basis function under the given evaluation context (weight
+    /// terminals are decoded at compile time).
+    pub fn compile(basis: &BasisFunction, ctx: &EvalContext) -> Tape {
+        let mut tape = Tape::default();
+        tape.compile_into(basis, ctx);
+        tape
+    }
+
+    /// Re-lowers into this tape, reusing its allocations.
+    pub fn compile_into(&mut self, basis: &BasisFunction, ctx: &EvalContext) {
+        self.instrs.clear();
+        self.vc_ops.clear();
+        self.emit_basis(basis, ctx, true);
+    }
+
+    /// Number of instructions (diagnostic).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when the tape holds no instructions (not yet compiled).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Deterministic structural hash: bitwise-equal tapes hash equally.
+    ///
+    /// Used as the basis-column cache key; lookups confirm with full
+    /// bitwise equality, so collisions cost a comparison, never
+    /// correctness.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    fn emit_basis(&mut self, basis: &BasisFunction, ctx: &EvalContext, root: bool) {
+        let start = self.vc_ops.len() as u32;
+        for (j, &e) in basis.vc.exponents().iter().enumerate() {
+            if e != 0 {
+                self.vc_ops.push((j as u32, e));
+            }
+        }
+        let len = self.vc_ops.len() as u32 - start;
+        self.instrs.push(Instr::PushVc { start, len });
+        for (fi, f) in basis.factors.iter().enumerate() {
+            self.emit_op(f, ctx);
+            self.instrs.push(Instr::MulFactor {
+                masked: fi > 0,
+                root,
+            });
+        }
+    }
+
+    fn emit_op(&mut self, op: &OpApplication, ctx: &EvalContext) {
+        match op {
+            OpApplication::Unary { op, arg } => {
+                self.emit_sum(arg, ctx);
+                self.instrs.push(Instr::Unary(*op));
+            }
+            OpApplication::Binary { op, args } => {
+                self.emit_sum(&args.left, ctx);
+                self.emit_sum(&args.right, ctx);
+                self.instrs.push(Instr::Binary(*op));
+            }
+            OpApplication::Lte(l) => {
+                self.emit_sum(&l.test, ctx);
+                if let Some(c) = &l.cond {
+                    self.emit_sum(c, ctx);
+                }
+                self.emit_sum(&l.if_less, ctx);
+                self.emit_sum(&l.otherwise, ctx);
+                self.instrs.push(Instr::Lte {
+                    has_cond: l.cond.is_some(),
+                });
+            }
+        }
+    }
+
+    fn emit_sum(&mut self, sum: &WeightedSum, ctx: &EvalContext) {
+        self.instrs
+            .push(Instr::PushConst(sum.offset.value(&ctx.weights)));
+        for t in &sum.terms {
+            let w = t.weight.value(&ctx.weights);
+            // Zero-weight terms are skipped exactly as the interpreter
+            // skips them: 0.0 · NaN would otherwise poison the sum.
+            if w != 0.0 {
+                self.emit_basis(&t.term, ctx, false);
+                self.instrs.push(Instr::AddTerm(w));
+            }
+        }
+    }
+}
+
+/// The tape evaluator: a stack machine over point columns with a buffer
+/// pool, so steady-state evaluation performs no allocation.
+///
+/// Not `Sync` by design — each worker thread owns its own VM (and the
+/// scratch that wraps it), which is what keeps parallel fitness
+/// evaluation lock-free.
+#[derive(Debug, Default)]
+pub struct TapeVm {
+    stack: Vec<Vec<f64>>,
+    pool: Vec<Vec<f64>>,
+}
+
+impl TapeVm {
+    /// A fresh VM with empty buffer pool.
+    pub fn new() -> TapeVm {
+        TapeVm::default()
+    }
+
+    fn take_buf(&mut self, n: usize) -> Vec<f64> {
+        self.pool.pop().unwrap_or_else(|| Vec::with_capacity(n))
+    }
+
+    /// Returns a column to the buffer pool for reuse.
+    pub fn recycle(&mut self, buf: Vec<f64>) {
+        self.pool.push(buf);
+    }
+
+    /// Evaluates the tape over every point of `pm`, returning the result
+    /// column (length `pm.n_points()`).
+    ///
+    /// The returned buffer comes from the pool; hand it back with
+    /// [`TapeVm::recycle`] when done to keep evaluation allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tape references a variable `pm` does not have, or
+    /// when the tape is empty.
+    pub fn eval(&mut self, tape: &Tape, pm: &PointMatrix) -> Vec<f64> {
+        let n = pm.n_points();
+        for instr in &tape.instrs {
+            match *instr {
+                Instr::PushConst(c) => {
+                    let mut buf = self.take_buf(n);
+                    buf.clear();
+                    buf.resize(n, c);
+                    self.stack.push(buf);
+                }
+                Instr::PushVc { start, len } => {
+                    let mut buf = self.take_buf(n);
+                    buf.clear();
+                    buf.resize(n, 1.0);
+                    for &(var, e) in &tape.vc_ops[start as usize..(start + len) as usize] {
+                        let xs = pm.var(var as usize);
+                        for (b, &x) in buf.iter_mut().zip(xs) {
+                            *b *= x.powi(e);
+                        }
+                    }
+                    self.stack.push(buf);
+                }
+                Instr::AddTerm(w) => {
+                    let term = self.stack.pop().expect("tape stack underflow");
+                    let top = self.stack.last_mut().expect("tape stack underflow");
+                    for (a, &t) in top.iter_mut().zip(&term) {
+                        *a += w * t;
+                    }
+                    self.pool.push(term);
+                }
+                Instr::MulFactor { masked, root } => {
+                    let f = self.stack.pop().expect("tape stack underflow");
+                    let top = self.stack.last_mut().expect("tape stack underflow");
+                    let mut any_finite = false;
+                    for (a, &v) in top.iter_mut().zip(&f) {
+                        if !masked || a.is_finite() {
+                            *a *= v;
+                        }
+                        any_finite |= a.is_finite();
+                    }
+                    self.pool.push(f);
+                    // Every lane is dead: later root factors are masked
+                    // out everywhere, so the column is already final.
+                    if root && !any_finite && n > 0 {
+                        break;
+                    }
+                }
+                Instr::Unary(op) => {
+                    let top = self.stack.last_mut().expect("tape stack underflow");
+                    for a in top.iter_mut() {
+                        *a = op.apply(*a);
+                    }
+                }
+                Instr::Binary(op) => {
+                    let r = self.stack.pop().expect("tape stack underflow");
+                    let top = self.stack.last_mut().expect("tape stack underflow");
+                    for (a, &b) in top.iter_mut().zip(&r) {
+                        *a = op.apply(*a, b);
+                    }
+                    self.pool.push(r);
+                }
+                Instr::Lte { has_cond } => {
+                    let otherwise = self.stack.pop().expect("tape stack underflow");
+                    let if_less = self.stack.pop().expect("tape stack underflow");
+                    let cond = if has_cond { self.stack.pop() } else { None };
+                    let test = self.stack.last_mut().expect("tape stack underflow");
+                    for i in 0..n {
+                        let t = test[i];
+                        let bound = cond.as_ref().map_or(0.0, |c| c[i]);
+                        test[i] = if t.is_nan() || bound.is_nan() {
+                            f64::NAN
+                        } else if t <= bound {
+                            if_less[i]
+                        } else {
+                            otherwise[i]
+                        };
+                    }
+                    self.pool.push(otherwise);
+                    self.pool.push(if_less);
+                    if let Some(c) = cond {
+                        self.pool.push(c);
+                    }
+                }
+            }
+        }
+        let out = self.stack.pop().expect("empty tape");
+        // Only the early bail-out leaves anything here; drain it to the
+        // pool so the VM is clean for the next tape.
+        while let Some(buf) = self.stack.pop() {
+            self.pool.push(buf);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{
+        eval_basis, BinaryArgs, LteArgs, VarCombo, Weight, WeightedSum, WeightedTerm,
+    };
+
+    fn ctx() -> EvalContext {
+        EvalContext::default()
+    }
+
+    fn w(v: f64) -> Weight {
+        Weight::from_value(v, &ctx().weights)
+    }
+
+    fn assert_matches_interpreter(basis: &BasisFunction, points: &[Vec<f64>]) {
+        let pm = PointMatrix::from_rows(points);
+        let tape = Tape::compile(basis, &ctx());
+        let mut vm = TapeVm::new();
+        let col = vm.eval(&tape, &pm);
+        for (t, p) in points.iter().enumerate() {
+            let reference = eval_basis(basis, p, &ctx());
+            assert!(
+                reference.to_bits() == col[t].to_bits(),
+                "point {t}: interpreter {reference} vs tape {}",
+                col[t]
+            );
+        }
+        vm.recycle(col);
+    }
+
+    #[test]
+    fn lone_vc_matches() {
+        let b = BasisFunction::from_vc(VarCombo::from_exponents(vec![2, -1]));
+        assert_matches_interpreter(&b, &[vec![3.0, 2.0], vec![0.5, 4.0], vec![-1.0, 0.1]]);
+    }
+
+    #[test]
+    fn nested_product_matches() {
+        // x0 · inv(1 + 2·x1)
+        let inv = OpApplication::Unary {
+            op: UnaryOp::Inv,
+            arg: WeightedSum {
+                offset: w(1.0),
+                terms: vec![WeightedTerm {
+                    weight: w(2.0),
+                    term: BasisFunction::from_vc(VarCombo::single(2, 1, 1)),
+                }],
+            },
+        };
+        let b = BasisFunction {
+            vc: VarCombo::single(2, 0, 1),
+            factors: vec![inv],
+        };
+        assert_matches_interpreter(&b, &[vec![4.0, 0.5], vec![1.0, -0.5], vec![2.0, 0.0]]);
+    }
+
+    #[test]
+    fn binary_and_lte_match_including_nan() {
+        let x0 = || WeightedSum {
+            offset: Weight::zero(),
+            terms: vec![WeightedTerm {
+                weight: w(1.0),
+                term: BasisFunction::from_vc(VarCombo::single(1, 0, 1)),
+            }],
+        };
+        let pow = OpApplication::Binary {
+            op: BinaryOp::Pow,
+            args: BinaryArgs {
+                left: x0(),
+                right: WeightedSum::constant(w(0.5)),
+            },
+        };
+        // pow(x0, 0.5): NaN for negative x0.
+        let b = BasisFunction::from_op(1, pow);
+        assert_matches_interpreter(&b, &[vec![4.0], vec![-4.0], vec![0.0]]);
+
+        let lte = OpApplication::Lte(LteArgs {
+            test: Box::new(x0()),
+            cond: None,
+            if_less: Box::new(WeightedSum::constant(w(-1.0))),
+            otherwise: Box::new(WeightedSum::constant(w(1.0))),
+        });
+        let b = BasisFunction::from_op(1, lte);
+        assert_matches_interpreter(&b, &[vec![-2.0], vec![0.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn lte_with_nan_test_yields_nan() {
+        // ln(x0) as the lte test goes NaN for x0 < 0.
+        let test = WeightedSum {
+            offset: Weight::zero(),
+            terms: vec![WeightedTerm {
+                weight: w(1.0),
+                term: BasisFunction::from_op(
+                    1,
+                    OpApplication::Unary {
+                        op: UnaryOp::Ln,
+                        arg: WeightedSum {
+                            offset: Weight::zero(),
+                            terms: vec![WeightedTerm {
+                                weight: w(1.0),
+                                term: BasisFunction::from_vc(VarCombo::single(1, 0, 1)),
+                            }],
+                        },
+                    },
+                ),
+            }],
+        };
+        let lte = OpApplication::Lte(LteArgs {
+            test: Box::new(test),
+            cond: Some(Box::new(WeightedSum::constant(w(2.0)))),
+            if_less: Box::new(WeightedSum::constant(w(10.0))),
+            otherwise: Box::new(WeightedSum::constant(w(20.0))),
+        });
+        let b = BasisFunction::from_op(1, lte);
+        assert_matches_interpreter(&b, &[vec![-1.0], vec![1.0], vec![100.0]]);
+    }
+
+    #[test]
+    fn zero_weight_terms_compile_away() {
+        // 1 + 0·(1/x0) wrapped in abs: the zero-weight term must not
+        // contribute even at x0 = 0 where it would be infinite.
+        let s = WeightedSum {
+            offset: w(1.0),
+            terms: vec![WeightedTerm {
+                weight: Weight::zero(),
+                term: BasisFunction::from_vc(VarCombo::single(1, 0, -1)),
+            }],
+        };
+        let b = BasisFunction::from_op(
+            1,
+            OpApplication::Unary {
+                op: UnaryOp::Abs,
+                arg: s,
+            },
+        );
+        assert_matches_interpreter(&b, &[vec![0.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn early_bailout_keeps_column_identical() {
+        // 1/x0 · sqrt(x0): at x0 = 0 the first factor is infinite on every
+        // lane, so the root bail-out triggers; values must still match the
+        // interpreter exactly.
+        let inv = OpApplication::Unary {
+            op: UnaryOp::Inv,
+            arg: WeightedSum {
+                offset: Weight::zero(),
+                terms: vec![WeightedTerm {
+                    weight: w(1.0),
+                    term: BasisFunction::from_vc(VarCombo::single(1, 0, 1)),
+                }],
+            },
+        };
+        let sqrt = OpApplication::Unary {
+            op: UnaryOp::Sqrt,
+            arg: WeightedSum {
+                offset: Weight::zero(),
+                terms: vec![WeightedTerm {
+                    weight: w(1.0),
+                    term: BasisFunction::from_vc(VarCombo::single(1, 0, 1)),
+                }],
+            },
+        };
+        let b = BasisFunction {
+            vc: VarCombo::identity(1),
+            factors: vec![inv, sqrt],
+        };
+        assert_matches_interpreter(&b, &[vec![0.0], vec![0.0], vec![0.0]]);
+        assert_matches_interpreter(&b, &[vec![0.0], vec![4.0]]);
+    }
+
+    #[test]
+    fn equal_trees_produce_equal_tapes_and_hashes() {
+        let b = BasisFunction {
+            vc: VarCombo::single(2, 0, 2),
+            factors: vec![OpApplication::Unary {
+                op: UnaryOp::Sqrt,
+                arg: WeightedSum {
+                    offset: w(1.0),
+                    terms: vec![WeightedTerm {
+                        weight: w(3.0),
+                        term: BasisFunction::from_vc(VarCombo::single(2, 1, 1)),
+                    }],
+                },
+            }],
+        };
+        let t1 = Tape::compile(&b, &ctx());
+        let t2 = Tape::compile(&b.clone(), &ctx());
+        assert_eq!(t1, t2);
+        assert_eq!(t1.structural_hash(), t2.structural_hash());
+
+        let mut other = b.clone();
+        other.vc = VarCombo::single(2, 1, 2);
+        let t3 = Tape::compile(&other, &ctx());
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn compile_into_reuses_and_matches_fresh_compile() {
+        let a = BasisFunction::from_vc(VarCombo::single(1, 0, 2));
+        let b = BasisFunction::from_op(
+            1,
+            OpApplication::Unary {
+                op: UnaryOp::Square,
+                arg: WeightedSum::constant(w(2.0)),
+            },
+        );
+        let mut tape = Tape::compile(&a, &ctx());
+        tape.compile_into(&b, &ctx());
+        assert_eq!(tape, Tape::compile(&b, &ctx()));
+    }
+
+    #[test]
+    fn vm_pool_is_reused_across_evaluations() {
+        let b = BasisFunction::from_vc(VarCombo::single(1, 0, 1));
+        let pm = PointMatrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let tape = Tape::compile(&b, &ctx());
+        let mut vm = TapeVm::new();
+        let c1 = vm.eval(&tape, &pm);
+        let p1 = c1.as_ptr();
+        vm.recycle(c1);
+        let c2 = vm.eval(&tape, &pm);
+        assert_eq!(c2, vec![1.0, 2.0]);
+        assert_eq!(p1, c2.as_ptr(), "buffer was not recycled");
+    }
+}

@@ -35,6 +35,7 @@
 //! checks that the type system cannot express (exponent bounds, depth,
 //! enabled operator sets, the 2ARGS not-both-constant rule).
 
+mod compile;
 mod complexity;
 mod eval;
 mod format;
@@ -44,6 +45,7 @@ mod tree;
 mod vc;
 mod weight;
 
+pub use compile::{Tape, TapeVm};
 pub use complexity::{complexity, n_nodes, vc_cost, ComplexityWeights};
 pub use eval::{eval_basis, eval_basis_all, EvalContext};
 pub use format::{format_basis, format_model, FormatOptions};

@@ -90,7 +90,7 @@ pub use engine::{
     EngineState, Evaluator, EvolutionStats,
 };
 pub use error::CaffeineError;
-pub use fit::{fit_linear_weights, FitOutcome, LinearFit};
+pub use fit::{fit_linear_weights, fit_linear_weights_cached, FitOutcome, FitScratch, LinearFit};
 pub use grammar::GrammarConfig;
 pub use metrics::ErrorMetric;
 pub use model::Model;

@@ -1,8 +1,10 @@
 use serde::{Deserialize, Serialize};
 
+use caffeine_doe::PointMatrix;
+
 use crate::expr::{
-    complexity, eval_basis, BasisFunction, ComplexityWeights, EvalContext, FormatOptions,
-    WeightConfig,
+    complexity, eval_basis, BasisFunction, ComplexityWeights, EvalContext, FormatOptions, Tape,
+    TapeVm, WeightConfig,
 };
 use crate::metrics::ErrorMetric;
 
@@ -94,9 +96,33 @@ impl Model {
         y
     }
 
-    /// Predicts a batch of design points.
+    /// Predicts a batch of design points (compiled column evaluation;
+    /// bit-identical to mapping [`Model::predict_one`] over the rows).
     pub fn predict(&self, points: &[Vec<f64>]) -> Vec<f64> {
-        points.iter().map(|x| self.predict_one(x)).collect()
+        self.predict_matrix(&PointMatrix::from_rows(points))
+    }
+
+    /// Predicts every point of a column-major [`PointMatrix`].
+    ///
+    /// Each basis is lowered once to a [`Tape`] and evaluated
+    /// column-at-a-time — the batch path used when scoring models on
+    /// whole datasets.
+    pub fn predict_matrix(&self, pm: &PointMatrix) -> Vec<f64> {
+        let ctx = EvalContext::new(self.weight_config);
+        let mut vm = TapeVm::new();
+        let mut tape = Tape::default();
+        let mut y = vec![self.coefficients[0]; pm.n_points()];
+        for (b, &c) in self.bases.iter().zip(&self.coefficients[1..]) {
+            if c != 0.0 {
+                tape.compile_into(b, &ctx);
+                let col = vm.eval(&tape, pm);
+                for (yi, &v) in y.iter_mut().zip(&col) {
+                    *yi += c * v;
+                }
+                vm.recycle(col);
+            }
+        }
+        y
     }
 
     /// Evaluates the model's error on a dataset under `metric`.

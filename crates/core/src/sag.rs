@@ -7,11 +7,17 @@
 //! most reduces PRESS, and bases whose inclusion does not improve PRESS —
 //! the ones that "harm predictive ability" — are pruned. The surviving
 //! subset is refit by least squares.
+//!
+//! Performance: basis columns are evaluated once through the compiled
+//! [`Tape`] evaluator, and each selection round scores every candidate
+//! against a single shared [`IncrementalQr`] factorization of the
+//! already-selected set (`O(n·k)` per candidate) instead of refactorizing
+//! the design from scratch (`O(n·k²)`) per candidate.
 
 use caffeine_doe::Dataset;
-use caffeine_linalg::{press_statistic, Matrix};
+use caffeine_linalg::{press_statistic, ColumnTrial, IncrementalQr, Matrix};
 
-use crate::expr::{eval_basis_all, BasisFunction, ComplexityWeights, EvalContext};
+use crate::expr::{BasisFunction, ComplexityWeights, EvalContext, Tape, TapeVm};
 use crate::metrics::ErrorMetric;
 use crate::model::Model;
 use crate::CaffeineError;
@@ -59,71 +65,88 @@ pub fn simplify_model(
     if data.n_samples() == 0 {
         return Err(CaffeineError::InvalidData("empty dataset".into()));
     }
+    if model.bases.iter().any(|b| b.n_vars() != data.n_vars()) {
+        return Err(CaffeineError::InvalidData(format!(
+            "model is over a different variable count than the dataset ({} vars)",
+            data.n_vars()
+        )));
+    }
     let ctx = EvalContext::new(model.weight_config);
-    let points = data.points();
+    let pm = data.point_matrix();
     let targets = data.targets();
 
-    // Evaluate every basis once; discard non-finite columns immediately.
+    // Evaluate every basis once (compiled, column-at-a-time); discard
+    // non-finite columns immediately.
+    let mut vm = TapeVm::new();
+    let mut tape = Tape::default();
     let mut usable: Vec<(usize, Vec<f64>)> = Vec::new();
     for (i, b) in model.bases.iter().enumerate() {
-        let col = eval_basis_all(b, points, &ctx);
+        tape.compile_into(b, &ctx);
+        let col = vm.eval(&tape, &pm);
         if col.iter().all(|v| v.is_finite() && v.abs() < 1e100) {
             usable.push((i, col));
+        } else {
+            vm.recycle(col);
         }
     }
 
     let n = data.n_samples();
     let ones = vec![1.0; n];
 
-    // Intercept-only PRESS as the baseline.
-    let base_design = Matrix::from_columns(std::slice::from_ref(&ones));
-    let mut best_press = press_statistic(&base_design, targets)?.press;
+    // Forward regression over one shared incremental factorization: the
+    // committed set [1 | selected…] is factored exactly once, and each
+    // round scores every remaining candidate against it in O(n·k) instead
+    // of refactorizing the whole design per candidate.
+    let mut qr = IncrementalQr::new(targets)?;
+    qr.append_column(&ones)?;
+    let mut best_press = qr.press();
+    // Numerically-perfect fits stop the search: below this PRESS the
+    // residual is rounding noise and further "improvements" would select
+    // chaff on noise-level comparisons.
+    let floor = press_floor(targets);
     let mut selected: Vec<usize> = Vec::new(); // indices into `usable`
+    let mut in_model = vec![false; usable.len()];
+    let mut cand = ColumnTrial::default();
+    let mut best = ColumnTrial::default();
 
-    loop {
-        let mut best_candidate: Option<(usize, f64)> = None;
+    while best_press > floor && n > qr.cols() + 1 {
+        let mut best_k: Option<usize> = None;
         for (k, (_, col)) in usable.iter().enumerate() {
-            if selected.contains(&k) {
+            if in_model[k] {
                 continue;
             }
-            // Design: [1 | selected... | candidate].
-            let mut cols: Vec<Vec<f64>> = Vec::with_capacity(selected.len() + 2);
-            cols.push(ones.clone());
-            for &s in &selected {
-                cols.push(usable[s].1.clone());
+            // Collinear with the current set: skip.
+            if !qr.try_column(col, &mut cand) {
+                continue;
             }
-            cols.push(col.clone());
-            let design = Matrix::from_columns(&cols);
-            if design.rows() <= design.cols() {
-                continue; // saturated: leave-one-out undefined
-            }
-            let Ok(report) = press_statistic(&design, targets) else {
-                continue; // collinear with the current set: skip
-            };
-            if report.press < best_press * settings.min_improvement
-                && best_candidate
-                    .map(|(_, p)| report.press < p)
-                    .unwrap_or(true)
+            if cand.press() < best_press * settings.min_improvement
+                && best_k.map(|_| cand.press() < best.press()).unwrap_or(true)
             {
-                best_candidate = Some((k, report.press));
+                std::mem::swap(&mut cand, &mut best);
+                best_k = Some(k);
             }
         }
-        match best_candidate {
-            Some((k, press)) => {
+        match best_k {
+            Some(k) => {
+                qr.append(&best);
+                in_model[k] = true;
                 selected.push(k);
-                best_press = press;
+                best_press = best.press();
             }
             None => break,
         }
     }
 
-    // Refit on the selected subset.
-    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(selected.len() + 1);
-    cols.push(ones);
-    for &s in &selected {
-        cols.push(usable[s].1.clone());
-    }
-    let design = Matrix::from_columns(&cols);
+    // Refit on the selected subset with the exact Householder path (same
+    // final coefficients as a from-scratch fit), assembling the design
+    // in place from the already-evaluated columns.
+    let design = Matrix::from_fn(n, selected.len() + 1, |i, j| {
+        if j == 0 {
+            1.0
+        } else {
+            usable[selected[j - 1]].1[i]
+        }
+    });
     let report = press_statistic(&design, targets)?;
     let predictions = design.matvec(&report.coefficients)?;
 
@@ -135,6 +158,14 @@ pub fn simplify_model(
     pruned.train_error = settings.metric.compute(&predictions, targets);
     pruned.recompute_complexity(&settings.complexity);
     Ok(pruned)
+}
+
+/// PRESS below which a fit is numerically perfect: the scale of `m`
+/// rounding-noise residuals of the target magnitude.
+fn press_floor(targets: &[f64]) -> f64 {
+    let scale = targets.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+    let ulp = 32.0 * f64::EPSILON * scale;
+    targets.len() as f64 * ulp * ulp
 }
 
 /// Applies [`simplify_model`] to a whole front, dropping models that fail

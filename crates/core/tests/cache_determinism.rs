@@ -1,0 +1,125 @@
+//! Cached vs. uncached evaluation must be indistinguishable: an entire
+//! evolutionary run driven by the compiled + column-cached fitness path
+//! yields **byte-identical** populations, statistics, and Pareto fronts
+//! to the same run driven by the tree-walk reference path with no cache.
+
+use caffeine_core::expr::{complexity, EvalContext};
+use caffeine_core::fit::{fit_linear_weights, FitOutcome};
+use caffeine_core::gp::{Evaluation, Individual};
+use caffeine_core::{
+    assemble_result, CaffeineSettings, DatasetEvaluator, EngineState, Evaluator, GrammarConfig,
+};
+use caffeine_doe::Dataset;
+
+/// The reference evaluator: per-individual tree-walk fitting, no point
+/// transpose, no tapes, no cache. Mirrors `DatasetEvaluator`'s scoring
+/// exactly, through the reference `fit_linear_weights` path.
+struct UncachedEvaluator<'a> {
+    data: &'a Dataset,
+    settings: &'a CaffeineSettings,
+    ctx: EvalContext,
+}
+
+impl Evaluator for UncachedEvaluator<'_> {
+    fn evaluate_all(&self, population: &mut [Individual]) {
+        for ind in population {
+            if ind.eval.is_some() {
+                continue;
+            }
+            let cx = complexity(&ind.bases, &self.settings.complexity);
+            let eval = match fit_linear_weights(
+                &ind.bases,
+                self.data.points(),
+                self.data.targets(),
+                &self.ctx,
+            ) {
+                FitOutcome::Fit(fit) => {
+                    let err = self
+                        .settings
+                        .metric
+                        .compute(&fit.predictions, self.data.targets());
+                    let feasible = err.is_finite();
+                    Evaluation {
+                        coefficients: fit.coefficients,
+                        train_error: if feasible {
+                            err
+                        } else {
+                            self.settings.infeasible_error
+                        },
+                        complexity: cx,
+                        feasible,
+                    }
+                }
+                FitOutcome::Infeasible => Evaluation {
+                    coefficients: vec![0.0; ind.bases.len() + 1],
+                    train_error: self.settings.infeasible_error,
+                    complexity: cx,
+                    feasible: false,
+                },
+            };
+            ind.eval = Some(eval);
+        }
+    }
+}
+
+fn dataset() -> Dataset {
+    let xs: Vec<Vec<f64>> = (0..30)
+        .map(|i| vec![0.4 + (i % 7) as f64 * 0.31, 0.8 + (i % 5) as f64 * 0.45])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 1.0 / x[1] - 0.3).collect();
+    Dataset::new(vec!["x0".into(), "x1".into()], xs, ys).unwrap()
+}
+
+#[test]
+fn cached_and_uncached_runs_are_byte_identical() {
+    let data = dataset();
+    let mut settings = CaffeineSettings::quick_test();
+    settings.generations = 15;
+    settings.seed = 41;
+    // The full paper grammar exercises every operator family, lte
+    // included, through both paths.
+    let grammar = GrammarConfig::paper_full(2);
+
+    let cached = DatasetEvaluator::new(&settings, &grammar, &data).unwrap();
+    let mut state_cached = EngineState::new(settings.clone(), grammar.clone(), &cached).unwrap();
+
+    let uncached = UncachedEvaluator {
+        data: &data,
+        settings: &settings,
+        ctx: EvalContext::new(grammar.weights),
+    };
+    let mut state_uncached =
+        EngineState::new(settings.clone(), grammar.clone(), &uncached).unwrap();
+
+    assert_eq!(
+        state_cached.population, state_uncached.population,
+        "initial populations diverged"
+    );
+
+    for g in 0..settings.generations {
+        state_cached.step(&cached);
+        state_uncached.step(&uncached);
+        assert_eq!(
+            state_cached.population, state_uncached.population,
+            "population diverged at generation {g}"
+        );
+    }
+    assert_eq!(state_cached.stats, state_uncached.stats);
+
+    // And the harvested Pareto fronts — the user-visible artifact — are
+    // byte-identical too.
+    let anchor_c = cached.constant_model(grammar.weights);
+    let front_c = assemble_result(state_cached.harvest(), anchor_c.clone(), vec![]).unwrap();
+    let front_u = assemble_result(state_uncached.harvest(), anchor_c, vec![]).unwrap();
+    assert_eq!(front_c.models, front_u.models);
+    let bits = |m: &caffeine_core::Model| -> Vec<u64> {
+        m.coefficients
+            .iter()
+            .map(|c| c.to_bits())
+            .chain([m.train_error.to_bits(), m.complexity.to_bits()])
+            .collect()
+    };
+    for (a, b) in front_c.models.iter().zip(front_u.models.iter()) {
+        assert_eq!(bits(a), bits(b), "front model bits diverged");
+    }
+}

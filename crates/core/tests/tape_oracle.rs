@@ -1,0 +1,150 @@
+//! Oracle tests of the compiled tape evaluator: the tree-walk interpreter
+//! is the reference semantics, and the tape must reproduce it **bit for
+//! bit** on random grammar trees — including `lte` conditionals,
+//! zero-weight terms, NaN propagation from out-of-domain operators, and
+//! the root-level early bail-out.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use caffeine_core::expr::{eval_basis, EvalContext, Tape, TapeVm};
+use caffeine_core::fit::{fit_linear_weights, fit_linear_weights_cached, FitOutcome, FitScratch};
+use caffeine_core::grammar::RandomExprGen;
+use caffeine_core::GrammarConfig;
+use caffeine_doe::PointMatrix;
+
+/// Random design points that deliberately include negative values, exact
+/// zeros, and large magnitudes so out-of-domain operators (ln, sqrt, inv,
+/// pow) exercise the NaN/infinity paths.
+fn gen_points(rng: &mut StdRng, n_points: usize, n_vars: usize) -> Vec<Vec<f64>> {
+    (0..n_points)
+        .map(|_| {
+            (0..n_vars)
+                .map(|_| match rng.gen_range(0..6u32) {
+                    0 => 0.0,
+                    1 => -rng.gen_range(0.01f64..10.0),
+                    2 => rng.gen_range(1e-6f64..1e-3),
+                    3 => rng.gen_range(100.0f64..1e6),
+                    _ => rng.gen_range(0.01f64..10.0),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn grammar_for(which: usize, n_vars: usize) -> GrammarConfig {
+    match which {
+        // `paper_full` enables both `lte` forms and the whole operator set.
+        0 => GrammarConfig::paper_full(n_vars),
+        1 => GrammarConfig::rational(n_vars),
+        _ => GrammarConfig::no_trig(n_vars),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Compiled evaluation is bit-identical to the interpreter on random
+    /// grammar trees over adversarial point sets.
+    #[test]
+    fn tape_matches_interpreter_bitwise(
+        seed in 0u64..100_000,
+        which_grammar in 0usize..3,
+        n_vars in 1usize..5,
+    ) {
+        let grammar = grammar_for(which_grammar, n_vars);
+        let gen = RandomExprGen::new(&grammar);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ctx = EvalContext::new(grammar.weights);
+        let points = gen_points(&mut rng, 17, n_vars);
+        let pm = PointMatrix::from_rows(&points);
+        let mut vm = TapeVm::new();
+        let mut tape = Tape::default();
+        for _ in 0..4 {
+            let basis = gen.gen_basis(&mut rng);
+            tape.compile_into(&basis, &ctx);
+            let col = vm.eval(&tape, &pm);
+            for (t, p) in points.iter().enumerate() {
+                let reference = eval_basis(&basis, p, &ctx);
+                prop_assert!(
+                    reference.to_bits() == col[t].to_bits(),
+                    "basis {basis:?} point {p:?}: interpreter {reference:e} \
+                     ({:#x}) vs tape {:e} ({:#x})",
+                    reference.to_bits(), col[t], col[t].to_bits()
+                );
+            }
+            vm.recycle(col);
+        }
+    }
+
+    /// The whole fitting stage agrees: cached/compiled fits return
+    /// bit-identical coefficients and predictions to the tree-walk
+    /// reference path, and agree on infeasibility.
+    #[test]
+    fn cached_fit_matches_reference_bitwise(
+        seed in 0u64..100_000,
+        which_grammar in 0usize..3,
+        n_bases in 1usize..6,
+    ) {
+        let n_vars = 3;
+        let grammar = grammar_for(which_grammar, n_vars);
+        let gen = RandomExprGen::new(&grammar);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ctx = EvalContext::new(grammar.weights);
+        let points = gen_points(&mut rng, 23, n_vars);
+        let pm = PointMatrix::from_rows(&points);
+        let targets: Vec<f64> = (0..23).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let bases: Vec<_> = (0..n_bases).map(|_| gen.gen_basis(&mut rng)).collect();
+
+        let reference = fit_linear_weights(&bases, &points, &targets, &ctx);
+        let mut scratch = FitScratch::new();
+        // Run twice: the second pass is all cache hits and must not drift.
+        for round in 0..2 {
+            let fast = fit_linear_weights_cached(&bases, &pm, &targets, &ctx, &mut scratch);
+            match (&reference, &fast) {
+                (FitOutcome::Fit(a), FitOutcome::Fit(b)) => {
+                    prop_assert_eq!(&a.coefficients, &b.coefficients);
+                    prop_assert_eq!(&a.predictions, &b.predictions);
+                }
+                (FitOutcome::Infeasible, FitOutcome::Infeasible) => {}
+                _ => prop_assert!(false, "outcome kind diverged (round {round})"),
+            }
+        }
+    }
+}
+
+#[test]
+fn tape_oracle_holds_on_many_deep_paper_trees() {
+    // A deterministic heavy sweep complementing the proptest: 300 trees
+    // from the full paper grammar (lte enabled) over a fixed adversarial
+    // point set.
+    let grammar = GrammarConfig::paper_full(4);
+    let gen = RandomExprGen::new(&grammar);
+    let mut rng = StdRng::seed_from_u64(0xCAFF);
+    let ctx = EvalContext::new(grammar.weights);
+    let points = gen_points(&mut rng, 29, 4);
+    let pm = PointMatrix::from_rows(&points);
+    let mut vm = TapeVm::new();
+    let mut tape = Tape::default();
+    let mut nonfinite_seen = false;
+    for _ in 0..300 {
+        let basis = gen.gen_basis(&mut rng);
+        tape.compile_into(&basis, &ctx);
+        let col = vm.eval(&tape, &pm);
+        for (t, p) in points.iter().enumerate() {
+            let reference = eval_basis(&basis, p, &ctx);
+            nonfinite_seen |= !reference.is_finite();
+            assert!(
+                reference.to_bits() == col[t].to_bits(),
+                "mismatch: interpreter {reference:e} vs tape {:e}\nbasis {basis:?}\npoint {p:?}",
+                col[t]
+            );
+        }
+        vm.recycle(col);
+    }
+    assert!(
+        nonfinite_seen,
+        "the sweep never exercised a NaN/infinity path — weaken the points"
+    );
+}

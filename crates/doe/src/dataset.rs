@@ -95,6 +95,13 @@ impl Dataset {
         Matrix::from_rows(&self.x)
     }
 
+    /// The design points transposed into column-major
+    /// [`PointMatrix`](crate::PointMatrix) storage — the layout the batch
+    /// expression evaluator consumes.
+    pub fn point_matrix(&self) -> crate::PointMatrix {
+        crate::PointMatrix::from_rows(&self.x)
+    }
+
     /// Removes samples whose target is non-finite (the paper notes that
     /// "some of [the simulations] did not converge"; those points simply
     /// drop out of the table). Returns the number of samples removed.

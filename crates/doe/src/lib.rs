@@ -14,7 +14,9 @@
 //! * [`ScaledHypercube`] — mapping level indices to physical design-variable
 //!   values around a nominal point, and
 //! * [`Dataset`] / [`SplitDataset`] — the `{x(t), y(t)}` sample tables the
-//!   modeling algorithms consume.
+//!   modeling algorithms consume, and
+//! * [`PointMatrix`] — the column-major (structure-of-arrays) view of a
+//!   point table that the batch expression evaluator streams over.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@ mod factorial;
 pub mod gf3;
 mod lhs;
 mod oa;
+mod points;
 mod scaling;
 
 pub use dataset::{Dataset, SplitDataset};
@@ -43,4 +46,5 @@ pub use error::DoeError;
 pub use factorial::full_factorial;
 pub use lhs::latin_hypercube;
 pub use oa::OrthogonalArray;
+pub use points::PointMatrix;
 pub use scaling::ScaledHypercube;

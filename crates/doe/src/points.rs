@@ -1,0 +1,147 @@
+use serde::{Deserialize, Serialize};
+
+/// Structure-of-arrays design-point storage: one contiguous `f64` slice per
+/// design *variable* rather than per design *point*.
+///
+/// The row-major `&[Vec<f64>]` layout of [`Dataset`](crate::Dataset) is the
+/// natural shape for building tables, but the modeling hot loops consume
+/// points the other way around: a basis function is evaluated for *every*
+/// point at once, walking one variable column at a time. `PointMatrix` is
+/// that transposed, cache-friendly view — `var(j)` yields all `N` values of
+/// variable `j` as one contiguous slice, which is what the compiled tape
+/// evaluator in `caffeine-core` streams over.
+///
+/// # Example
+///
+/// ```
+/// use caffeine_doe::PointMatrix;
+///
+/// let pm = PointMatrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0]]);
+/// assert_eq!(pm.n_points(), 2);
+/// assert_eq!(pm.n_vars(), 2);
+/// assert_eq!(pm.var(1), &[10.0, 20.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointMatrix {
+    n_points: usize,
+    n_vars: usize,
+    /// Column-major values: `data[j * n_points + t]` is variable `j` of
+    /// point `t`.
+    data: Vec<f64>,
+}
+
+impl PointMatrix {
+    /// Transposes row-major design points into column-major storage.
+    ///
+    /// An empty slice yields a `0 × 0` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rows have differing lengths.
+    pub fn from_rows(points: &[Vec<f64>]) -> PointMatrix {
+        let n_points = points.len();
+        let n_vars = points.first().map_or(0, Vec::len);
+        assert!(
+            points.iter().all(|p| p.len() == n_vars),
+            "all design points must have the same number of variables"
+        );
+        let mut data = vec![0.0; n_points * n_vars];
+        for (t, p) in points.iter().enumerate() {
+            for (j, &v) in p.iter().enumerate() {
+                data[j * n_points + t] = v;
+            }
+        }
+        PointMatrix {
+            n_points,
+            n_vars,
+            data,
+        }
+    }
+
+    /// Number of design points `N`.
+    #[inline]
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// Number of design variables `d`.
+    #[inline]
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// All `N` values of variable `j`, contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= n_vars`.
+    #[inline]
+    pub fn var(&self, j: usize) -> &[f64] {
+        assert!(j < self.n_vars, "variable index {j} out of range");
+        &self.data[j * self.n_points..(j + 1) * self.n_points]
+    }
+
+    /// Copies point `t` into `out` (one value per variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t >= n_points` or `out.len() != n_vars`.
+    pub fn point_into(&self, t: usize, out: &mut [f64]) {
+        assert!(t < self.n_points, "point index {t} out of range");
+        assert_eq!(out.len(), self.n_vars, "output length mismatch");
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.data[j * self.n_points + t];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transposes_rows_into_columns() {
+        let pm = PointMatrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+            vec![10.0, 11.0, 12.0],
+        ]);
+        assert_eq!(pm.n_points(), 4);
+        assert_eq!(pm.n_vars(), 3);
+        assert_eq!(pm.var(0), &[1.0, 4.0, 7.0, 10.0]);
+        assert_eq!(pm.var(2), &[3.0, 6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn empty_input_is_empty_matrix() {
+        let pm = PointMatrix::from_rows(&[]);
+        assert_eq!(pm.n_points(), 0);
+        assert_eq!(pm.n_vars(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of variables")]
+    fn ragged_rows_rejected() {
+        let _ = PointMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn point_into_reconstructs_rows() {
+        let rows = vec![vec![1.5, -2.0], vec![0.25, 8.0]];
+        let pm = PointMatrix::from_rows(&rows);
+        let mut buf = [0.0; 2];
+        for (t, row) in rows.iter().enumerate() {
+            pm.point_into(t, &mut buf);
+            assert_eq!(&buf[..], row.as_slice());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let pm = PointMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let json = serde_json::to_string(&pm).unwrap();
+        let back: PointMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(pm, back);
+    }
+}

@@ -1,0 +1,394 @@
+//! Incremental thin-QR for forward regression.
+//!
+//! SAG's PRESS-guided forward selection (paper Sec. 5.1) repeatedly asks:
+//! *given the already-selected design columns, how good would the fit be
+//! with one more column appended?* Refactorizing the full design from
+//! scratch per candidate costs `O(m·k²)` each — the [`IncrementalQr`]
+//! maintains the thin `Q·R` factorization of the selected set and scores
+//! a candidate column with a single `O(m·k)` Gram–Schmidt pass
+//! ([`IncrementalQr::try_column`]), reusing the factorization across
+//! *every* candidate of a selection round. The chosen column is then
+//! committed with [`IncrementalQr::append`] at the same cost.
+//!
+//! The PRESS bookkeeping rides along for free: leverages are the running
+//! row-norms of `Q` (`h_t = Σ_j Q[t,j]²`) and the residual is updated by
+//! one rank-1 step per appended column, so a candidate's PRESS needs no
+//! solve at all.
+//!
+//! Orthogonalization is classical Gram–Schmidt *with reorthogonalization*
+//! (CGS2, "twice is enough") — numerically as orthogonal as Householder
+//! for well-scaled regression columns, and unlike Householder it never
+//! touches the committed prefix.
+
+use crate::{LinalgError, Matrix};
+
+/// Relative norm drop below which a candidate column is declared
+/// numerically dependent on the committed columns.
+const COLLINEAR_TOL: f64 = 1e-12;
+
+/// Leverage handling mirrors [`crate::press_statistic`]: clamp into
+/// `[0, 1]` and floor the LOO denominator.
+const LEVERAGE_FLOOR: f64 = 1e-8;
+
+/// Scratch and result of scoring one candidate column against the current
+/// factorization. Reuse one (plus one for the running best) across a
+/// whole selection round to stay allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnTrial {
+    /// The orthonormalized candidate direction (length `m`).
+    q: Vec<f64>,
+    /// The new column of `R` (length `k + 1`).
+    rcol: Vec<f64>,
+    /// `qᵀ·y`.
+    qy: f64,
+    /// PRESS of the fit with the candidate appended.
+    press: f64,
+}
+
+impl ColumnTrial {
+    /// PRESS of the fit that would result from appending this column.
+    pub fn press(&self) -> f64 {
+        self.press
+    }
+}
+
+/// A thin QR factorization that grows one column at a time, with running
+/// least-squares residuals and hat-matrix leverages.
+///
+/// # Example
+///
+/// ```
+/// use caffeine_linalg::IncrementalQr;
+///
+/// // y ≈ a·1 + b·x on 4 points.
+/// let y = [1.0, 3.0, 5.0, 7.0];
+/// let mut qr = IncrementalQr::new(&y).unwrap();
+/// qr.append_column(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+/// qr.append_column(&[0.0, 1.0, 2.0, 3.0]).unwrap();
+/// let coef = qr.coefficients().unwrap();
+/// assert!((coef[0] - 1.0).abs() < 1e-10 && (coef[1] - 2.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalQr {
+    m: usize,
+    /// Thin-Q columns, flattened: `q[j·m .. (j+1)·m]` is column `j`.
+    q: Vec<f64>,
+    /// Columns of `R`: `r[j]` has length `j + 1`.
+    r: Vec<Vec<f64>>,
+    /// `Qᵀ·y`, one entry per committed column.
+    qty: Vec<f64>,
+    /// Current least-squares residual `y − Q·Qᵀ·y`.
+    residual: Vec<f64>,
+    /// Hat-matrix diagonal of the committed columns.
+    leverages: Vec<f64>,
+}
+
+impl IncrementalQr {
+    /// Starts an empty factorization against the target vector `y`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NonFiniteInput`] when `y` contains NaN or infinity.
+    pub fn new(y: &[f64]) -> Result<IncrementalQr, LinalgError> {
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFiniteInput { argument: "y" });
+        }
+        Ok(IncrementalQr {
+            m: y.len(),
+            q: Vec::new(),
+            r: Vec::new(),
+            qty: Vec::new(),
+            residual: y.to_vec(),
+            leverages: vec![0.0; y.len()],
+        })
+    }
+
+    /// Number of rows (sample count).
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of committed columns.
+    pub fn cols(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Current least-squares residuals `y − A·x`.
+    pub fn residuals(&self) -> &[f64] {
+        &self.residual
+    }
+
+    /// Current hat-matrix diagonal.
+    pub fn leverages(&self) -> &[f64] {
+        &self.leverages
+    }
+
+    /// PRESS of the current fit (same clamp/floor conventions as
+    /// [`crate::press_statistic`]).
+    pub fn press(&self) -> f64 {
+        press_of(&self.residual, &self.leverages)
+    }
+
+    /// Scores appending `col` without committing it. Returns `false` —
+    /// leaving `out` unspecified — when the column is numerically
+    /// dependent on the committed set (or zero, non-finite, or the
+    /// factorization is already square).
+    pub fn try_column(&self, col: &[f64], out: &mut ColumnTrial) -> bool {
+        debug_assert_eq!(col.len(), self.m, "column length mismatch");
+        if col.len() != self.m || self.cols() >= self.m || col.iter().any(|v| !v.is_finite()) {
+            return false;
+        }
+        let k = self.cols();
+        let col_norm = norm(col);
+        if col_norm == 0.0 {
+            return false;
+        }
+
+        out.q.clear();
+        out.q.extend_from_slice(col);
+        out.rcol.clear();
+        out.rcol.resize(k + 1, 0.0);
+
+        // CGS2: project out the committed columns, twice.
+        for _ in 0..2 {
+            for j in 0..k {
+                let qj = &self.q[j * self.m..(j + 1) * self.m];
+                let d = dot(qj, &out.q);
+                out.rcol[j] += d;
+                for (v, &qv) in out.q.iter_mut().zip(qj) {
+                    *v -= d * qv;
+                }
+            }
+        }
+        let vnorm = norm(&out.q);
+        if vnorm <= COLLINEAR_TOL * col_norm {
+            return false;
+        }
+        out.rcol[k] = vnorm;
+        for v in out.q.iter_mut() {
+            *v /= vnorm;
+        }
+        // qᵀe = qᵀy because e ⟂ span(Q) ∋ q's removed part; using the
+        // residual keeps the arithmetic consistent with `append`.
+        out.qy = dot(&out.q, &self.residual);
+
+        // PRESS with the candidate appended: one rank-1 residual update
+        // and a leverage bump, no solve.
+        let mut press = 0.0;
+        for t in 0..self.m {
+            let e = self.residual[t] - out.q[t] * out.qy;
+            let h = (self.leverages[t] + out.q[t] * out.q[t]).clamp(0.0, 1.0);
+            let denom = (1.0 - h).max(LEVERAGE_FLOOR);
+            let loo = e / denom;
+            press += loo * loo;
+        }
+        out.press = press;
+        true
+    }
+
+    /// Commits a trial produced by [`IncrementalQr::try_column`] against
+    /// the *current* state.
+    pub fn append(&mut self, trial: &ColumnTrial) {
+        debug_assert_eq!(trial.q.len(), self.m, "stale trial");
+        debug_assert_eq!(trial.rcol.len(), self.cols() + 1, "stale trial");
+        self.q.extend_from_slice(&trial.q);
+        self.r.push(trial.rcol.clone());
+        self.qty.push(trial.qy);
+        for t in 0..self.m {
+            self.residual[t] -= trial.q[t] * trial.qy;
+            self.leverages[t] = (self.leverages[t] + trial.q[t] * trial.q[t]).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Convenience: score and commit `col` in one call.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Singular`] when the column is numerically dependent
+    /// on the committed set (the caller can skip it, as SAG does).
+    pub fn append_column(&mut self, col: &[f64]) -> Result<(), LinalgError> {
+        let mut trial = ColumnTrial::default();
+        if !self.try_column(col, &mut trial) {
+            return Err(LinalgError::Singular { pivot: self.cols() });
+        }
+        self.append(&trial);
+        Ok(())
+    }
+
+    /// Least-squares coefficients of the committed columns
+    /// (back-substitution of `R·x = Qᵀ·y`).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Singular`] when a diagonal entry of `R` vanishes
+    /// (cannot happen for columns admitted by [`IncrementalQr::try_column`]).
+    pub fn coefficients(&self) -> Result<Vec<f64>, LinalgError> {
+        let k = self.cols();
+        let mut x = vec![0.0; k];
+        for i in (0..k).rev() {
+            let mut acc = self.qty[i];
+            for j in (i + 1)..k {
+                acc -= self.r[j][i] * x[j];
+            }
+            let d = self.r[i][i];
+            if d == 0.0 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+
+    /// The committed design's thin-Q factor as a dense matrix
+    /// (diagnostic / testing).
+    pub fn thin_q(&self) -> Matrix {
+        Matrix::from_fn(self.m, self.cols(), |i, j| self.q[j * self.m + i])
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+fn press_of(residual: &[f64], leverages: &[f64]) -> f64 {
+    let mut press = 0.0;
+    for (e, h) in residual.iter().zip(leverages) {
+        let denom = (1.0 - h).max(LEVERAGE_FLOOR);
+        let loo = e / denom;
+        press += loo * loo;
+    }
+    press
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::press_statistic;
+
+    fn demo_columns() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let m = 12;
+        let ones = vec![1.0; m];
+        let x: Vec<f64> = (0..m).map(|i| 0.5 + i as f64 * 0.3).collect();
+        let x2: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let inv: Vec<f64> = x.iter().map(|v| 1.0 / v).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| 2.0 - 1.5 * v + 0.25 * v * v + (v * 17.0).sin() * 0.05)
+            .collect();
+        (vec![ones, x, x2, inv], y)
+    }
+
+    #[test]
+    fn matches_householder_press_after_each_append() {
+        let (cols, y) = demo_columns();
+        let mut qr = IncrementalQr::new(&y).unwrap();
+        for k in 0..cols.len() {
+            qr.append_column(&cols[k]).unwrap();
+            let design = Matrix::from_columns(&cols[..=k]);
+            let report = press_statistic(&design, &y).unwrap();
+            let rel = (qr.press() - report.press).abs() / report.press.max(1e-300);
+            assert!(
+                rel < 1e-8,
+                "k={k}: incremental {} vs householder {}",
+                qr.press(),
+                report.press
+            );
+            for (a, b) in qr.leverages().iter().zip(report.leverages.iter()) {
+                assert!((a - b).abs() < 1e-9, "leverage mismatch at k={k}");
+            }
+            for (a, b) in qr.residuals().iter().zip(report.residuals.iter()) {
+                assert!((a - b).abs() < 1e-9, "residual mismatch at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn trial_press_equals_committed_press() {
+        let (cols, y) = demo_columns();
+        let mut qr = IncrementalQr::new(&y).unwrap();
+        qr.append_column(&cols[0]).unwrap();
+        let mut trial = ColumnTrial::default();
+        assert!(qr.try_column(&cols[1], &mut trial));
+        let predicted = trial.press();
+        qr.append(&trial);
+        assert!((qr.press() - predicted).abs() <= 1e-12 * predicted.max(1.0));
+    }
+
+    #[test]
+    fn coefficients_match_reference_lstsq() {
+        let (cols, y) = demo_columns();
+        let mut qr = IncrementalQr::new(&y).unwrap();
+        for c in &cols {
+            qr.append_column(c).unwrap();
+        }
+        let design = Matrix::from_columns(&cols);
+        let reference = crate::lstsq(&design, &y).unwrap();
+        let got = qr.coefficients().unwrap();
+        for (a, b) in got.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-8, "{got:?} vs {reference:?}");
+        }
+    }
+
+    #[test]
+    fn collinear_column_is_rejected_without_commit() {
+        let (cols, y) = demo_columns();
+        let mut qr = IncrementalQr::new(&y).unwrap();
+        qr.append_column(&cols[0]).unwrap();
+        qr.append_column(&cols[1]).unwrap();
+        let k = qr.cols();
+        // 3·ones − 2·x is inside the span.
+        let dep: Vec<f64> = cols[0]
+            .iter()
+            .zip(cols[1].iter())
+            .map(|(a, b)| 3.0 * a - 2.0 * b)
+            .collect();
+        let mut trial = ColumnTrial::default();
+        assert!(!qr.try_column(&dep, &mut trial));
+        assert!(matches!(
+            qr.append_column(&dep),
+            Err(LinalgError::Singular { .. })
+        ));
+        assert_eq!(qr.cols(), k, "rejection must not mutate the state");
+    }
+
+    #[test]
+    fn q_columns_stay_orthonormal() {
+        let (cols, y) = demo_columns();
+        let mut qr = IncrementalQr::new(&y).unwrap();
+        for c in &cols {
+            qr.append_column(c).unwrap();
+        }
+        let q = qr.thin_q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        for i in 0..qtq.rows() {
+            for j in 0..qtq.cols() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - expect).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_zero_and_non_finite_columns() {
+        let y = [1.0, 2.0, 3.0];
+        let qr = IncrementalQr::new(&y).unwrap();
+        let mut trial = ColumnTrial::default();
+        assert!(!qr.try_column(&[0.0, 0.0, 0.0], &mut trial));
+        assert!(!qr.try_column(&[1.0, f64::NAN, 0.0], &mut trial));
+        assert!(IncrementalQr::new(&[1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn saturated_factorization_rejects_further_columns() {
+        let y = [1.0, 2.0];
+        let mut qr = IncrementalQr::new(&y).unwrap();
+        qr.append_column(&[1.0, 1.0]).unwrap();
+        qr.append_column(&[0.0, 1.0]).unwrap();
+        let mut trial = ColumnTrial::default();
+        assert!(!qr.try_column(&[1.0, 3.0], &mut trial));
+    }
+}

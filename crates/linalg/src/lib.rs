@@ -10,7 +10,10 @@
 //!   ([`lstsq`], [`lstsq_ridge`]) used to learn the linear basis weights,
 //! * non-negative least squares ([`nnls`]) for the posynomial baseline,
 //! * the PRESS statistic and hat-matrix leverages ([`press`]) used by
-//!   CAFFEINE's simplification-after-generation step, and
+//!   CAFFEINE's simplification-after-generation step,
+//! * an incremental thin QR ([`IncrementalQr`]) that appends design
+//!   columns one at a time — the engine behind SAG's forward regression
+//!   scoring every candidate against a shared factorization, and
 //! * the error metrics from the paper's evaluation ([`stats`]).
 //!
 //! Everything is implemented from scratch on top of `std`; there are no
@@ -42,6 +45,7 @@
 mod cholesky;
 mod complex;
 mod error;
+mod incremental;
 mod lu;
 mod matrix;
 mod nnls;
@@ -53,6 +57,7 @@ pub mod stats;
 pub use cholesky::Cholesky;
 pub use complex::Complex64;
 pub use error::LinalgError;
+pub use incremental::{ColumnTrial, IncrementalQr};
 pub use lu::{solve_square, Lu};
 pub use matrix::Matrix;
 pub use nnls::{nnls, NnlsSolution};

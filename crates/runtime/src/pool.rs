@@ -1,7 +1,7 @@
 //! Deterministic parallel fitness evaluation.
 
 use caffeine_core::gp::Individual;
-use caffeine_core::{DatasetEvaluator, Evaluator};
+use caffeine_core::{DatasetEvaluator, Evaluator, FitScratch};
 
 /// An [`Evaluator`] that fans a population batch out over scoped worker
 /// threads.
@@ -51,9 +51,12 @@ impl Evaluator for ParallelEvaluator<'_> {
             for part in population.chunks_mut(chunk) {
                 let inner = &self.inner;
                 scope.spawn(move || {
-                    for ind in part {
-                        inner.evaluate_one(ind);
-                    }
+                    // Each worker owns its scratch: the basis-column
+                    // cache and tape VM are lock-free, and memoization
+                    // never changes outcomes, so chunking stays
+                    // bit-identical to the serial evaluator.
+                    let mut scratch = FitScratch::new();
+                    inner.evaluate_batch(part, &mut scratch);
                 });
             }
         });
