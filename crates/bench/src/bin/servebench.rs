@@ -1,0 +1,318 @@
+//! `servebench` — a load generator for the `caffeine-serve` daemon,
+//! recording predict latency percentiles and throughput to
+//! `BENCH_serve.json`.
+//!
+//! Boots an in-process server on an ephemeral port, publishes an
+//! OTA-shaped model artifact, then hammers `POST /predict` from
+//! concurrent client threads over real sockets (connect + request +
+//! response per call, mirroring the one-request-per-connection server
+//! policy). A job lifecycle (submit → poll → fetch → verify bit-identical
+//! predictions) runs once as a correctness gate.
+//!
+//! ```text
+//! cargo run --release -p caffeine-bench --bin servebench            # full
+//! cargo run -p caffeine-bench --bin servebench -- --smoke           # CI
+//! cargo run -p caffeine-bench --bin servebench -- --out path.json
+//! ```
+//!
+//! `--smoke` runs one worker with a handful of requests — enough to
+//! prove the server boots, answers, and round-trips a job; its timings
+//! are flagged as not meaningful.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use caffeine_core::expr::{BasisFunction, VarCombo, WeightConfig};
+use caffeine_core::{Model, ModelArtifact};
+use caffeine_serve::{client, ServeConfig, Server};
+
+const T: Duration = Duration::from_secs(30);
+
+#[derive(Debug, Serialize)]
+struct PredictStats {
+    /// Concurrent client threads.
+    concurrency: usize,
+    /// Requests per thread.
+    requests_per_client: usize,
+    /// Points per predict batch.
+    batch_size: usize,
+    /// Total successful requests.
+    requests: usize,
+    /// Mean request latency, microseconds.
+    mean_us: f64,
+    /// Median request latency, microseconds.
+    p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    p99_us: f64,
+    /// Aggregate request throughput.
+    req_per_sec: f64,
+    /// Aggregate point-prediction throughput.
+    points_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct JobStats {
+    /// Submit → finished wall time, seconds.
+    total_secs: f64,
+    /// Generations the job ran.
+    generations: usize,
+    /// Models in the published front.
+    n_models: usize,
+    /// `true` when served predictions matched in-process bit for bit.
+    bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Snapshot {
+    /// Snapshot schema version.
+    schema: u32,
+    /// Unix timestamp (seconds) of the run.
+    unix_time: u64,
+    /// `true` when produced by `--smoke` (timings not meaningful).
+    smoke: bool,
+    /// Server worker threads.
+    server_workers: usize,
+    /// Predict load-generation results.
+    predict: PredictStats,
+    /// One job lifecycle, as a correctness gate.
+    job: JobStats,
+}
+
+/// A 13-variable OTA-shaped artifact: a handful of rational bases over
+/// the paper's design-space dimensionality.
+fn ota_shaped_artifact() -> ModelArtifact {
+    let cfg = WeightConfig::default();
+    let bases = vec![
+        BasisFunction::from_vc(VarCombo::single(13, 0, 1)),
+        BasisFunction::from_vc(VarCombo::single(13, 3, -1)),
+        BasisFunction::from_vc(VarCombo::single(13, 7, 2)),
+        BasisFunction::from_vc(VarCombo::single(13, 12, -2)),
+    ];
+    let model = Model::new(bases, vec![0.5, 2.0, -3.0, 0.25, 1.5], cfg).with_metrics(0.01, 20.0);
+    ModelArtifact::new((0..13).map(|i| format!("x{i}")).collect(), vec![model])
+        .expect("artifact builds")
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn run_predict_load(
+    addr: &str,
+    concurrency: usize,
+    requests_per_client: usize,
+    batch_size: usize,
+) -> PredictStats {
+    // One shared batch body: `batch_size` points over 13 variables.
+    let points: Vec<Vec<f64>> = (0..batch_size)
+        .map(|t| (0..13).map(|j| 1.0 + 0.01 * (t * 13 + j) as f64).collect())
+        .collect();
+    let body = Arc::new(
+        serde_json::to_string(&serde_json::json!({ "points": points }))
+            .expect("body renders")
+            .into_bytes(),
+    );
+
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for _ in 0..concurrency {
+        let addr = addr.to_string();
+        let body = Arc::clone(&body);
+        threads.push(std::thread::spawn(move || {
+            let mut latencies_us = Vec::with_capacity(requests_per_client);
+            for _ in 0..requests_per_client {
+                let t0 = Instant::now();
+                let r = client::request(&addr, "POST", "/v1/models/bench/predict", Some(&body), T)
+                    .expect("predict request");
+                assert_eq!(r.status, 200, "{}", r.text());
+                latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            }
+            latencies_us
+        }));
+    }
+    let mut latencies: Vec<f64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("client thread"))
+        .collect();
+    let wall = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    let requests = latencies.len();
+    PredictStats {
+        concurrency,
+        requests_per_client,
+        batch_size,
+        requests,
+        mean_us: latencies.iter().sum::<f64>() / requests.max(1) as f64,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        req_per_sec: requests as f64 / wall,
+        points_per_sec: (requests * batch_size) as f64 / wall,
+    }
+}
+
+fn run_job_lifecycle(addr: &str, generations: usize) -> JobStats {
+    let points: Vec<Vec<f64>> = (1..=24).map(|i| vec![f64::from(i) * 0.25]).collect();
+    let targets: Vec<f64> = points.iter().map(|p| 3.0 / p[0]).collect();
+    let spec = serde_json::json!({
+        "name": "bench-job",
+        "var_names": ["x0"],
+        "points": points,
+        "targets": targets,
+        "population": 24,
+        "generations": generations,
+        "max_bases": 4,
+        "seed": 7,
+        "grammar": "rational",
+    });
+    let t0 = Instant::now();
+    let r = client::request(
+        addr,
+        "POST",
+        "/v1/jobs",
+        Some(
+            serde_json::to_string(&spec)
+                .expect("spec renders")
+                .as_bytes(),
+        ),
+        T,
+    )
+    .expect("submit job");
+    assert_eq!(r.status, 201, "{}", r.text());
+    let id = r.json().expect("job json")["id"].as_u64().expect("job id");
+
+    let status = loop {
+        let r = client::request(addr, "GET", &format!("/v1/jobs/{id}"), None, T).expect("poll job");
+        let status = r.json().expect("status json");
+        match status["state"].as_str().expect("state") {
+            "finished" => break status,
+            "failed" | "cancelled" => panic!("job ended badly: {status:?}"),
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    let total_secs = t0.elapsed().as_secs_f64();
+    let n_models = status["result"]["n_models"].as_u64().expect("n_models") as usize;
+
+    // Correctness gate: served predictions must equal in-process ones bit
+    // for bit.
+    let r = client::request(addr, "GET", "/v1/models/bench-job", None, T).expect("fetch model");
+    let artifact = ModelArtifact::from_json(&r.text()).expect("artifact parses");
+    let batch: Vec<Vec<f64>> = (1..=16).map(|i| vec![f64::from(i) * 0.3]).collect();
+    let expected = artifact.predict(None, &batch).expect("local predict");
+    let body = serde_json::to_string(&serde_json::json!({ "points": batch })).expect("renders");
+    let r = client::request(
+        addr,
+        "POST",
+        "/v1/models/bench-job/predict",
+        Some(body.as_bytes()),
+        T,
+    )
+    .expect("served predict");
+    let served: Vec<f64> = r.json().expect("json")["predictions"]
+        .as_array()
+        .expect("array")
+        .iter()
+        .map(|v| v.as_f64().expect("number"))
+        .collect();
+    let bit_identical = served.len() == expected.len()
+        && served
+            .iter()
+            .zip(&expected)
+            .all(|(s, e)| s.to_bits() == e.to_bits());
+    assert!(bit_identical, "served predictions diverged from in-process");
+
+    JobStats {
+        total_secs,
+        generations,
+        n_models,
+        bit_identical,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+
+    let server_workers = if smoke { 2 } else { 4 };
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: server_workers,
+        backlog: 256,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral server");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    // Seed the registry over the wire.
+    let artifact = ota_shaped_artifact();
+    let r = client::request(
+        &addr,
+        "POST",
+        "/v1/models/bench",
+        Some(artifact.to_json().as_bytes()),
+        T,
+    )
+    .expect("publish bench model");
+    assert_eq!(r.status, 201, "{}", r.text());
+
+    let (concurrency, requests_per_client, batch_size) =
+        if smoke { (1, 5, 16) } else { (8, 200, 64) };
+    let predict = run_predict_load(&addr, concurrency, requests_per_client, batch_size);
+    let job = run_job_lifecycle(&addr, if smoke { 4 } else { 20 });
+
+    handle.shutdown();
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("serve loop");
+
+    let snapshot = Snapshot {
+        schema: 1,
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        smoke,
+        server_workers,
+        predict,
+        job,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
+
+    println!(
+        "servebench → {out_path}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "  predict: {} reqs ({} clients × {} × batch {}): p50 {:.0}µs  p99 {:.0}µs  {:.0} req/s  {:.0} points/s",
+        snapshot.predict.requests,
+        snapshot.predict.concurrency,
+        snapshot.predict.requests_per_client,
+        snapshot.predict.batch_size,
+        snapshot.predict.p50_us,
+        snapshot.predict.p99_us,
+        snapshot.predict.req_per_sec,
+        snapshot.predict.points_per_sec,
+    );
+    println!(
+        "  job: {} generations → {} models in {:.2}s (bit-identical: {})",
+        snapshot.job.generations,
+        snapshot.job.n_models,
+        snapshot.job.total_secs,
+        snapshot.job.bit_identical,
+    );
+}

@@ -25,6 +25,16 @@ pub enum CaffeineError {
     /// The run produced no feasible model (should only happen with
     /// pathological data such as all-NaN targets).
     NoFeasibleModel,
+    /// A serialized artifact declares a schema version this build does not
+    /// read (newer writer, or not a model artifact at all).
+    UnsupportedSchema {
+        /// The version the artifact declares.
+        found: u32,
+        /// The version this build reads.
+        supported: u32,
+    },
+    /// A serialized artifact could not be decoded.
+    ArtifactDecode(String),
 }
 
 impl fmt::Display for CaffeineError {
@@ -39,6 +49,14 @@ impl fmt::Display for CaffeineError {
             CaffeineError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             CaffeineError::NoFeasibleModel => {
                 write!(f, "the run produced no feasible model")
+            }
+            CaffeineError::UnsupportedSchema { found, supported } => write!(
+                f,
+                "artifact schema version {found} is not readable by this build \
+                 (supports version {supported})"
+            ),
+            CaffeineError::ArtifactDecode(msg) => {
+                write!(f, "artifact failed to decode: {msg}")
             }
         }
     }

@@ -73,6 +73,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod artifact;
 mod engine;
 mod error;
 pub mod expr;
@@ -85,6 +86,7 @@ pub mod nsga2;
 pub mod pareto;
 pub mod sag;
 
+pub use artifact::{ModelArtifact, MODEL_SCHEMA_VERSION};
 pub use engine::{
     assemble_result, CaffeineEngine, CaffeineResult, CaffeineSettings, DatasetEvaluator,
     EngineState, Evaluator, EvolutionStats,

@@ -37,25 +37,43 @@ impl PointMatrix {
     ///
     /// # Panics
     ///
-    /// Panics when the rows have differing lengths.
+    /// Panics when the rows have differing lengths. Use
+    /// [`PointMatrix::try_from_rows`] for untrusted input.
     pub fn from_rows(points: &[Vec<f64>]) -> PointMatrix {
+        PointMatrix::try_from_rows(points)
+            .unwrap_or_else(|_| panic!("all design points must have the same number of variables"))
+    }
+
+    /// Fallible row-major conversion for untrusted input (e.g. a JSON
+    /// batch arriving over the network): ragged rows yield an error
+    /// naming the offending row instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::DoeError::InvalidParameter`] when the rows have differing
+    /// lengths.
+    pub fn try_from_rows(points: &[Vec<f64>]) -> Result<PointMatrix, crate::DoeError> {
         let n_points = points.len();
         let n_vars = points.first().map_or(0, Vec::len);
-        assert!(
-            points.iter().all(|p| p.len() == n_vars),
-            "all design points must have the same number of variables"
-        );
+        for (t, p) in points.iter().enumerate() {
+            if p.len() != n_vars {
+                return Err(crate::DoeError::InvalidParameter(format!(
+                    "ragged design points: row 0 has {n_vars} values but row {t} has {}",
+                    p.len()
+                )));
+            }
+        }
         let mut data = vec![0.0; n_points * n_vars];
         for (t, p) in points.iter().enumerate() {
             for (j, &v) in p.iter().enumerate() {
                 data[j * n_points + t] = v;
             }
         }
-        PointMatrix {
+        Ok(PointMatrix {
             n_points,
             n_vars,
             data,
-        }
+        })
     }
 
     /// Number of design points `N`.
@@ -124,6 +142,17 @@ mod tests {
     #[should_panic(expected = "same number of variables")]
     fn ragged_rows_rejected() {
         let _ = PointMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn try_from_rows_reports_the_offending_row() {
+        let err = PointMatrix::try_from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(err.to_string().contains("row 1"), "{err}");
+        let ok = PointMatrix::try_from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(
+            ok,
+            PointMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])
+        );
     }
 
     #[test]

@@ -108,6 +108,11 @@ impl RuntimeCheckpoint {
 
     /// Reads a checkpoint back from disk.
     ///
+    /// The `version` field is inspected *before* the typed decode, so a
+    /// checkpoint written by a future format — which may have renamed or
+    /// dropped fields — fails with a clear version message instead of a
+    /// missing-field error.
+    ///
     /// # Errors
     ///
     /// [`RuntimeError::Io`] for filesystem failures,
@@ -115,15 +120,43 @@ impl RuntimeCheckpoint {
     /// files.
     pub fn load(path: &Path) -> Result<RuntimeCheckpoint, RuntimeError> {
         let text = std::fs::read_to_string(path)?;
-        let cp: RuntimeCheckpoint = serde_json::from_str(&text)
+        let value: serde_json::Value = serde_json::from_str(&text)
             .map_err(|e| RuntimeError::Corrupt(format!("{}: {e}", path.display())))?;
-        if cp.version != RuntimeCheckpoint::VERSION {
+        let declared = value["version"].as_u64().ok_or_else(|| {
+            RuntimeError::Corrupt(format!(
+                "{}: not a checkpoint (missing `version`)",
+                path.display()
+            ))
+        })?;
+        if declared != u64::from(RuntimeCheckpoint::VERSION) {
             return Err(RuntimeError::Corrupt(format!(
-                "checkpoint version {} (this build reads {})",
-                cp.version,
+                "checkpoint version {declared} (this build reads {})",
                 RuntimeCheckpoint::VERSION
             )));
         }
-        Ok(cp)
+        serde::Deserialize::from_value(&value)
+            .map_err(|e: serde::Error| RuntimeError::Corrupt(format!("{}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn future_version_checkpoints_fail_with_the_version_not_a_field_error() {
+        let dir = std::env::temp_dir().join(format!("caffeine-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A "future" checkpoint: right version field, unrecognizable rest.
+        let path = dir.join("future.ckpt");
+        std::fs::write(&path, "{\"version\": 99, \"archipelago\": {}}").unwrap();
+        let err = RuntimeCheckpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+        // Not a checkpoint at all.
+        let path = dir.join("not.ckpt");
+        std::fs::write(&path, "{\"models\": []}").unwrap();
+        let err = RuntimeCheckpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("missing `version`"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -180,6 +180,11 @@ impl IslandRunner {
         self.completed
     }
 
+    /// Total generations the run targets.
+    pub fn total_generations(&self) -> usize {
+        self.master.generations
+    }
+
     /// `true` once every generation has run.
     pub fn is_done(&self) -> bool {
         self.completed >= self.master.generations
@@ -215,6 +220,22 @@ impl IslandRunner {
         }
     }
 
+    /// Builds the parallel evaluator this runner's loops use. Creation
+    /// copies the dataset into column-major form, so drivers stepping one
+    /// generation at a time (e.g. [`crate::RunController::drive`])
+    /// should build it once and reuse it via
+    /// [`IslandRunner::run_generations_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset validation failures.
+    pub fn evaluator<'a>(&self, data: &'a Dataset) -> Result<ParallelEvaluator<'a>, RuntimeError> {
+        Ok(ParallelEvaluator::new(
+            DatasetEvaluator::new(&self.master, &self.grammar, data)?,
+            self.config.threads,
+        ))
+    }
+
     /// Advances the whole archipelago by at most `n` generations
     /// (stopping at the configured total), including migration and
     /// checkpoint writes on their schedules.
@@ -223,15 +244,28 @@ impl IslandRunner {
     ///
     /// Propagates dataset validation and checkpoint-write failures.
     pub fn run_generations(&mut self, data: &Dataset, n: usize) -> Result<(), RuntimeError> {
-        let evaluator = ParallelEvaluator::new(
-            DatasetEvaluator::new(&self.master, &self.grammar, data)?,
-            self.config.threads,
-        );
+        let evaluator = self.evaluator(data)?;
+        self.run_generations_with(&evaluator, data, n)
+    }
+
+    /// [`IslandRunner::run_generations`] with a caller-owned evaluator
+    /// (built by [`IslandRunner::evaluator`]), for drivers that step
+    /// repeatedly without paying the per-call dataset copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint-write failures.
+    pub fn run_generations_with(
+        &mut self,
+        evaluator: &ParallelEvaluator,
+        data: &Dataset,
+        n: usize,
+    ) -> Result<(), RuntimeError> {
         let target = self.master.generations.min(self.completed + n);
         while self.completed < target {
             for (idx, island) in self.islands.iter_mut().enumerate() {
                 let before = island.stats.len();
-                island.step(&evaluator);
+                island.step(evaluator);
                 if island.stats.len() > before {
                     let stats = island.stats[island.stats.len() - 1].clone();
                     if let Some(tx) = &self.events {

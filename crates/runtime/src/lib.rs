@@ -22,6 +22,9 @@
 //! * [`RunEvent`]: a live statistics channel; attach any
 //!   `std::sync::mpsc::Sender<RunEvent>` to watch progress while a run is
 //!   executing.
+//! * [`RunController`]: a cloneable pause/resume/cancel handle with live
+//!   [`ProgressSnapshot`]s for runs driven on a background thread — the
+//!   job-control surface the `caffeine-serve` daemon builds on.
 //!
 //! # Quickstart
 //!
@@ -49,12 +52,14 @@
 
 mod checkpoint;
 mod config;
+mod control;
 mod island;
 mod pool;
 mod stats;
 
 pub use checkpoint::{RuntimeCheckpoint, RuntimeError};
 pub use config::RuntimeConfig;
+pub use control::{ProgressSnapshot, RunController, RunPhase};
 pub use island::{derive_island_seed, IslandRunner};
 pub use pool::ParallelEvaluator;
 pub use stats::RunEvent;

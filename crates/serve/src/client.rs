@@ -1,0 +1,130 @@
+//! A minimal blocking HTTP/1.1 client for the daemon's own API — used by
+//! `caffeine-cli predict --remote`, the load generator, and the
+//! integration tests. One request per connection, matching the server's
+//! `Connection: close` policy.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A response as the client sees it.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).to_string()
+    }
+
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// A message when the body is not JSON.
+    pub fn json(&self) -> Result<serde_json::Value, String> {
+        serde_json::from_str(&self.text()).map_err(|e| e.to_string())
+    }
+}
+
+/// Splits `http://host:port[/base]` into `(host:port, base_path)`.
+///
+/// # Errors
+///
+/// A message for non-`http://` schemes or a missing authority.
+pub fn parse_base_url(url: &str) -> Result<(String, String), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("`{url}`: only http:// URLs are supported"))?;
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], rest[i..].trim_end_matches('/')),
+        None => (rest, ""),
+    };
+    if authority.is_empty() {
+        return Err(format!("`{url}`: missing host"));
+    }
+    Ok((authority.to_string(), path.to_string()))
+}
+
+/// Performs one request against `addr` (a `host:port` string).
+///
+/// # Errors
+///
+/// Transport failures and unparseable responses as `io::Error`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+
+    let body = body.unwrap_or(&[]);
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let invalid = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| invalid("response has no header terminator"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| invalid("response head is not UTF-8"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid(&format!("bad status line `{status_line}`")))?;
+    Ok(ClientResponse {
+        status,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_urls_parse() {
+        assert_eq!(
+            parse_base_url("http://127.0.0.1:7878").unwrap(),
+            ("127.0.0.1:7878".into(), String::new())
+        );
+        assert_eq!(
+            parse_base_url("http://example.com:80/api/").unwrap(),
+            ("example.com:80".into(), "/api".into())
+        );
+        assert!(parse_base_url("https://x").is_err());
+        assert!(parse_base_url("http://").is_err());
+    }
+
+    #[test]
+    fn responses_parse() {
+        let r = parse_response(b"HTTP/1.1 404 Not Found\r\na: b\r\n\r\n{\"e\":1}").unwrap();
+        assert_eq!(r.status, 404);
+        assert_eq!(r.text(), "{\"e\":1}");
+        assert!(parse_response(b"garbage").is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Structured API errors: every client-visible failure renders as a JSON
+//! body `{"error": {"code": ..., "message": ...}}` with a 4xx/5xx status.
+
+use caffeine_core::CaffeineError;
+use caffeine_doe::DoeError;
+use caffeine_runtime::RuntimeError;
+
+use crate::http::Response;
+
+/// A client-visible failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// 400 — the request body or parameters are invalid.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            code: "bad_request",
+            message: message.into(),
+        }
+    }
+
+    /// 404 — no such resource.
+    pub fn not_found(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 404,
+            code: "not_found",
+            message: message.into(),
+        }
+    }
+
+    /// 405 — the path exists but not under this method.
+    pub fn method_not_allowed(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 405,
+            code: "method_not_allowed",
+            message: message.into(),
+        }
+    }
+
+    /// 409 — the request conflicts with current state.
+    pub fn conflict(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 409,
+            code: "conflict",
+            message: message.into(),
+        }
+    }
+
+    /// 422 — syntactically fine, semantically unusable.
+    pub fn unprocessable(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 422,
+            code: "unprocessable",
+            message: message.into(),
+        }
+    }
+
+    /// 500 — the server failed.
+    pub fn internal(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 500,
+            code: "internal",
+            message: message.into(),
+        }
+    }
+
+    /// 503 — the server is saturated or draining.
+    pub fn unavailable(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 503,
+            code: "unavailable",
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error as its JSON response.
+    pub fn into_response(self) -> Response {
+        let body = serde_json::json!({
+            "error": { "code": self.code, "message": self.message }
+        });
+        Response::json(
+            self.status,
+            serde_json::to_string(&body).expect("error body serializes"),
+        )
+    }
+}
+
+impl From<CaffeineError> for ApiError {
+    /// Engine validation failures are the client's fault (bad batch, bad
+    /// spec, unreadable artifact); everything else is a server error.
+    fn from(e: CaffeineError) -> ApiError {
+        match &e {
+            CaffeineError::InvalidData(_)
+            | CaffeineError::InvalidSettings(_)
+            | CaffeineError::InvalidGrammar(_)
+            | CaffeineError::GrammarParse { .. } => ApiError::bad_request(e.to_string()),
+            CaffeineError::UnsupportedSchema { .. } | CaffeineError::ArtifactDecode(_) => {
+                ApiError::unprocessable(e.to_string())
+            }
+            CaffeineError::Linalg(_) | CaffeineError::NoFeasibleModel => {
+                ApiError::internal(e.to_string())
+            }
+        }
+    }
+}
+
+impl From<DoeError> for ApiError {
+    fn from(e: DoeError) -> ApiError {
+        ApiError::bad_request(e.to_string())
+    }
+}
+
+impl From<RuntimeError> for ApiError {
+    fn from(e: RuntimeError) -> ApiError {
+        match &e {
+            RuntimeError::Engine(inner) => ApiError::from(inner.clone()),
+            RuntimeError::Io(_) | RuntimeError::Corrupt(_) => ApiError::internal(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_structured_json() {
+        let r = ApiError::bad_request("point 3 is ragged").into_response();
+        assert_eq!(r.status, 400);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"code\":\"bad_request\""), "{body}");
+        assert!(body.contains("point 3 is ragged"), "{body}");
+    }
+
+    #[test]
+    fn engine_validation_maps_to_4xx() {
+        let e: ApiError = CaffeineError::InvalidData("empty prediction batch".into()).into();
+        assert_eq!(e.status, 400);
+        let e: ApiError = CaffeineError::UnsupportedSchema {
+            found: 9,
+            supported: 1,
+        }
+        .into();
+        assert_eq!(e.status, 422);
+        let e: ApiError = CaffeineError::NoFeasibleModel.into();
+        assert_eq!(e.status, 500);
+    }
+}

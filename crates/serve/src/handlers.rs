@@ -1,0 +1,264 @@
+//! Route dispatch: one function per endpoint, all pure request →
+//! response over the shared server state.
+
+use std::sync::Arc;
+
+use serde::Deserialize;
+
+use caffeine_core::ModelArtifact;
+
+use crate::error::ApiError;
+use crate::http::{Request, Response};
+use crate::jobs::JobSpec;
+use crate::router::{route, Route};
+use crate::server::Shared;
+
+/// A short label for metrics (bounded cardinality: route shape, not raw
+/// path).
+pub fn route_label(r: &Route) -> &'static str {
+    match r {
+        Route::Health => "healthz",
+        Route::Metrics => "metrics",
+        Route::ListModels => "models.list",
+        Route::PublishModel(_) => "models.publish",
+        Route::GetModel(_) => "models.get",
+        Route::Predict(_) => "models.predict",
+        Route::ListJobs => "jobs.list",
+        Route::SubmitJob => "jobs.submit",
+        Route::GetJob(_) => "jobs.get",
+        Route::CancelJob(_) => "jobs.cancel",
+        Route::Shutdown => "admin.shutdown",
+    }
+}
+
+/// Resolves and executes a request. Returns the response plus the metric
+/// label it should be recorded under.
+pub fn handle(shared: &Arc<Shared>, request: &Request) -> (Response, &'static str) {
+    match route(&request.method, &request.path) {
+        Err(e) => (e.into_response(), "unrouted"),
+        Ok(r) => {
+            let label = route_label(&r);
+            let response = dispatch(shared, &r, request).unwrap_or_else(ApiError::into_response);
+            (response, label)
+        }
+    }
+}
+
+/// Replaces non-finite floats with `null`, recursively. The vendored
+/// JSON writer emits bare `Infinity` / `NaN` tokens (a deliberate
+/// extension for checkpoint fidelity), which strict JSON clients cannot
+/// parse — API responses must stay standard.
+fn sanitize(v: serde_json::Value) -> serde_json::Value {
+    match v {
+        serde_json::Value::Float(f) if !f.is_finite() => serde_json::Value::Null,
+        serde_json::Value::Array(items) => {
+            serde_json::Value::Array(items.into_iter().map(sanitize).collect())
+        }
+        serde_json::Value::Object(m) => serde_json::Value::Object(
+            m.iter()
+                .map(|(k, val)| (k.to_string(), sanitize(val.clone())))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+fn json_response(status: u16, value: serde_json::Value) -> Response {
+    Response::json(
+        status,
+        serde_json::to_string(&sanitize(value)).expect("value renders"),
+    )
+}
+
+fn ok_json(value: serde_json::Value) -> Response {
+    json_response(200, value)
+}
+
+fn dispatch(shared: &Arc<Shared>, route: &Route, request: &Request) -> Result<Response, ApiError> {
+    match route {
+        Route::Health => Ok(ok_json(serde_json::json!({"status": "ok"}))),
+        Route::Metrics => {
+            let text = shared
+                .metrics
+                .render(shared.registry.hits(), shared.registry.misses());
+            Ok(Response::text(200, text))
+        }
+        Route::ListModels => {
+            let models: Vec<serde_json::Value> = shared
+                .registry
+                .list()
+                .into_iter()
+                .map(|(id, versions)| {
+                    serde_json::json!({
+                        "id": id,
+                        "latest": versions.last().cloned(),
+                        "versions": versions,
+                    })
+                })
+                .collect();
+            Ok(ok_json(serde_json::json!({ "models": models })))
+        }
+        Route::PublishModel(id) => {
+            let text = std::str::from_utf8(&request.body)
+                .map_err(|_| ApiError::bad_request("artifact body is not UTF-8"))?;
+            let artifact = ModelArtifact::from_json(text).map_err(ApiError::from)?;
+            let (version, created) = shared.registry.publish(id, artifact)?;
+            let status = if created { 201 } else { 200 };
+            Ok(json_response(
+                status,
+                serde_json::json!({
+                    "id": id.clone(),
+                    "version": version,
+                    "created": created,
+                }),
+            ))
+        }
+        Route::GetModel(id) => {
+            let stored = shared
+                .registry
+                .get(id, request.query_param("version"))
+                .ok_or_else(|| no_such_model(id, request))?;
+            Ok(Response::json(200, stored.artifact.to_json())
+                .with_header("x-model-version", stored.version))
+        }
+        Route::Predict(id) => {
+            let stored = shared
+                .registry
+                .get(id, request.query_param("version"))
+                .ok_or_else(|| no_such_model(id, request))?;
+            let body = parse_predict_body(&request.body)?;
+            let predictions = stored
+                .artifact
+                .predict(body.model_index, &body.points)
+                .map_err(ApiError::from)?;
+            // Non-finite predictions (poles, overflow) arrive at the
+            // client as `null` via sanitize().
+            Ok(ok_json(serde_json::json!({
+                "model_id": id.clone(),
+                "version": stored.version,
+                "n_points": body.points.len(),
+                "predictions": predictions,
+            }))
+            .with_header("x-model-version", stored.version.clone()))
+        }
+        Route::ListJobs => Ok(ok_json(
+            serde_json::json!({ "jobs": shared.jobs.list_json() }),
+        )),
+        Route::SubmitJob => {
+            let spec = JobSpec::from_json(&request.body)?;
+            let entry = shared.jobs.submit(
+                spec,
+                Arc::clone(&shared.registry),
+                Arc::clone(&shared.metrics),
+            )?;
+            shared.metrics.observe_job_submitted();
+            Ok(json_response(201, entry.status_json()))
+        }
+        Route::GetJob(id) => {
+            let entry = shared
+                .jobs
+                .get(*id)
+                .ok_or_else(|| ApiError::not_found(format!("no job {id}")))?;
+            Ok(ok_json(entry.status_json()))
+        }
+        Route::CancelJob(id) => {
+            if !shared.jobs.cancel(*id) {
+                return Err(ApiError::not_found(format!("no job {id}")));
+            }
+            let entry = shared.jobs.get(*id).expect("job exists after cancel");
+            Ok(json_response(202, entry.status_json()))
+        }
+        Route::Shutdown => {
+            shared.begin_shutdown();
+            Ok(json_response(202, serde_json::json!({"draining": true})))
+        }
+    }
+}
+
+fn no_such_model(id: &str, request: &Request) -> ApiError {
+    match request.query_param("version") {
+        Some(v) => ApiError::not_found(format!("no version `{v}` of model `{id}`")),
+        None => ApiError::not_found(format!("no model `{id}`")),
+    }
+}
+
+/// A predict body: `{"points": [[...], ...], "model": optional index}`.
+#[derive(Debug)]
+struct PredictBody {
+    points: Vec<Vec<f64>>,
+    model_index: Option<usize>,
+}
+
+fn parse_predict_body(body: &[u8]) -> Result<PredictBody, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("predict body is not UTF-8"))?;
+    let v: serde_json::Value = serde_json::from_str(text)
+        .map_err(|e| ApiError::bad_request(format!("predict body is not JSON: {e}")))?;
+    let points_value = v
+        .as_object()
+        .and_then(|m| m.get("points"))
+        .ok_or_else(|| ApiError::bad_request("predict body needs a `points` array"))?;
+    let points: Vec<Vec<f64>> = Deserialize::from_value(points_value)
+        .map_err(|e: serde::Error| ApiError::bad_request(format!("field `points`: {e}")))?;
+    let model_index =
+        match v.as_object().and_then(|m| m.get("model")) {
+            None | Some(serde_json::Value::Null) => None,
+            Some(mv) => Some(mv.as_u64().ok_or_else(|| {
+                ApiError::bad_request("field `model` must be a nonnegative integer")
+            })? as usize),
+        };
+    Ok(PredictBody {
+        points,
+        model_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_never_carry_nonstandard_json_tokens() {
+        let r = json_response(
+            200,
+            serde_json::json!({
+                "ys": [1.5, f64::INFINITY, f64::NAN, -2.0],
+                "nested": { "e": f64::NEG_INFINITY },
+            }),
+        );
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(!body.contains("Infinity"), "{body}");
+        assert!(!body.contains("NaN"), "{body}");
+        assert!(body.contains("[1.5,null,null,-2"), "{body}");
+        assert!(body.contains("\"e\":null"), "{body}");
+    }
+
+    #[test]
+    fn predict_body_parses_points_and_model_index() {
+        let b = parse_predict_body(br#"{"points": [[1.0, 2.0]], "model": 3}"#).unwrap();
+        assert_eq!(b.points, vec![vec![1.0, 2.0]]);
+        assert_eq!(b.model_index, Some(3));
+        let b = parse_predict_body(br#"{"points": []}"#).unwrap();
+        assert!(b.points.is_empty());
+        assert_eq!(b.model_index, None);
+    }
+
+    #[test]
+    fn predict_body_rejects_malformed_inputs() {
+        assert_eq!(parse_predict_body(b"{").unwrap_err().status, 400);
+        assert_eq!(parse_predict_body(b"{}").unwrap_err().status, 400);
+        assert_eq!(
+            parse_predict_body(br#"{"points": "nope"}"#)
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse_predict_body(br#"{"points": [[1]], "model": -2}"#)
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(parse_predict_body(&[0xff, 0xfe]).unwrap_err().status, 400);
+    }
+}

@@ -1,0 +1,468 @@
+//! Async modeling jobs: GP runs on background threads with live
+//! progress, cancellation, checkpointing, and automatic publication of
+//! the finished front into the registry.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use serde::Deserialize;
+
+use caffeine_core::{CaffeineSettings, GrammarConfig, ModelArtifact};
+use caffeine_doe::Dataset;
+use caffeine_runtime::{IslandRunner, RunController, RuntimeConfig};
+
+use crate::error::ApiError;
+use crate::metrics::Metrics;
+use crate::registry::ModelRegistry;
+use crate::router::valid_model_id;
+
+/// A parsed job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Registry id the finished front publishes under (default
+    /// `job-{id}`).
+    pub name: Option<String>,
+    /// Design-variable names (defines input dimensionality).
+    pub var_names: Vec<String>,
+    /// Row-major training points.
+    pub points: Vec<Vec<f64>>,
+    /// Training targets, one per point.
+    pub targets: Vec<f64>,
+    /// Population size (default 60).
+    pub population: usize,
+    /// Generations (default 40).
+    pub generations: usize,
+    /// Max basis functions per model (default 6).
+    pub max_bases: usize,
+    /// RNG seed (default 0).
+    pub seed: u64,
+    /// Islands (default 1).
+    pub islands: usize,
+    /// Evaluation threads (default 1).
+    pub threads: usize,
+    /// Grammar: `"full"` (default) or `"rational"`.
+    pub grammar: String,
+}
+
+/// Extracts an optional field, treating `null` and absence identically.
+fn opt_field<T: Deserialize>(v: &serde_json::Value, name: &str) -> Result<Option<T>, ApiError> {
+    match v.as_object().and_then(|m| m.get(name)) {
+        None | Some(serde_json::Value::Null) => Ok(None),
+        Some(f) => T::from_value(f)
+            .map(Some)
+            .map_err(|e| ApiError::bad_request(format!("field `{name}`: {e}"))),
+    }
+}
+
+fn req_field<T: Deserialize>(v: &serde_json::Value, name: &str) -> Result<T, ApiError> {
+    opt_field(v, name)?
+        .ok_or_else(|| ApiError::bad_request(format!("missing required field `{name}`")))
+}
+
+impl JobSpec {
+    /// Parses and validates a submission body.
+    ///
+    /// # Errors
+    ///
+    /// 400 for malformed JSON, missing/mistyped fields, shape mismatches,
+    /// an invalid `name`, or a grammar this server does not know.
+    pub fn from_json(body: &[u8]) -> Result<JobSpec, ApiError> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| ApiError::bad_request("job body is not UTF-8"))?;
+        let v: serde_json::Value = serde_json::from_str(text)
+            .map_err(|e| ApiError::bad_request(format!("job body is not JSON: {e}")))?;
+        let spec = JobSpec {
+            name: opt_field(&v, "name")?,
+            var_names: req_field(&v, "var_names")?,
+            points: req_field(&v, "points")?,
+            targets: req_field(&v, "targets")?,
+            population: opt_field(&v, "population")?.unwrap_or(60),
+            generations: opt_field(&v, "generations")?.unwrap_or(40),
+            max_bases: opt_field(&v, "max_bases")?.unwrap_or(6),
+            seed: opt_field(&v, "seed")?.unwrap_or(0),
+            islands: opt_field(&v, "islands")?.unwrap_or(1),
+            threads: opt_field(&v, "threads")?.unwrap_or(1),
+            grammar: opt_field(&v, "grammar")?.unwrap_or_else(|| "full".to_string()),
+        };
+        if let Some(name) = &spec.name {
+            if !valid_model_id(name) {
+                return Err(ApiError::bad_request(format!(
+                    "job name `{name}` is not a valid model id"
+                )));
+            }
+        }
+        if spec.grammar != "full" && spec.grammar != "rational" {
+            return Err(ApiError::bad_request(format!(
+                "grammar `{}` unknown (use `full` or `rational`)",
+                spec.grammar
+            )));
+        }
+        if spec.points.is_empty() {
+            return Err(ApiError::bad_request("job has no training points"));
+        }
+        Ok(spec)
+    }
+
+    fn settings(&self) -> CaffeineSettings {
+        let mut s = CaffeineSettings::paper();
+        s.population = self.population;
+        s.generations = self.generations;
+        s.max_bases = self.max_bases;
+        s.seed = self.seed;
+        s.stats_every = (self.generations / 10).max(1);
+        s
+    }
+
+    fn grammar_config(&self, n_vars: usize) -> GrammarConfig {
+        match self.grammar.as_str() {
+            "rational" => GrammarConfig::rational(n_vars),
+            _ => GrammarConfig::paper_full(n_vars),
+        }
+    }
+}
+
+/// Terminal result of a job (alongside the controller's phase).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Still queued/running/paused.
+    Pending,
+    /// Finished; the front is in the registry.
+    Published {
+        /// Registry id.
+        model_id: String,
+        /// Content-hash version.
+        version: String,
+        /// Front size.
+        n_models: usize,
+    },
+    /// The run failed.
+    Failed {
+        /// The failure.
+        message: String,
+    },
+    /// The run was cancelled before finishing.
+    Cancelled,
+}
+
+/// One job's shared record.
+#[derive(Debug)]
+pub struct JobEntry {
+    /// Job id.
+    pub id: u64,
+    /// Registry id the front publishes under.
+    pub model_id: String,
+    /// Pause/cancel/progress handle.
+    pub controller: RunController,
+    /// Terminal outcome (behind a lock; `Pending` until the thread ends).
+    outcome: Mutex<JobOutcome>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl JobEntry {
+    /// The current outcome.
+    pub fn outcome(&self) -> JobOutcome {
+        self.outcome.lock().expect("job lock").clone()
+    }
+
+    /// Blocks until the job's thread exits (tests and shutdown).
+    pub fn join(&self) {
+        if let Some(h) = self.handle.lock().expect("job lock").take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Renders the job as its status JSON value.
+    pub fn status_json(&self) -> serde_json::Value {
+        let snapshot = self.controller.snapshot();
+        let mut phase = snapshot.phase.as_str();
+        let mut body = serde_json::json!({
+            "id": self.id,
+            "model_id": self.model_id.clone(),
+            "progress": serde_json::to_value(&snapshot),
+        });
+        match self.outcome() {
+            JobOutcome::Pending => {}
+            JobOutcome::Published {
+                model_id,
+                version,
+                n_models,
+            } => {
+                if let serde_json::Value::Object(m) = &mut body {
+                    m.insert(
+                        "result".into(),
+                        serde_json::json!({
+                            "model_id": model_id,
+                            "version": version,
+                            "n_models": n_models,
+                        }),
+                    );
+                }
+            }
+            JobOutcome::Failed { message } => {
+                phase = "failed";
+                if let serde_json::Value::Object(m) = &mut body {
+                    m.insert("error".into(), serde_json::Value::String(message));
+                }
+            }
+            JobOutcome::Cancelled => phase = "cancelled",
+        }
+        if let serde_json::Value::Object(m) = &mut body {
+            m.insert("state".into(), serde_json::Value::String(phase.into()));
+        }
+        body
+    }
+}
+
+/// Spawns, tracks, and cancels jobs.
+#[derive(Debug)]
+pub struct JobManager {
+    jobs: Mutex<BTreeMap<u64, Arc<JobEntry>>>,
+    next_id: AtomicU64,
+    /// Directory for job checkpoints, when persistence is configured.
+    checkpoint_dir: Option<PathBuf>,
+}
+
+impl JobManager {
+    /// A manager writing job checkpoints under `checkpoint_dir` (when
+    /// given).
+    pub fn new(checkpoint_dir: Option<PathBuf>) -> JobManager {
+        JobManager {
+            jobs: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            checkpoint_dir,
+        }
+    }
+
+    /// Validates a spec, spawns its background run, and returns the job
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// 400/422 for specs the engine's own validation rejects.
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        registry: Arc<ModelRegistry>,
+        metrics: Arc<Metrics>,
+    ) -> Result<Arc<JobEntry>, ApiError> {
+        let data = Dataset::new(
+            spec.var_names.clone(),
+            spec.points.clone(),
+            spec.targets.clone(),
+        )
+        .map_err(ApiError::from)?;
+        let settings = spec.settings();
+        let grammar = spec.grammar_config(data.n_vars());
+        let config = RuntimeConfig {
+            threads: spec.threads.max(1),
+            islands: spec.islands.max(1),
+            ..RuntimeConfig::default()
+        };
+        let mut runner =
+            IslandRunner::new(settings, grammar, config, &data).map_err(ApiError::from)?;
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let model_id = spec.name.clone().unwrap_or_else(|| format!("job-{id}"));
+        if let Some(dir) = &self.checkpoint_dir {
+            if std::fs::create_dir_all(dir).is_ok() {
+                runner.set_checkpoint_path(dir.join(format!("job-{id}.ckpt")));
+            }
+        }
+
+        let controller = RunController::new();
+        let entry = Arc::new(JobEntry {
+            id,
+            model_id: model_id.clone(),
+            controller: controller.clone(),
+            outcome: Mutex::new(JobOutcome::Pending),
+            handle: Mutex::new(None),
+        });
+        let var_names = spec.var_names.clone();
+        let thread_entry = Arc::clone(&entry);
+        let handle = std::thread::Builder::new()
+            .name(format!("serve-job-{id}"))
+            .spawn(move || {
+                let outcome = match controller.drive(&mut runner, &data) {
+                    Ok(Some(result)) => {
+                        let n_models = result.models.len();
+                        match ModelArtifact::new(var_names, result.models)
+                            .map_err(ApiError::from)
+                            .and_then(|artifact| registry.publish(&model_id, artifact))
+                        {
+                            Ok((version, _created)) => JobOutcome::Published {
+                                model_id,
+                                version,
+                                n_models,
+                            },
+                            Err(e) => JobOutcome::Failed { message: e.message },
+                        }
+                    }
+                    Ok(None) => JobOutcome::Cancelled,
+                    Err(e) => JobOutcome::Failed {
+                        message: e.to_string(),
+                    },
+                };
+                *thread_entry.outcome.lock().expect("job lock") = outcome;
+                metrics.observe_job_finished();
+            })
+            .map_err(|e| ApiError::internal(format!("cannot spawn job thread: {e}")))?;
+        *entry.handle.lock().expect("job lock") = Some(handle);
+        self.jobs
+            .lock()
+            .expect("jobs lock")
+            .insert(id, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks up a job.
+    pub fn get(&self, id: u64) -> Option<Arc<JobEntry>> {
+        self.jobs.lock().expect("jobs lock").get(&id).cloned()
+    }
+
+    /// Requests cancellation; `false` when the job does not exist.
+    pub fn cancel(&self, id: u64) -> bool {
+        match self.get(id) {
+            Some(entry) => {
+                entry.controller.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Status JSON for every job, in id order.
+    pub fn list_json(&self) -> Vec<serde_json::Value> {
+        let jobs: Vec<Arc<JobEntry>> = self
+            .jobs
+            .lock()
+            .expect("jobs lock")
+            .values()
+            .cloned()
+            .collect();
+        jobs.iter().map(|j| j.status_json()).collect()
+    }
+
+    /// Cancels every job and joins their threads (graceful shutdown).
+    pub fn drain(&self) {
+        let jobs: Vec<Arc<JobEntry>> = self
+            .jobs
+            .lock()
+            .expect("jobs lock")
+            .values()
+            .cloned()
+            .collect();
+        for job in &jobs {
+            job.controller.cancel();
+        }
+        for job in &jobs {
+            job.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> serde_json::Value {
+        let points: Vec<Vec<f64>> = (1..=16).map(|i| vec![f64::from(i) * 0.5]).collect();
+        let targets: Vec<f64> = points.iter().map(|p| 3.0 / p[0]).collect();
+        serde_json::json!({
+            "name": "tiny",
+            "var_names": ["x0"],
+            "points": points,
+            "targets": targets,
+            "population": 16,
+            "generations": 4,
+            "max_bases": 4,
+            "grammar": "rational",
+        })
+    }
+
+    fn body(v: &serde_json::Value) -> Vec<u8> {
+        serde_json::to_string(v).unwrap().into_bytes()
+    }
+
+    #[test]
+    fn spec_parses_with_defaults_and_rejects_garbage() {
+        let spec = JobSpec::from_json(&body(&tiny_spec())).unwrap();
+        assert_eq!(spec.population, 16);
+        assert_eq!(spec.seed, 0);
+        assert_eq!(spec.islands, 1);
+        assert!(JobSpec::from_json(b"not json").is_err());
+        assert!(JobSpec::from_json(b"{}").is_err());
+        let mut missing_targets = tiny_spec();
+        if let serde_json::Value::Object(m) = &mut missing_targets {
+            m.insert("targets".into(), serde_json::Value::Null);
+        }
+        let err = JobSpec::from_json(&body(&missing_targets)).unwrap_err();
+        assert!(err.message.contains("targets"), "{}", err.message);
+        let mut bad_name = tiny_spec();
+        if let serde_json::Value::Object(m) = &mut bad_name {
+            m.insert("name".into(), serde_json::Value::String("../x".into()));
+        }
+        assert_eq!(
+            JobSpec::from_json(&body(&bad_name)).unwrap_err().status,
+            400
+        );
+    }
+
+    #[test]
+    fn job_runs_to_publication() {
+        let manager = JobManager::new(None);
+        let registry = Arc::new(ModelRegistry::in_memory());
+        let metrics = Arc::new(Metrics::new());
+        let spec = JobSpec::from_json(&body(&tiny_spec())).unwrap();
+        let entry = manager
+            .submit(spec, Arc::clone(&registry), Arc::clone(&metrics))
+            .unwrap();
+        entry.join();
+        match entry.outcome() {
+            JobOutcome::Published {
+                model_id, version, ..
+            } => {
+                assert_eq!(model_id, "tiny");
+                assert_eq!(registry.get("tiny", None).unwrap().version, version);
+            }
+            other => panic!("expected publication, got {other:?}"),
+        }
+        let status = entry.status_json();
+        assert_eq!(status["state"], "finished");
+        assert!(status["result"]["n_models"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn mismatched_shapes_are_rejected_up_front() {
+        let manager = JobManager::new(None);
+        let registry = Arc::new(ModelRegistry::in_memory());
+        let metrics = Arc::new(Metrics::new());
+        let mut bad = tiny_spec();
+        if let serde_json::Value::Object(m) = &mut bad {
+            m.insert("targets".into(), serde_json::json!([1.0, 2.0]));
+        }
+        let spec = JobSpec::from_json(&body(&bad)).unwrap();
+        let err = manager.submit(spec, registry, metrics).unwrap_err();
+        assert_eq!(err.status, 400, "{}", err.message);
+    }
+
+    #[test]
+    fn cancellation_is_observable() {
+        let manager = JobManager::new(None);
+        let registry = Arc::new(ModelRegistry::in_memory());
+        let metrics = Arc::new(Metrics::new());
+        let mut long = tiny_spec();
+        if let serde_json::Value::Object(m) = &mut long {
+            m.insert("generations".into(), serde_json::json!(100_000));
+        }
+        let spec = JobSpec::from_json(&body(&long)).unwrap();
+        let entry = manager.submit(spec, registry, metrics).unwrap();
+        assert!(manager.cancel(entry.id));
+        entry.join();
+        assert_eq!(entry.outcome(), JobOutcome::Cancelled);
+        assert_eq!(entry.status_json()["state"], "cancelled");
+        assert!(!manager.cancel(9999));
+    }
+}

@@ -1,0 +1,88 @@
+//! `caffeine-serve` — a zero-dependency model-serving daemon for the
+//! CAFFEINE workspace.
+//!
+//! The engine's payoff is that fitted canonical-form models are cheap
+//! surrogates that replace SPICE in downstream sizing loops; that value
+//! is only realized when the models can be *queried at scale*. This
+//! crate puts a network front door on the PR-2 batch-evaluation path
+//! using nothing but `std`:
+//!
+//! * **HTTP/1.1 over `std::net`** ([`http`]): a strict, bounded request
+//!   parser (never panics, answers 400/413/501 on hostile input) and a
+//!   bounded worker thread pool ([`pool`]) with 503 backpressure and
+//!   draining shutdown.
+//! * **Versioned model registry** ([`registry`]): fitted Pareto fronts
+//!   as content-hash-addressed JSON artifacts
+//!   ([`caffeine_core::ModelArtifact`]), in memory with optional disk
+//!   persistence, idempotent publication, and per-id version history.
+//! * **Batched prediction** ([`handlers`]): `POST
+//!   /v1/models/{id}/predict` deserializes row-major point batches and
+//!   evaluates them through the compiled-tape batch path with full shape
+//!   validation (empty/ragged/mismatched batches are structured 400s,
+//!   never panics).
+//! * **Async modeling jobs** ([`jobs`]): `POST /v1/jobs` launches a GP
+//!   run on a background thread through `caffeine-runtime`'s island
+//!   engine and [`caffeine_runtime::RunController`], with live progress
+//!   snapshots, checkpointing, cancellation, and automatic publication
+//!   of the finished front into the registry.
+//! * **Observability** ([`metrics`]): request counts, per-route latency
+//!   histograms, registry cache hits, and job counters in the Prometheus
+//!   text format at `GET /metrics`.
+//!
+//! # Endpoints
+//!
+//! | Method & path                        | Purpose                          |
+//! |--------------------------------------|----------------------------------|
+//! | `GET /healthz`                       | liveness                         |
+//! | `GET /metrics`                       | Prometheus metrics               |
+//! | `GET /v1/models`                     | list ids and versions            |
+//! | `POST /v1/models/{id}`               | publish an artifact              |
+//! | `GET /v1/models/{id}[?version=h]`    | fetch an artifact                |
+//! | `POST /v1/models/{id}/predict`       | batched prediction               |
+//! | `GET /v1/jobs` · `POST /v1/jobs`     | list / submit modeling jobs      |
+//! | `GET /v1/jobs/{id}`                  | job status and progress          |
+//! | `DELETE /v1/jobs/{id}`               | cancel a job                     |
+//! | `POST /v1/admin/shutdown`            | graceful drain                   |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use caffeine_serve::{client, Server, ServeConfig};
+//! use std::time::Duration;
+//!
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServeConfig::default()
+//! }).unwrap();
+//! let addr = server.local_addr().to_string();
+//! let handle = server.handle();
+//! let thread = std::thread::spawn(move || server.serve());
+//!
+//! let r = client::request(&addr, "GET", "/healthz", None, Duration::from_secs(2)).unwrap();
+//! assert_eq!(r.status, 200);
+//!
+//! handle.shutdown();
+//! thread.join().unwrap().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+mod error;
+mod handlers;
+pub mod http;
+mod jobs;
+mod metrics;
+mod pool;
+mod registry;
+mod router;
+mod server;
+
+pub use error::ApiError;
+pub use jobs::{JobEntry, JobManager, JobOutcome, JobSpec};
+pub use metrics::Metrics;
+pub use pool::WorkerPool;
+pub use registry::{ModelRegistry, StoredVersion};
+pub use router::{route, valid_model_id, Route};
+pub use server::{ServeConfig, Server, ServerHandle, Shared};

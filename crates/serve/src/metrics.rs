@@ -1,0 +1,223 @@
+//! Request counters and latency histograms, rendered in the Prometheus
+//! text exposition format.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Upper bounds of the latency buckets, in microseconds (powers of four
+/// from 16µs to ~17s, plus +Inf implicitly).
+const BUCKET_BOUNDS_US: [u64; 13] = [
+    16,
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+    67_108_864,
+    268_435_456,
+];
+
+/// One latency histogram (counts per bucket + sum + total).
+#[derive(Debug, Default)]
+struct Histogram {
+    buckets: [u64; BUCKET_BOUNDS_US.len()],
+    count: u64,
+    sum_us: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            if us <= bound {
+                self.buckets[i] += 1;
+                break;
+            }
+        }
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+    }
+}
+
+/// Server-wide observability state. Every method is thread-safe.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// `(route label, status) → count`.
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    /// Per-route latency histograms.
+    latency: Mutex<BTreeMap<String, Histogram>>,
+    /// Requests rejected because the worker queue was full.
+    rejected_busy: AtomicU64,
+    /// Jobs submitted over the API.
+    jobs_submitted: AtomicU64,
+    /// Jobs that reached a terminal state.
+    jobs_finished: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            requests: Mutex::new(BTreeMap::new()),
+            latency: Mutex::new(BTreeMap::new()),
+            rejected_busy: AtomicU64::new(0),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_finished: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one finished request.
+    pub fn observe(&self, route: &str, status: u16, elapsed: Duration) {
+        *self
+            .requests
+            .lock()
+            .expect("metrics lock")
+            .entry((route.to_string(), status))
+            .or_insert(0) += 1;
+        self.latency
+            .lock()
+            .expect("metrics lock")
+            .entry(route.to_string())
+            .or_default()
+            .observe(elapsed);
+    }
+
+    /// Records a 503 due to a saturated worker pool.
+    pub fn observe_busy(&self) {
+        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job submission.
+    pub fn observe_job_submitted(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job reaching a terminal state.
+    pub fn observe_job_finished(&self) {
+        self.jobs_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders everything in the Prometheus text format. Registry cache
+    /// counters are passed in so `Metrics` stays decoupled from the
+    /// registry.
+    pub fn render(&self, registry_hits: u64, registry_misses: u64) -> String {
+        let mut out = String::with_capacity(2048);
+        let uptime = self.started.elapsed().as_secs_f64();
+        out.push_str("# TYPE caffeine_serve_uptime_seconds gauge\n");
+        out.push_str(&format!("caffeine_serve_uptime_seconds {uptime:.3}\n"));
+
+        out.push_str("# TYPE caffeine_serve_requests_total counter\n");
+        for ((route, status), count) in self.requests.lock().expect("metrics lock").iter() {
+            out.push_str(&format!(
+                "caffeine_serve_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}\n"
+            ));
+        }
+
+        out.push_str("# TYPE caffeine_serve_request_duration_microseconds histogram\n");
+        for (route, hist) in self.latency.lock().expect("metrics lock").iter() {
+            let mut cumulative = 0;
+            for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+                cumulative += hist.buckets[i];
+                out.push_str(&format!(
+                    "caffeine_serve_request_duration_microseconds_bucket{{route=\"{route}\",le=\"{bound}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "caffeine_serve_request_duration_microseconds_bucket{{route=\"{route}\",le=\"+Inf\"}} {}\n",
+                hist.count
+            ));
+            out.push_str(&format!(
+                "caffeine_serve_request_duration_microseconds_sum{{route=\"{route}\"}} {}\n",
+                hist.sum_us
+            ));
+            out.push_str(&format!(
+                "caffeine_serve_request_duration_microseconds_count{{route=\"{route}\"}} {}\n",
+                hist.count
+            ));
+        }
+
+        out.push_str("# TYPE caffeine_serve_rejected_busy_total counter\n");
+        out.push_str(&format!(
+            "caffeine_serve_rejected_busy_total {}\n",
+            self.rejected_busy.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE caffeine_serve_registry_hits_total counter\n");
+        out.push_str(&format!(
+            "caffeine_serve_registry_hits_total {registry_hits}\n"
+        ));
+        out.push_str("# TYPE caffeine_serve_registry_misses_total counter\n");
+        out.push_str(&format!(
+            "caffeine_serve_registry_misses_total {registry_misses}\n"
+        ));
+        out.push_str("# TYPE caffeine_serve_jobs_submitted_total counter\n");
+        out.push_str(&format!(
+            "caffeine_serve_jobs_submitted_total {}\n",
+            self.jobs_submitted.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE caffeine_serve_jobs_finished_total counter\n");
+        out.push_str(&format!(
+            "caffeine_serve_jobs_finished_total {}\n",
+            self.jobs_finished.load(Ordering::Relaxed)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_show_up_in_the_rendering() {
+        let m = Metrics::new();
+        m.observe("predict", 200, Duration::from_micros(120));
+        m.observe("predict", 200, Duration::from_micros(90_000));
+        m.observe("predict", 400, Duration::from_micros(10));
+        m.observe_busy();
+        m.observe_job_submitted();
+        let text = m.render(5, 2);
+        assert!(
+            text.contains("caffeine_serve_requests_total{route=\"predict\",status=\"200\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("caffeine_serve_requests_total{route=\"predict\",status=\"400\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("_count{route=\"predict\"} 3"), "{text}");
+        assert!(
+            text.contains("caffeine_serve_registry_hits_total 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("caffeine_serve_rejected_busy_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("le=\"+Inf\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        // 10µs lands in the first bucket; every later bucket must include it.
+        m.observe("x", 200, Duration::from_micros(10));
+        let text = m.render(0, 0);
+        assert!(text.contains("le=\"16\"} 1"), "{text}");
+        assert!(text.contains("le=\"268435456\"} 1"), "{text}");
+    }
+}

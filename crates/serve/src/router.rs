@@ -1,0 +1,174 @@
+//! Path → route resolution for the versioned API surface.
+
+use crate::error::ApiError;
+
+/// Everything the daemon can be asked to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz` — liveness.
+    Health,
+    /// `GET /metrics` — Prometheus-style counters and histograms.
+    Metrics,
+    /// `GET /v1/models` — list registry contents.
+    ListModels,
+    /// `POST|PUT /v1/models/{id}` — publish an artifact under an id.
+    PublishModel(String),
+    /// `GET /v1/models/{id}[?version=...]` — fetch an artifact.
+    GetModel(String),
+    /// `POST /v1/models/{id}/predict[?version=...]` — batched prediction.
+    Predict(String),
+    /// `GET /v1/jobs` — list jobs.
+    ListJobs,
+    /// `POST /v1/jobs` — submit an async modeling job.
+    SubmitJob,
+    /// `GET /v1/jobs/{id}` — job status/progress.
+    GetJob(u64),
+    /// `DELETE /v1/jobs/{id}` or `POST /v1/jobs/{id}/cancel` — cancel.
+    CancelJob(u64),
+    /// `POST /v1/admin/shutdown` — graceful drain and exit.
+    Shutdown,
+}
+
+/// Model ids become registry directory names, so they are restricted to a
+/// conservative token alphabet (also forecloses path traversal).
+pub fn valid_model_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+        && !id.starts_with('.')
+}
+
+fn job_id(segment: &str) -> Result<u64, ApiError> {
+    segment
+        .parse::<u64>()
+        .map_err(|_| ApiError::not_found(format!("job id `{segment}` is not a number")))
+}
+
+fn model_id(segment: &str) -> Result<String, ApiError> {
+    if valid_model_id(segment) {
+        Ok(segment.to_string())
+    } else {
+        Err(ApiError::bad_request(format!(
+            "model id `{segment}` is invalid (1-64 chars of [A-Za-z0-9._-], no leading dot)"
+        )))
+    }
+}
+
+/// Resolves a method + path to a [`Route`].
+///
+/// # Errors
+///
+/// 404 for unknown paths, 405 for known paths under the wrong method,
+/// 400 for syntactically invalid ids.
+pub fn route(method: &str, path: &str) -> Result<Route, ApiError> {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let not_allowed = |allowed: &str| Err(ApiError::method_not_allowed(format!("use {allowed}")));
+    match segments.as_slice() {
+        ["healthz"] => match method {
+            "GET" => Ok(Route::Health),
+            _ => not_allowed("GET"),
+        },
+        ["metrics"] => match method {
+            "GET" => Ok(Route::Metrics),
+            _ => not_allowed("GET"),
+        },
+        ["v1", "models"] => match method {
+            "GET" => Ok(Route::ListModels),
+            _ => not_allowed("GET"),
+        },
+        ["v1", "models", id] => match method {
+            "GET" => Ok(Route::GetModel(model_id(id)?)),
+            "POST" | "PUT" => Ok(Route::PublishModel(model_id(id)?)),
+            _ => not_allowed("GET, POST, or PUT"),
+        },
+        ["v1", "models", id, "predict"] => match method {
+            "POST" => Ok(Route::Predict(model_id(id)?)),
+            _ => not_allowed("POST"),
+        },
+        ["v1", "jobs"] => match method {
+            "GET" => Ok(Route::ListJobs),
+            "POST" => Ok(Route::SubmitJob),
+            _ => not_allowed("GET or POST"),
+        },
+        ["v1", "jobs", id] => match method {
+            "GET" => Ok(Route::GetJob(job_id(id)?)),
+            "DELETE" => Ok(Route::CancelJob(job_id(id)?)),
+            _ => not_allowed("GET or DELETE"),
+        },
+        ["v1", "jobs", id, "cancel"] => match method {
+            "POST" => Ok(Route::CancelJob(job_id(id)?)),
+            _ => not_allowed("POST"),
+        },
+        ["v1", "admin", "shutdown"] => match method {
+            "POST" => Ok(Route::Shutdown),
+            _ => not_allowed("POST"),
+        },
+        _ => Err(ApiError::not_found(format!("no route for {path}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_the_full_surface() {
+        assert_eq!(route("GET", "/healthz").unwrap(), Route::Health);
+        assert_eq!(route("GET", "/metrics").unwrap(), Route::Metrics);
+        assert_eq!(route("GET", "/v1/models").unwrap(), Route::ListModels);
+        assert_eq!(
+            route("POST", "/v1/models/ota-gain").unwrap(),
+            Route::PublishModel("ota-gain".into())
+        );
+        assert_eq!(
+            route("PUT", "/v1/models/ota-gain").unwrap(),
+            Route::PublishModel("ota-gain".into())
+        );
+        assert_eq!(
+            route("GET", "/v1/models/ota-gain").unwrap(),
+            Route::GetModel("ota-gain".into())
+        );
+        assert_eq!(
+            route("POST", "/v1/models/ota-gain/predict").unwrap(),
+            Route::Predict("ota-gain".into())
+        );
+        assert_eq!(route("GET", "/v1/jobs").unwrap(), Route::ListJobs);
+        assert_eq!(route("POST", "/v1/jobs").unwrap(), Route::SubmitJob);
+        assert_eq!(route("GET", "/v1/jobs/7").unwrap(), Route::GetJob(7));
+        assert_eq!(route("DELETE", "/v1/jobs/7").unwrap(), Route::CancelJob(7));
+        assert_eq!(
+            route("POST", "/v1/jobs/7/cancel").unwrap(),
+            Route::CancelJob(7)
+        );
+        assert_eq!(
+            route("POST", "/v1/admin/shutdown").unwrap(),
+            Route::Shutdown
+        );
+    }
+
+    #[test]
+    fn unknown_paths_404_and_wrong_methods_405() {
+        assert_eq!(route("GET", "/nope").unwrap_err().status, 404);
+        assert_eq!(route("GET", "/v1").unwrap_err().status, 404);
+        assert_eq!(route("DELETE", "/v1/models").unwrap_err().status, 405);
+        assert_eq!(route("GET", "/v1/admin/shutdown").unwrap_err().status, 405);
+        assert_eq!(
+            route("GET", "/v1/models/x/predict").unwrap_err().status,
+            405
+        );
+    }
+
+    #[test]
+    fn model_ids_are_validated() {
+        assert!(valid_model_id("ota-gain_v2.1"));
+        assert!(!valid_model_id(""));
+        assert!(!valid_model_id(".hidden"));
+        assert!(!valid_model_id("a/b"));
+        assert!(!valid_model_id("a b"));
+        assert!(!valid_model_id(&"x".repeat(65)));
+        assert_eq!(route("GET", "/v1/models/..").unwrap_err().status, 400);
+        assert_eq!(route("GET", "/v1/jobs/abc").unwrap_err().status, 404);
+    }
+}

@@ -1,0 +1,247 @@
+//! The daemon: TCP accept loop, bounded dispatch, graceful drain.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::ApiError;
+use crate::handlers;
+use crate::http::{self, HttpError, Response};
+use crate::jobs::JobManager;
+use crate::metrics::Metrics;
+use crate::pool::WorkerPool;
+use crate::registry::ModelRegistry;
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 for ephemeral).
+    pub addr: String,
+    /// Registry/checkpoint directory; `None` serves purely in memory.
+    pub model_dir: Option<PathBuf>,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Pending-connection queue bound (beyond it: 503).
+    pub backlog: usize,
+    /// Per-request body cap in bytes.
+    pub max_body_bytes: usize,
+    /// Socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            model_dir: None,
+            workers: 4,
+            backlog: 64,
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// State shared by every worker: registry, jobs, metrics, shutdown flag.
+#[derive(Debug)]
+pub struct Shared {
+    /// The model registry.
+    pub registry: Arc<ModelRegistry>,
+    /// The job manager.
+    pub jobs: JobManager,
+    /// Observability counters.
+    pub metrics: Arc<Metrics>,
+    config: ServeConfig,
+    local_addr: SocketAddr,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Flags the accept loop to stop and pokes it awake with a local
+    /// connection so it notices immediately.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop may be blocked in `accept`; a throwaway
+        // connection wakes it. Failure is fine — the flag alone stops the
+        // loop on the next accepted connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+    }
+
+    /// `true` once draining started.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A handle for stopping a server from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begins a graceful drain: stop accepting, finish in-flight work.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The shared state (registry seeding in tests/benches).
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+/// The bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and opens (or creates) the registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and registry-directory failures.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let registry = match &config.model_dir {
+            Some(dir) => Arc::new(ModelRegistry::open(dir)?),
+            None => Arc::new(ModelRegistry::in_memory()),
+        };
+        let jobs = JobManager::new(config.model_dir.as_ref().map(|d| d.join(".jobs")));
+        let shared = Arc::new(Shared {
+            registry,
+            jobs,
+            metrics: Arc::new(Metrics::new()),
+            config,
+            local_addr,
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// A stop handle usable from any thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until shutdown, then drains: the worker pool
+    /// finishes queued requests and background jobs are cancelled and
+    /// joined.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener failures (per-connection errors are
+    /// absorbed).
+    pub fn serve(self) -> std::io::Result<()> {
+        let worker_shared = Arc::clone(&self.shared);
+        let pool = WorkerPool::new(
+            self.shared.config.workers,
+            self.shared.config.backlog,
+            move |stream: TcpStream| {
+                // A panicking handler must cost one request, not one
+                // worker — otherwise repeated panics silently shrink the
+                // pool until nothing serves.
+                let shared = Arc::clone(&worker_shared);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    handle_connection(&shared, stream)
+                }));
+                if outcome.is_err() {
+                    worker_shared
+                        .metrics
+                        .observe("handler_panic", 500, Duration::ZERO);
+                }
+            },
+        );
+        for stream in self.listener.incoming() {
+            if self.shared.is_shutting_down() {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => {
+                    // Transient accept failures (e.g. EMFILE under fd
+                    // exhaustion) must not busy-spin the acceptor; a
+                    // short pause lets workers close sockets and
+                    // recover.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if let Err(mut stream) = pool.try_execute(stream) {
+                // Pool saturated: answer 503 on the acceptor thread (one
+                // small write) and close.
+                self.shared.metrics.observe_busy();
+                write_busy(&mut stream);
+            }
+        }
+        pool.shutdown();
+        self.shared.jobs.drain();
+        Ok(())
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_nodelay(true);
+
+    match http::read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(request) => {
+            let (response, label) = handlers::handle(shared, &request);
+            let status = response.status;
+            let _ = response.write_to(&mut stream);
+            shared.metrics.observe(label, status, started.elapsed());
+        }
+        Err(HttpError::Closed) => {}
+        Err(e) => {
+            let (status, code) = match e.status() {
+                Some(413) => (413, "payload_too_large"),
+                Some(501) => (501, "not_implemented"),
+                Some(_) => (400, "bad_request"),
+                // Read timeout / transport error: try a 408; the peer is
+                // probably gone, so failure to write is fine.
+                None => (408, "request_timeout"),
+            };
+            let response = ApiError {
+                status,
+                code,
+                message: e.message(),
+            }
+            .into_response();
+            let _ = response.write_to(&mut stream);
+            shared
+                .metrics
+                .observe("http_error", status, started.elapsed());
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// Writes a bare 503 (used when even queuing was impossible).
+fn write_busy(stream: &mut TcpStream) {
+    let _ = Response::json(
+        503,
+        "{\"error\":{\"code\":\"unavailable\",\"message\":\"server is saturated\"}}".into(),
+    )
+    .write_to(stream);
+}

@@ -1,0 +1,108 @@
+//! Property tests for the HTTP request parser: arbitrary, truncated, and
+//! oversized byte streams must never panic, and must always resolve to a
+//! typed error (definite status) or a well-formed request.
+
+use std::io::Cursor;
+
+use caffeine_serve::http::{parse_head, read_request, HttpError, MAX_HEAD_BYTES};
+use proptest::prelude::*;
+
+fn outcome_is_sane(result: Result<caffeine_serve::http::Request, HttpError>) {
+    match result {
+        Ok(r) => {
+            assert!(!r.method.is_empty());
+            assert!(r.path.starts_with('/'));
+        }
+        Err(e) => match e.status() {
+            Some(s) => assert!(s == 400 || s == 413 || s == 501, "status {s}"),
+            None => assert!(matches!(e, HttpError::Closed | HttpError::Io(_))),
+        },
+    }
+}
+
+/// Printable ASCII + CR/LF soup: more likely than raw bytes to get deep
+/// into the header machinery.
+fn ascii_soup(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..100, len).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| match c {
+                0..=1 => b'\r',
+                2..=3 => b'\n',
+                4 => b':',
+                5 => b' ',
+                c => b' ' + (c % 95),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totally arbitrary bytes: the parser must classify, never panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..2048)) {
+        let _ = parse_head(&bytes); // pure head parse on raw bytes
+        outcome_is_sane(read_request(&mut Cursor::new(bytes), 4096));
+    }
+
+    /// Header-shaped ASCII soup, optionally behind a valid request line.
+    #[test]
+    fn ascii_soup_never_panics(
+        soup in ascii_soup(0..512),
+        prefix_valid in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let mut bytes = Vec::new();
+        if prefix_valid {
+            bytes.extend_from_slice(b"GET / HTTP/1.1\r\n");
+        }
+        bytes.extend_from_slice(&soup);
+        outcome_is_sane(read_request(&mut Cursor::new(bytes), 4096));
+    }
+
+    /// Truncating a valid request at every byte boundary must give a
+    /// clean error (or, at full length, the parsed request).
+    #[test]
+    fn truncations_of_a_valid_request_never_panic(cut in 0usize..=92) {
+        let full: &[u8] = b"POST /v1/models/m/predict HTTP/1.1\r\ncontent-length: 17\r\nhost: x\r\n\r\n{\"points\":[[1.0]]}";
+        let cut = cut.min(full.len());
+        let result = read_request(&mut Cursor::new(full[..cut].to_vec()), 4096);
+        outcome_is_sane(result);
+    }
+
+    /// Declared bodies beyond the limit must answer 413 without reading
+    /// the body.
+    #[test]
+    fn oversized_declared_bodies_are_413(extra in 1usize..1_000_000) {
+        let limit = 4096usize;
+        let head = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", limit + extra);
+        let err = read_request(&mut Cursor::new(head.into_bytes()), limit).unwrap_err();
+        prop_assert_eq!(err.status(), Some(413));
+    }
+
+    /// Oversized heads (giant header sections) must answer 413, bounded
+    /// by MAX_HEAD_BYTES regardless of how much the client sends.
+    #[test]
+    fn oversized_heads_are_413(pad in MAX_HEAD_BYTES..MAX_HEAD_BYTES + 4096) {
+        let head = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(pad));
+        let err = read_request(&mut Cursor::new(head.into_bytes()), 4096).unwrap_err();
+        prop_assert_eq!(err.status(), Some(413));
+    }
+
+    /// Random query strings keep the parser total and query_param safe.
+    #[test]
+    fn query_strings_are_total(soup in ascii_soup(0..128)) {
+        let query: Vec<u8> = soup
+            .into_iter()
+            .map(|b| if b == b'\r' || b == b'\n' || b == b' ' { b'+' } else { b })
+            .collect();
+        let mut raw = b"GET /v1/models/m?".to_vec();
+        raw.extend_from_slice(&query);
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        if let Ok(r) = read_request(&mut Cursor::new(raw), 4096) {
+            let _ = r.query_param("version");
+            let _ = r.query_param("");
+        }
+    }
+}

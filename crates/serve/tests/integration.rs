@@ -1,0 +1,458 @@
+//! End-to-end tests: a real server on an ephemeral port, driven over
+//! real sockets.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use caffeine_core::expr::{BasisFunction, VarCombo, WeightConfig};
+use caffeine_core::{Model, ModelArtifact};
+use caffeine_serve::{client, ServeConfig, Server};
+
+const T: Duration = Duration::from_secs(10);
+
+/// Boots a server on an ephemeral port; returns (addr, handle, join).
+fn boot(
+    config: ServeConfig,
+) -> (
+    String,
+    caffeine_serve::ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("bind ephemeral");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.serve());
+    (addr, handle, join)
+}
+
+fn demo_artifact() -> ModelArtifact {
+    // 1 + 2·x0 − 3/x1 plus a simpler sibling, as a tiny front.
+    ModelArtifact::new(
+        vec!["w".into(), "l".into()],
+        vec![
+            Model::new(
+                vec![BasisFunction::from_vc(VarCombo::single(2, 0, 1))],
+                vec![1.0, 2.0],
+                WeightConfig::default(),
+            )
+            .with_metrics(0.2, 4.0),
+            Model::new(
+                vec![
+                    BasisFunction::from_vc(VarCombo::single(2, 0, 1)),
+                    BasisFunction::from_vc(VarCombo::single(2, 1, -1)),
+                ],
+                vec![1.0, 2.0, -3.0],
+                WeightConfig::default(),
+            )
+            .with_metrics(0.01, 9.0),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn predict_round_trip_is_bit_identical_to_in_process() {
+    let (addr, handle, join) = boot(ServeConfig::default());
+    let artifact = demo_artifact();
+
+    // Publish over HTTP.
+    let r = client::request(
+        &addr,
+        "POST",
+        "/v1/models/demo",
+        Some(artifact.to_json().as_bytes()),
+        T,
+    )
+    .unwrap();
+    assert_eq!(r.status, 201, "{}", r.text());
+    let version = r.json().unwrap()["version"].as_str().unwrap().to_string();
+    assert_eq!(version, artifact.content_hash());
+
+    // Batch with awkward values (denormals, negatives, near-poles).
+    let points: Vec<Vec<f64>> = (1..=64)
+        .map(|i| {
+            let x = f64::from(i);
+            vec![x * 0.37 - 5.0, (x * 0.11).exp() * 1e-3]
+        })
+        .collect();
+    let expected = artifact.predict(None, &points).unwrap();
+
+    let body = serde_json::to_string(&serde_json::json!({ "points": points })).unwrap();
+    let r = client::request(
+        &addr,
+        "POST",
+        "/v1/models/demo/predict",
+        Some(body.as_bytes()),
+        T,
+    )
+    .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    let json = r.json().unwrap();
+    let served: Vec<f64> = json["predictions"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    assert_eq!(served.len(), expected.len());
+    for (s, e) in served.iter().zip(&expected) {
+        assert_eq!(s.to_bits(), e.to_bits(), "served {s} != in-process {e}");
+    }
+    assert_eq!(json["version"].as_str().unwrap(), version);
+
+    // Pinned-version fetch returns the identical artifact.
+    let r = client::request(
+        &addr,
+        "GET",
+        &format!("/v1/models/demo?version={version}"),
+        None,
+        T,
+    )
+    .unwrap();
+    assert_eq!(r.status, 200);
+    let fetched = ModelArtifact::from_json(&r.text()).unwrap();
+    assert_eq!(fetched, artifact);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_batches_get_structured_4xx_not_panics() {
+    let (addr, handle, join) = boot(ServeConfig::default());
+    let artifact = demo_artifact();
+    client::request(
+        &addr,
+        "PUT",
+        "/v1/models/demo",
+        Some(artifact.to_json().as_bytes()),
+        T,
+    )
+    .unwrap();
+
+    let cases: Vec<(&str, &str)> = vec![
+        ("empty batch", r#"{"points": []}"#),
+        ("ragged", r#"{"points": [[1.0, 2.0], [1.0]]}"#),
+        ("wrong dims", r#"{"points": [[1.0, 2.0, 3.0]]}"#),
+        ("not arrays", r#"{"points": 7}"#),
+        ("no points", r#"{}"#),
+        (
+            "bad model index",
+            r#"{"points": [[1.0, 2.0]], "model": 99}"#,
+        ),
+        ("not json", "}{"),
+    ];
+    for (what, body) in cases {
+        let r = client::request(
+            &addr,
+            "POST",
+            "/v1/models/demo/predict",
+            Some(body.as_bytes()),
+            T,
+        )
+        .unwrap();
+        assert_eq!(r.status, 400, "{what}: {}", r.text());
+        let json = r.json().unwrap();
+        assert!(json["error"]["message"].as_str().is_some(), "{what}");
+    }
+
+    // Unknown model / version → 404 with a structured body.
+    let r = client::request(&addr, "POST", "/v1/models/ghost/predict", Some(b"{}"), T).unwrap();
+    assert_eq!(r.status, 404);
+    let r = client::request(&addr, "GET", "/v1/models/demo?version=feedbeef", None, T).unwrap();
+    assert_eq!(r.status, 404);
+
+    // Unsupported-schema artifact publish → 422.
+    let future = artifact
+        .to_json()
+        .replace("\"schema_version\":1", "\"schema_version\":9");
+    let r = client::request(&addr, "POST", "/v1/models/demo", Some(future.as_bytes()), T).unwrap();
+    assert_eq!(r.status, 422, "{}", r.text());
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn raw_socket_abuse_gets_http_errors_not_hangs() {
+    let (addr, handle, join) = boot(ServeConfig {
+        max_body_bytes: 64 * 1024,
+        io_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
+    });
+
+    // Malformed request line → 400.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.write_all(b"BLURB\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+
+    // Oversized declared body → 413.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.write_all(b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n")
+        .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 413"), "{buf}");
+
+    // Chunked encoding → 501.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.write_all(b"POST /v1/jobs HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n")
+        .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 501"), "{buf}");
+
+    // A stalled half-request times out with 408 instead of hanging.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap(); // never finish
+    let started = Instant::now();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).ok();
+    assert!(started.elapsed() < Duration::from_secs(5), "server hung");
+    assert!(buf.is_empty() || buf.starts_with("HTTP/1.1 408"), "{buf}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn job_lifecycle_end_to_end_with_bit_identical_predictions() {
+    let dir = std::env::temp_dir().join(format!("caffeine-serve-e2e-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (addr, handle, join) = boot(ServeConfig {
+        model_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+
+    // A tiny y = 3/x problem the rational grammar nails quickly.
+    let points: Vec<Vec<f64>> = (1..=20).map(|i| vec![f64::from(i) * 0.4]).collect();
+    let targets: Vec<f64> = points.iter().map(|p| 3.0 / p[0]).collect();
+    let spec = serde_json::json!({
+        "name": "served-rational",
+        "var_names": ["x0"],
+        "points": points,
+        "targets": targets,
+        "population": 24,
+        "generations": 8,
+        "max_bases": 4,
+        "seed": 7,
+        "grammar": "rational",
+    });
+    let r = client::request(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        Some(
+            serde_json::to_string(&spec)
+                .unwrap()
+                .into_bytes()
+                .as_slice(),
+        ),
+        T,
+    )
+    .unwrap();
+    assert_eq!(r.status, 201, "{}", r.text());
+    let job = r.json().unwrap();
+    let id = job["id"].as_u64().unwrap();
+
+    // Poll to completion.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let final_status = loop {
+        let r = client::request(&addr, "GET", &format!("/v1/jobs/{id}"), None, T).unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        let status = r.json().unwrap();
+        match status["state"].as_str().unwrap() {
+            "finished" => break status,
+            "failed" | "cancelled" => panic!("job ended badly: {}", r.text()),
+            _ => {
+                assert!(Instant::now() < deadline, "job did not finish in time");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    let version = final_status["result"]["version"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(final_status["result"]["n_models"].as_u64().unwrap() > 0);
+    assert!(
+        final_status["progress"]["completed_generations"]
+            .as_u64()
+            .unwrap()
+            >= 8
+    );
+
+    // Fetch the published artifact and compare predictions bit for bit.
+    let r = client::request(&addr, "GET", "/v1/models/served-rational", None, T).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    let artifact = ModelArtifact::from_json(&r.text()).unwrap();
+    assert_eq!(artifact.content_hash(), version);
+
+    let batch: Vec<Vec<f64>> = (1..=10).map(|i| vec![f64::from(i) * 0.7]).collect();
+    let expected = artifact.predict(None, &batch).unwrap();
+    let body = serde_json::to_string(&serde_json::json!({ "points": batch })).unwrap();
+    let r = client::request(
+        &addr,
+        "POST",
+        "/v1/models/served-rational/predict",
+        Some(body.as_bytes()),
+        T,
+    )
+    .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    let served: Vec<f64> = r.json().unwrap()["predictions"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    for (s, e) in served.iter().zip(&expected) {
+        assert_eq!(s.to_bits(), e.to_bits());
+    }
+
+    // The artifact also survived to disk (registry persistence).
+    let on_disk = dir.join("served-rational").join(format!("{version}.json"));
+    assert!(on_disk.exists(), "missing {}", on_disk.display());
+
+    // Cancel a long job mid-flight.
+    let long_spec = serde_json::json!({
+        "var_names": ["x0"],
+        "points": points,
+        "targets": targets,
+        "population": 24,
+        "generations": 1_000_000,
+        "grammar": "rational",
+    });
+    let r = client::request(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        Some(
+            serde_json::to_string(&long_spec)
+                .unwrap()
+                .into_bytes()
+                .as_slice(),
+        ),
+        T,
+    )
+    .unwrap();
+    let long_id = r.json().unwrap()["id"].as_u64().unwrap();
+    let r = client::request(&addr, "DELETE", &format!("/v1/jobs/{long_id}"), None, T).unwrap();
+    assert_eq!(r.status, 202, "{}", r.text());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let r = client::request(&addr, "GET", &format!("/v1/jobs/{long_id}"), None, T).unwrap();
+        if r.json().unwrap()["state"].as_str().unwrap() == "cancelled" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cancel did not take effect");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    // Bad job specs are rejected up front.
+    let r = client::request(&addr, "POST", "/v1/jobs", Some(b"{\"var_names\": []}"), T).unwrap();
+    assert_eq!(r.status, 400);
+    let r = client::request(&addr, "GET", "/v1/jobs/424242", None, T).unwrap();
+    assert_eq!(r.status, 404);
+
+    // Metrics mention what we did.
+    let r = client::request(&addr, "GET", "/metrics", None, T).unwrap();
+    assert_eq!(r.status, 200);
+    let text = r.text();
+    assert!(text.contains("caffeine_serve_requests_total"), "{text}");
+    assert!(
+        text.contains("route=\"models.predict\",status=\"200\""),
+        "{text}"
+    );
+    assert!(
+        text.contains("caffeine_serve_jobs_submitted_total 2"),
+        "{text}"
+    );
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn registry_survives_concurrent_hammering() {
+    let (addr, handle, join) = boot(ServeConfig {
+        workers: 8,
+        backlog: 256,
+        ..ServeConfig::default()
+    });
+    let artifact = Arc::new(demo_artifact());
+    let addr = Arc::new(addr);
+
+    let mut threads = Vec::new();
+    for t in 0..8u32 {
+        let addr = Arc::clone(&addr);
+        let artifact = Arc::clone(&artifact);
+        threads.push(std::thread::spawn(move || {
+            for i in 0..20u32 {
+                let id = format!("hammer-{}", t % 4); // ids contended across threads
+                match i % 4 {
+                    0 | 1 => {
+                        // Publish (often byte-identical → idempotent path).
+                        let r = client::request(
+                            &addr,
+                            "POST",
+                            &format!("/v1/models/{id}"),
+                            Some(artifact.to_json().as_bytes()),
+                            T,
+                        )
+                        .unwrap();
+                        assert!(r.status == 200 || r.status == 201, "{}", r.text());
+                    }
+                    2 => {
+                        let r = client::request(&addr, "GET", "/v1/models", None, T).unwrap();
+                        assert_eq!(r.status, 200);
+                    }
+                    _ => {
+                        let r = client::request(&addr, "GET", &format!("/v1/models/{id}"), None, T)
+                            .unwrap();
+                        // 404 only if nothing published yet on this id.
+                        assert!(r.status == 200 || r.status == 404, "{}", r.text());
+                    }
+                }
+            }
+        }));
+    }
+    for th in threads {
+        th.join().unwrap();
+    }
+
+    // Every hammered id holds exactly one version (content-addressed
+    // publishes of identical bytes must never duplicate).
+    let r = client::request(&addr, "GET", "/v1/models", None, T).unwrap();
+    let json = r.json().unwrap();
+    let models = json["models"].as_array().unwrap();
+    assert_eq!(models.len(), 4, "{json:?}");
+    for m in models {
+        assert_eq!(m["versions"].as_array().unwrap().len(), 1, "{m:?}");
+    }
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_endpoint_drains_gracefully() {
+    let (addr, _handle, join) = boot(ServeConfig::default());
+    let r = client::request(&addr, "GET", "/healthz", None, T).unwrap();
+    assert_eq!(r.status, 200);
+    let r = client::request(&addr, "POST", "/v1/admin/shutdown", None, T).unwrap();
+    assert_eq!(r.status, 202, "{}", r.text());
+    // The serve loop must return on its own after the drain.
+    join.join().unwrap().unwrap();
+    // And the port must actually be released/refusing.
+    assert!(client::request(&addr, "GET", "/healthz", None, Duration::from_millis(500)).is_err());
+}

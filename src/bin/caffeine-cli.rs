@@ -13,12 +13,17 @@
 //! error/complexity tradeoff as readable expressions.
 
 use std::path::Path;
+use std::time::Duration;
 
-use caffeine::cli::{front_summary, front_to_json, parse_csv, usage, CliOptions};
+use caffeine::cli::{
+    front_summary, front_to_json, parse_csv, parse_points_csv, usage, CliOptions, PredictOptions,
+    ServeOptions,
+};
 use caffeine::core::expr::FormatOptions;
 use caffeine::core::sag::{simplify_front, SagSettings};
 use caffeine::core::{pareto, CaffeineResult};
 use caffeine::runtime::{IslandRunner, RunEvent, RuntimeCheckpoint};
+use caffeine::serve::{client, ServeConfig, Server};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,12 +31,95 @@ fn main() {
         print!("{}", usage());
         return;
     }
-    if let Err(msg) = run(&args) {
+    let outcome = match args.first().map(String::as_str) {
+        Some("serve") => run_serve(&args[1..]),
+        Some("predict") => run_predict(&args[1..]),
+        _ => run(&args),
+    };
+    if let Err(msg) = outcome {
         eprintln!("error: {msg}");
         eprintln!();
         eprint!("{}", usage());
         std::process::exit(1);
     }
+}
+
+/// `caffeine-cli serve`: run the daemon until a shutdown request.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let opts = ServeOptions::parse(args)?;
+    let server = Server::bind(ServeConfig {
+        addr: opts.addr.clone(),
+        model_dir: opts.model_dir.clone().map(Into::into),
+        workers: opts.threads.max(1),
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    eprintln!(
+        "caffeine-serve listening on {} ({} worker(s), registry: {})",
+        server.local_addr(),
+        opts.threads.max(1),
+        opts.model_dir.as_deref().unwrap_or("in-memory"),
+    );
+    eprintln!(
+        "stop with: curl -X POST http://{}/v1/admin/shutdown",
+        server.local_addr()
+    );
+    server
+        .serve()
+        .map_err(|e| format!("serve loop failed: {e}"))
+}
+
+/// `caffeine-cli predict --remote`: batch-query a served model.
+fn run_predict(args: &[String]) -> Result<(), String> {
+    let opts = PredictOptions::parse(args)?;
+    let (addr, base) = client::parse_base_url(&opts.remote)?;
+    let text = std::fs::read_to_string(&opts.points)
+        .map_err(|e| format!("cannot read {}: {e}", opts.points))?;
+    let (names, rows) = parse_points_csv(&text)?;
+    eprintln!(
+        "querying {} for model `{}` with {} point(s) ({} variable(s))",
+        opts.remote,
+        opts.model,
+        rows.len(),
+        names.len()
+    );
+    let path = match &opts.version {
+        Some(v) => format!("{base}/v1/models/{}/predict?version={v}", opts.model),
+        None => format!("{base}/v1/models/{}/predict", opts.model),
+    };
+    let body = serde_json::to_string(&serde_json::json!({ "points": rows })).expect("body renders");
+    let response = client::request(
+        &addr,
+        "POST",
+        &path,
+        Some(body.as_bytes()),
+        Duration::from_secs(60),
+    )
+    .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    let json = response
+        .json()
+        .map_err(|e| format!("server sent a non-JSON response: {e}"))?;
+    if response.status != 200 {
+        let detail = json["error"]["message"].as_str().unwrap_or("unknown error");
+        return Err(format!("server answered {}: {detail}", response.status));
+    }
+    let predictions = json["predictions"]
+        .as_array()
+        .ok_or("response has no `predictions` array")?;
+    for p in predictions {
+        println!("{}", p.as_f64().unwrap_or(f64::NAN));
+    }
+    eprintln!(
+        "model version {} answered {} prediction(s)",
+        json["version"].as_str().unwrap_or("?"),
+        predictions.len()
+    );
+    if let Some(out) = &opts.out {
+        std::fs::write(out, serde_json::to_string_pretty(&json).unwrap())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("response written to {out}");
+    }
+    Ok(())
 }
 
 fn evolve(opts: &CliOptions, train: &caffeine::doe::Dataset) -> Result<CaffeineResult, String> {

@@ -238,11 +238,163 @@ impl CliOptions {
     }
 }
 
+/// Parsed options of `caffeine-cli serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Bind address.
+    pub addr: String,
+    /// Registry/checkpoint directory (in-memory when absent).
+    pub model_dir: Option<String>,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".into(),
+            model_dir: None,
+            threads: 4,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Parses the arguments after the `serve` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown flags or missing values.
+    pub fn parse(args: &[String]) -> Result<ServeOptions, String> {
+        let mut opts = ServeOptions::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--addr" => opts.addr = value("--addr")?,
+                "--model-dir" => opts.model_dir = Some(value("--model-dir")?),
+                "--threads" => {
+                    opts.threads = value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads needs an integer".to_string())?
+                }
+                other => return Err(format!("unknown serve flag `{other}` (see --help)")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Parsed options of `caffeine-cli predict`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictOptions {
+    /// Server base URL, e.g. `http://127.0.0.1:7878`.
+    pub remote: String,
+    /// Registry model id.
+    pub model: String,
+    /// Pinned artifact version (latest when absent).
+    pub version: Option<String>,
+    /// CSV of input points (header row = variable names, no target).
+    pub points: String,
+    /// Optional JSON output path for the predictions.
+    pub out: Option<String>,
+}
+
+impl PredictOptions {
+    /// Parses the arguments after the `predict` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// A message for unknown flags, missing values, or missing required
+    /// flags (`--remote`, `--model`, `--points`).
+    pub fn parse(args: &[String]) -> Result<PredictOptions, String> {
+        let mut remote = None;
+        let mut model = None;
+        let mut version = None;
+        let mut points = None;
+        let mut out = None;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--remote" => remote = Some(value("--remote")?),
+                "--model" => model = Some(value("--model")?),
+                "--version" => version = Some(value("--version")?),
+                "--points" => points = Some(value("--points")?),
+                "--out" => out = Some(value("--out")?),
+                other => return Err(format!("unknown predict flag `{other}` (see --help)")),
+            }
+        }
+        Ok(PredictOptions {
+            remote: remote.ok_or("predict needs --remote http://host:port")?,
+            model: model.ok_or("predict needs --model <id>")?,
+            version,
+            points: points.ok_or("predict needs --points <file.csv>")?,
+            out,
+        })
+    }
+}
+
+/// Parses a headers-only CSV of input points (every column is a design
+/// variable; no target column).
+///
+/// # Errors
+///
+/// A message naming the line for ragged rows or non-numeric cells.
+pub fn parse_points_csv(text: &str) -> Result<(Vec<String>, Vec<Vec<f64>>), String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or("empty CSV")?;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let mut rows = Vec::new();
+    for (lineno, line) in lines {
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != names.len() {
+            return Err(format!(
+                "line {}: expected {} cells, got {}",
+                lineno + 1,
+                names.len(),
+                cells.len()
+            ));
+        }
+        let row: Result<Vec<f64>, String> = cells
+            .iter()
+            .map(|cell| {
+                cell.parse()
+                    .map_err(|_| format!("line {}: `{cell}` is not a number", lineno + 1))
+            })
+            .collect();
+        rows.push(row?);
+    }
+    if rows.is_empty() {
+        return Err("CSV has a header but no data rows".into());
+    }
+    Ok((names, rows))
+}
+
 /// The usage text.
 pub fn usage() -> &'static str {
     "caffeine-cli: template-free symbolic modeling (CAFFEINE, DATE 2005)\n\
      \n\
      usage: caffeine-cli --data train.csv [options]\n\
+     \n\
+     subcommands:\n\
+       serve   --addr <host:port> --model-dir <dir> --threads <n>\n\
+               run the caffeine-serve daemon (model registry, batched\n\
+               /predict, async /jobs; default addr 127.0.0.1:7878)\n\
+       predict --remote http://host:port --model <id> --points <file.csv>\n\
+               [--version <hash>] [--out <file.json>]\n\
+               query a remote model with a CSV of input points\n\
      \n\
      options:\n\
        --data <file>       training CSV (header row = variable names)\n\
@@ -330,6 +482,12 @@ pub fn parse_csv(text: &str, target: Option<&str>) -> Result<Dataset, String> {
 }
 
 /// Serializes a model front into the JSON document `--out` writes.
+///
+/// The document is a strict superset of the
+/// [`caffeine_core::ModelArtifact`] schema (`schema_version`,
+/// `var_names`, `models`), so it can be published to a `caffeine-serve`
+/// registry as-is (`POST /v1/models/{id}` ignores the extra
+/// human-readable `front` rows).
 pub fn front_to_json(models: &[caffeine_core::Model], var_names: &[String]) -> serde_json::Value {
     let opts = caffeine_core::expr::FormatOptions::with_names(var_names.to_vec());
     let rows: Vec<serde_json::Value> = models
@@ -345,7 +503,12 @@ pub fn front_to_json(models: &[caffeine_core::Model], var_names: &[String]) -> s
             })
         })
         .collect();
-    serde_json::json!({ "variables": var_names, "front": rows })
+    serde_json::json!({
+        "schema_version": caffeine_core::MODEL_SCHEMA_VERSION,
+        "var_names": var_names,
+        "models": models,
+        "front": rows,
+    })
 }
 
 /// Summary statistics of a front, for the CLI's closing line.
@@ -557,6 +720,12 @@ mod tests {
         .with_metrics(0.05, 11.25);
         let json = front_to_json(std::slice::from_ref(&m), &["x".to_string()]);
         assert_eq!(json["front"][0]["n_bases"], 1);
+        // The --out document is a publishable artifact superset.
+        let artifact =
+            caffeine_core::ModelArtifact::from_json(&serde_json::to_string(&json).unwrap())
+                .unwrap();
+        assert_eq!(artifact.models, vec![m.clone()]);
+        assert_eq!(artifact.var_names, vec!["x".to_string()]);
         assert!(json["front"][0]["expression"]
             .as_str()
             .unwrap()
@@ -564,6 +733,82 @@ mod tests {
         let summary = front_summary(&[m]);
         assert_eq!(summary["models"], 1.0);
         assert!((summary["best_train_error"] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_options_parse_and_default() {
+        let args: Vec<String> = [
+            "--addr",
+            "0.0.0.0:9000",
+            "--model-dir",
+            "mdl",
+            "--threads",
+            "8",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = ServeOptions::parse(&args).unwrap();
+        assert_eq!(o.addr, "0.0.0.0:9000");
+        assert_eq!(o.model_dir.as_deref(), Some("mdl"));
+        assert_eq!(o.threads, 8);
+        assert_eq!(ServeOptions::parse(&[]).unwrap(), ServeOptions::default());
+        assert!(ServeOptions::parse(&["--wat".to_string()]).is_err());
+        assert!(ServeOptions::parse(&["--addr".to_string()]).is_err());
+    }
+
+    #[test]
+    fn predict_options_require_the_essentials() {
+        let args: Vec<String> = [
+            "--remote",
+            "http://127.0.0.1:7878",
+            "--model",
+            "ota-gain",
+            "--points",
+            "p.csv",
+            "--version",
+            "abc",
+            "--out",
+            "preds.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = PredictOptions::parse(&args).unwrap();
+        assert_eq!(o.model, "ota-gain");
+        assert_eq!(o.version.as_deref(), Some("abc"));
+        let err = PredictOptions::parse(&["--model".to_string(), "m".to_string()]).unwrap_err();
+        assert!(err.contains("--remote"), "{err}");
+        let err = PredictOptions::parse(&[
+            "--remote".to_string(),
+            "http://x".to_string(),
+            "--model".to_string(),
+            "m".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--points"), "{err}");
+    }
+
+    #[test]
+    fn points_csv_parses_all_columns_as_inputs() {
+        let (names, rows) = parse_points_csv("w,l\n1,2\n3,4\n").unwrap();
+        assert_eq!(names, vec!["w".to_string(), "l".to_string()]);
+        assert_eq!(rows, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!(parse_points_csv("").is_err());
+        assert!(parse_points_csv("w,l\n").is_err());
+        assert!(parse_points_csv("w,l\n1\n").unwrap_err().contains("line 2"));
+        assert!(parse_points_csv("w\nx\n")
+            .unwrap_err()
+            .contains("not a number"));
+    }
+
+    #[test]
+    fn front_json_declares_its_schema_version() {
+        let json = front_to_json(&[], &[]);
+        assert_eq!(
+            json["schema_version"],
+            u64::from(caffeine_core::MODEL_SCHEMA_VERSION)
+        );
     }
 
     #[test]

@@ -10,5 +10,6 @@ pub use caffeine_doe as doe;
 pub use caffeine_linalg as linalg;
 pub use caffeine_posynomial as posynomial;
 pub use caffeine_runtime as runtime;
+pub use caffeine_serve as serve;
 
 pub mod cli;
