@@ -4,10 +4,12 @@
 //!
 //! Boots an in-process server on an ephemeral port, publishes an
 //! OTA-shaped model artifact, then hammers `POST /predict` from
-//! concurrent client threads over real sockets (connect + request +
-//! response per call, mirroring the one-request-per-connection server
-//! policy). A job lifecycle (submit → poll → fetch → verify bit-identical
-//! predictions) runs once as a correctness gate.
+//! concurrent client threads over real sockets — once with a fresh
+//! connection per request (the pre-keep-alive behavior, kept as the
+//! baseline) and once reusing one kept-alive connection per client, so
+//! the snapshot records what connection reuse buys. A job lifecycle
+//! (submit → poll → fetch → verify bit-identical predictions) runs once
+//! as a correctness gate.
 //!
 //! ```text
 //! cargo run --release -p caffeine-bench --bin servebench            # full
@@ -32,6 +34,8 @@ const T: Duration = Duration::from_secs(30);
 
 #[derive(Debug, Serialize)]
 struct PredictStats {
+    /// `true` when each client reused one kept-alive connection.
+    keep_alive: bool,
     /// Concurrent client threads.
     concurrency: usize,
     /// Requests per thread.
@@ -74,8 +78,10 @@ struct Snapshot {
     smoke: bool,
     /// Server worker threads.
     server_workers: usize,
-    /// Predict load-generation results.
-    predict: PredictStats,
+    /// Predict load with a fresh connection per request (baseline).
+    predict_fresh: PredictStats,
+    /// Predict load over kept-alive connections (one per client).
+    predict_keepalive: PredictStats,
     /// One job lifecycle, as a correctness gate.
     job: JobStats,
 }
@@ -108,6 +114,7 @@ fn run_predict_load(
     concurrency: usize,
     requests_per_client: usize,
     batch_size: usize,
+    keep_alive: bool,
 ) -> PredictStats {
     // One shared batch body: `batch_size` points over 13 variables.
     let points: Vec<Vec<f64>> = (0..batch_size)
@@ -125,11 +132,22 @@ fn run_predict_load(
         let addr = addr.to_string();
         let body = Arc::clone(&body);
         threads.push(std::thread::spawn(move || {
+            let mut conn = client::Connection::new(&addr, T);
             let mut latencies_us = Vec::with_capacity(requests_per_client);
             for _ in 0..requests_per_client {
                 let t0 = Instant::now();
-                let r = client::request(&addr, "POST", "/v1/models/bench/predict", Some(&body), T)
-                    .expect("predict request");
+                let r = if keep_alive {
+                    // The client will not auto-retry a POST whose response
+                    // never arrived (it could double-execute); predict is
+                    // pure, so the bench may retry by hand when the server
+                    // rotated the connection underneath us.
+                    conn.request("POST", "/v1/models/bench/predict", Some(&body))
+                        .or_else(|_| conn.request("POST", "/v1/models/bench/predict", Some(&body)))
+                        .expect("predict request")
+                } else {
+                    client::request(&addr, "POST", "/v1/models/bench/predict", Some(&body), T)
+                        .expect("predict request")
+                };
                 assert_eq!(r.status, 200, "{}", r.text());
                 latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
             }
@@ -145,6 +163,7 @@ fn run_predict_load(
 
     let requests = latencies.len();
     PredictStats {
+        keep_alive,
         concurrency,
         requests_per_client,
         batch_size,
@@ -270,7 +289,10 @@ fn main() {
 
     let (concurrency, requests_per_client, batch_size) =
         if smoke { (1, 5, 16) } else { (8, 200, 64) };
-    let predict = run_predict_load(&addr, concurrency, requests_per_client, batch_size);
+    let predict_fresh =
+        run_predict_load(&addr, concurrency, requests_per_client, batch_size, false);
+    let predict_keepalive =
+        run_predict_load(&addr, concurrency, requests_per_client, batch_size, true);
     let job = run_job_lifecycle(&addr, if smoke { 4 } else { 20 });
 
     handle.shutdown();
@@ -280,14 +302,15 @@ fn main() {
         .expect("serve loop");
 
     let snapshot = Snapshot {
-        schema: 1,
+        schema: 2,
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
         smoke,
         server_workers,
-        predict,
+        predict_fresh,
+        predict_keepalive,
         job,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
@@ -297,17 +320,20 @@ fn main() {
         "servebench → {out_path}{}",
         if smoke { " (smoke)" } else { "" }
     );
-    println!(
-        "  predict: {} reqs ({} clients × {} × batch {}): p50 {:.0}µs  p99 {:.0}µs  {:.0} req/s  {:.0} points/s",
-        snapshot.predict.requests,
-        snapshot.predict.concurrency,
-        snapshot.predict.requests_per_client,
-        snapshot.predict.batch_size,
-        snapshot.predict.p50_us,
-        snapshot.predict.p99_us,
-        snapshot.predict.req_per_sec,
-        snapshot.predict.points_per_sec,
-    );
+    for stats in [&snapshot.predict_fresh, &snapshot.predict_keepalive] {
+        println!(
+            "  predict ({}): {} reqs ({} clients × {} × batch {}): p50 {:.0}µs  p99 {:.0}µs  {:.0} req/s  {:.0} points/s",
+            if stats.keep_alive { "keep-alive" } else { "fresh conns" },
+            stats.requests,
+            stats.concurrency,
+            stats.requests_per_client,
+            stats.batch_size,
+            stats.p50_us,
+            stats.p99_us,
+            stats.req_per_sec,
+            stats.points_per_sec,
+        );
+    }
     println!(
         "  job: {} generations → {} models in {:.2}s (bit-identical: {})",
         snapshot.job.generations,

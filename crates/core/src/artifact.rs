@@ -23,6 +23,36 @@ use crate::model::Model;
 pub const MODEL_SCHEMA_VERSION: u32 = 1;
 
 /// A fitted Pareto front packaged for persistence and serving.
+///
+/// # Example
+///
+/// ```
+/// use caffeine_core::expr::{BasisFunction, VarCombo, WeightConfig};
+/// use caffeine_core::{Model, ModelArtifact};
+///
+/// // y = 1 + 2·w − 3/l over the variables (w, l).
+/// let model = Model::new(
+///     vec![
+///         BasisFunction::from_vc(VarCombo::single(2, 0, 1)),
+///         BasisFunction::from_vc(VarCombo::single(2, 1, -1)),
+///     ],
+///     vec![1.0, 2.0, -3.0],
+///     WeightConfig::default(),
+/// )
+/// .with_metrics(0.01, 9.0);
+/// let artifact = ModelArtifact::new(vec!["w".into(), "l".into()], vec![model])?;
+///
+/// // Batched prediction through the compiled-tape path.
+/// let ys = artifact.predict(None, &[vec![1.0, 1.0], vec![2.0, 0.5]])?;
+/// assert_eq!(ys, vec![0.0, -1.0]);
+///
+/// // The JSON form round-trips, and the content hash (the serving
+/// // registry's version id) pins the exact bytes.
+/// let reread = ModelArtifact::from_json(&artifact.to_json())?;
+/// assert_eq!(reread, artifact);
+/// assert_eq!(reread.content_hash(), artifact.content_hash());
+/// # Ok::<(), caffeine_core::CaffeineError>(())
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelArtifact {
     /// Format version (see [`MODEL_SCHEMA_VERSION`]).

@@ -141,6 +141,24 @@ impl Hash for Instr {
 /// [`Tape::compile_into`]) and evaluate it with [`TapeVm::eval`]. Equality
 /// is bitwise — equal tapes are guaranteed to evaluate to bitwise-equal
 /// columns, which the basis-column cache relies on.
+///
+/// # Example
+///
+/// ```
+/// use caffeine_core::expr::{BasisFunction, EvalContext, Tape, TapeVm, VarCombo, WeightConfig};
+/// use caffeine_doe::PointMatrix;
+///
+/// // The monomial basis 1/x0, compiled once, evaluated column-at-a-time
+/// // over a whole batch of points.
+/// let basis = BasisFunction::from_vc(VarCombo::single(1, 0, -1));
+/// let tape = Tape::compile(&basis, &EvalContext::new(WeightConfig::default()));
+///
+/// let batch = PointMatrix::from_rows(&[vec![2.0], vec![4.0], vec![8.0]]);
+/// let mut vm = TapeVm::new();
+/// let column = vm.eval(&tape, &batch);
+/// assert_eq!(column, vec![0.5, 0.25, 0.125]);
+/// # vm.recycle(column); // return the buffer to the VM's pool
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Tape {
     instrs: Vec<Instr>,

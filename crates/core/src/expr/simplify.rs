@@ -20,7 +20,7 @@ use super::tree::{BasisFunction, OpApplication, WeightedSum};
 
 /// Removes weighted-sum terms whose weight decodes to exactly `0.0`,
 /// recursively, everywhere in the basis function. Exactly
-/// value-preserving: [`super::eval`] skips zero-weight terms already.
+/// value-preserving: [`eval_basis`] skips zero-weight terms already.
 pub fn prune_zero_terms(basis: &mut BasisFunction, ctx: &EvalContext) {
     for f in &mut basis.factors {
         prune_op(f, ctx);

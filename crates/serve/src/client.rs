@@ -1,7 +1,13 @@
 //! A minimal blocking HTTP/1.1 client for the daemon's own API — used by
-//! `caffeine-cli predict --remote`, the load generator, and the
-//! integration tests. One request per connection, matching the server's
-//! `Connection: close` policy.
+//! `caffeine-cli predict --remote` / `jobs`, the load generator, and the
+//! integration tests.
+//!
+//! [`Connection`] keeps one TCP connection open and reuses it across
+//! requests (matching the server's keep-alive support), framing each
+//! response by its `Content-Length` and reconnecting transparently when
+//! the server closes (request cap reached, idle timeout, old server).
+//! [`request`] is the one-shot convenience built on top. [`sse_tail`]
+//! consumes a chunked `text/event-stream` response event by event.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -51,7 +57,117 @@ pub fn parse_base_url(url: &str) -> Result<(String, String), String> {
     Ok((authority.to_string(), path.to_string()))
 }
 
-/// Performs one request against `addr` (a `host:port` string).
+/// A persistent keep-alive connection to one server.
+#[derive(Debug)]
+pub struct Connection {
+    addr: String,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+}
+
+impl Connection {
+    /// Creates a (lazily connected) connection to `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>, timeout: Duration) -> Connection {
+        Connection {
+            addr: addr.into(),
+            timeout,
+            stream: None,
+        }
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Performs one request, reusing the open connection when possible.
+    ///
+    /// When the reused socket turns out to be dead (the server closed it
+    /// after its request cap or idle timeout), the request is retried
+    /// once on a fresh connection — but only when that is provably safe:
+    /// always when the *write* failed (the server never saw the full
+    /// request), and on a dead read only for idempotent methods. A `POST`
+    /// whose response never arrived is NOT retried, since the server may
+    /// have executed it (e.g. spawned a job) before dying.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and unparseable responses as `io::Error`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        let reused = self.stream.is_some();
+        match self.try_request(method, path, body) {
+            Ok(r) => Ok(r),
+            Err((phase, e)) if reused && is_stale_socket(&e) && phase.retry_safe(method) => {
+                self.stream = None;
+                self.try_request(method, path, body).map_err(|(_, e)| e)
+            }
+            Err((_, e)) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<ClientResponse, (RequestPhase, std::io::Error)> {
+        let addr = self.addr.clone();
+        let writing = |e| (RequestPhase::Write, e);
+        let stream = self.connect().map_err(writing)?;
+        let body = body.unwrap_or(&[]);
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .map_err(writing)?;
+        stream.write_all(body).map_err(writing)?;
+        stream.flush().map_err(writing)?;
+        let (response, server_keeps) =
+            read_framed_response(stream).map_err(|e| (RequestPhase::Read, e))?;
+        if !server_keeps {
+            self.stream = None;
+        }
+        Ok(response)
+    }
+}
+
+/// Where a request attempt failed, which decides whether a retry on a
+/// fresh connection can double-execute it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RequestPhase {
+    /// The request never fully left: retrying is safe for any method.
+    Write,
+    /// The request was sent but the response never arrived: retrying is
+    /// only safe for idempotent methods.
+    Read,
+}
+
+impl RequestPhase {
+    fn retry_safe(self, method: &str) -> bool {
+        match self {
+            RequestPhase::Write => true,
+            RequestPhase::Read => matches!(method, "GET" | "HEAD" | "PUT" | "DELETE"),
+        }
+    }
+}
+
+/// Performs one request against `addr` (a `host:port` string) on a fresh
+/// connection that is closed afterwards.
 ///
 /// # Errors
 ///
@@ -77,17 +193,43 @@ pub fn request(
     stream.write_all(body)?;
     stream.flush()?;
 
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    parse_response(&raw)
+    let (response, _keeps) = read_framed_response(&mut stream)?;
+    Ok(response)
 }
 
-fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
-    let invalid = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or_else(|| invalid("response has no header terminator"))?;
+fn invalid(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// `true` for failures that mean the reused socket was already dead —
+/// the only failures [`Connection::request`] may transparently retry.
+fn is_stale_socket(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+    ) || (e.kind() == std::io::ErrorKind::InvalidData
+        && e.to_string().contains("before a full response head"))
+}
+
+/// Reads `head bytes + \r\n\r\n` from the stream, then exactly the
+/// declared `Content-Length` body bytes. Returns the response and whether
+/// the server will keep the connection open.
+fn read_framed_response(stream: &mut TcpStream) -> std::io::Result<(ClientResponse, bool)> {
+    let mut raw = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(i) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(invalid("connection closed before a full response head"));
+        }
+        raw.extend_from_slice(&chunk[..n]);
+    };
     let head =
         std::str::from_utf8(&raw[..head_end]).map_err(|_| invalid("response head is not UTF-8"))?;
     let status_line = head.lines().next().unwrap_or("");
@@ -95,10 +237,211 @@ fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| invalid(&format!("bad status line `{status_line}`")))?;
-    Ok(ClientResponse {
-        status,
-        body: raw[head_end + 4..].to_vec(),
+        .ok_or_else(|| invalid(format!("bad status line `{status_line}`")))?;
+    let header = |name: &str| -> Option<String> {
+        head.lines().skip(1).find_map(|l| {
+            let (n, v) = l.split_once(':')?;
+            n.trim()
+                .eq_ignore_ascii_case(name)
+                .then(|| v.trim().to_string())
+        })
+    };
+    let keeps = header("connection").is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
+    let content_length: usize = match header("content-length") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| invalid(format!("bad content-length `{v}`")))?,
+        // Streamed (chunked) or legacy close-delimited bodies: read to
+        // EOF. Such responses never keep the connection alive.
+        None => {
+            let mut body = raw[head_end + 4..].to_vec();
+            stream.read_to_end(&mut body)?;
+            return Ok((ClientResponse { status, body }, false));
+        }
+    };
+    let mut body = raw[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-response-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok((ClientResponse { status, body }, keeps))
+}
+
+/// One server-sent event as parsed off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SseEvent {
+    /// The `event:` field (empty when the frame had none).
+    pub event: String,
+    /// The concatenated `data:` lines.
+    pub data: String,
+}
+
+/// Opens `GET path` against `addr` and feeds each SSE frame to
+/// `on_event` until the callback returns `false`, the stream ends, or
+/// `timeout` passes without a byte. Comment frames (`: keep-alive`) are
+/// skipped.
+///
+/// # Errors
+///
+/// Transport failures as `io::Error`; a non-200 status as
+/// `io::ErrorKind::InvalidData` with the status in the message.
+pub fn sse_tail(
+    addr: &str,
+    path: &str,
+    timeout: Duration,
+    mut on_event: impl FnMut(&SseEvent) -> bool,
+) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nhost: {addr}\r\naccept: text/event-stream\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+
+    // Head: read until the blank line, check status + chunked encoding.
+    let mut raw = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        if raw.len() > 16 * 1024 {
+            return Err(invalid("response head too large"));
+        }
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(invalid("connection closed before a full response head"));
+        }
+        raw.push(byte[0]);
+    }
+    let head = std::str::from_utf8(&raw).map_err(|_| invalid("response head is not UTF-8"))?;
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("bad status line"))?;
+    if status != 200 {
+        // Drain what the server sent so the error can carry the body.
+        let mut body = Vec::new();
+        let _ = stream.read_to_end(&mut body);
+        return Err(invalid(format!(
+            "server answered {status}: {}",
+            String::from_utf8_lossy(&body)
+        )));
+    }
+    let chunked = head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked");
+
+    let mut dechunked: Vec<u8> = Vec::new();
+    let mut consumed = 0usize; // bytes of `dechunked` already parsed into frames
+    let mut chunk_buf = Vec::new();
+    loop {
+        let ended = if chunked {
+            read_one_chunk(&mut stream, &mut chunk_buf)?
+        } else {
+            let mut buf = [0u8; 1024];
+            let n = stream.read(&mut buf)?;
+            chunk_buf.clear();
+            chunk_buf.extend_from_slice(&buf[..n]);
+            n == 0
+        };
+        dechunked.extend_from_slice(&chunk_buf);
+        // Frames are terminated by a blank line.
+        while let Some(end) = find_frame_end(&dechunked[consumed..]) {
+            let frame = &dechunked[consumed..consumed + end];
+            consumed += end;
+            if let Some(event) = parse_sse_frame(frame) {
+                if !on_event(&event) {
+                    return Ok(());
+                }
+            }
+        }
+        if consumed > 0 {
+            dechunked.drain(..consumed);
+            consumed = 0;
+        }
+        if ended {
+            return Ok(());
+        }
+    }
+}
+
+/// Reads one `<hex len>\r\n<bytes>\r\n` chunk into `out` (cleared first).
+/// Returns `true` on the terminating zero-length chunk.
+fn read_one_chunk(stream: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<bool> {
+    out.clear();
+    let mut size_line = Vec::new();
+    let mut byte = [0u8; 1];
+    while !size_line.ends_with(b"\r\n") {
+        if size_line.len() > 32 {
+            return Err(invalid("chunk size line too long"));
+        }
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-chunk-size"));
+        }
+        size_line.push(byte[0]);
+    }
+    let size_text = std::str::from_utf8(&size_line[..size_line.len() - 2])
+        .map_err(|_| invalid("chunk size is not UTF-8"))?;
+    let size = usize::from_str_radix(size_text.trim(), 16)
+        .map_err(|_| invalid(format!("bad chunk size `{size_text}`")))?;
+    let mut remaining = size + 2; // data + trailing CRLF
+    let mut buf = [0u8; 4096];
+    while remaining > 0 {
+        let want = remaining.min(buf.len());
+        let n = stream.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-chunk"));
+        }
+        out.extend_from_slice(&buf[..n]);
+        remaining -= n;
+    }
+    out.truncate(size); // drop the trailing CRLF
+    Ok(size == 0)
+}
+
+/// Index just past the `\n\n` (or `\r\n\r\n`) frame terminator.
+fn find_frame_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i + 1 < buf.len() {
+        if buf[i] == b'\n' && buf[i + 1] == b'\n' {
+            return Some(i + 2);
+        }
+        if i + 3 < buf.len() && &buf[i..i + 4] == b"\r\n\r\n" {
+            return Some(i + 4);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses one SSE frame; `None` for comment-only frames.
+fn parse_sse_frame(frame: &[u8]) -> Option<SseEvent> {
+    let text = String::from_utf8_lossy(frame);
+    let mut event = String::new();
+    let mut data_lines: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if let Some(v) = line.strip_prefix("event:") {
+            event = v.trim().to_string();
+        } else if let Some(v) = line.strip_prefix("data:") {
+            data_lines.push(v.trim());
+        }
+        // Lines starting with ':' are comments; ignore everything else.
+    }
+    if event.is_empty() && data_lines.is_empty() {
+        return None;
+    }
+    Some(SseEvent {
+        event,
+        data: data_lines.join("\n"),
     })
 }
 
@@ -121,10 +464,20 @@ mod tests {
     }
 
     #[test]
-    fn responses_parse() {
-        let r = parse_response(b"HTTP/1.1 404 Not Found\r\na: b\r\n\r\n{\"e\":1}").unwrap();
-        assert_eq!(r.status, 404);
-        assert_eq!(r.text(), "{\"e\":1}");
-        assert!(parse_response(b"garbage").is_err());
+    fn sse_frames_parse() {
+        let e = parse_sse_frame(b"event: progress\ndata: {\"generation\":3}\n").unwrap();
+        assert_eq!(e.event, "progress");
+        assert_eq!(e.data, "{\"generation\":3}");
+        assert!(parse_sse_frame(b": keep-alive\n").is_none());
+        let e = parse_sse_frame(b"data: a\ndata: b\n").unwrap();
+        assert_eq!(e.event, "");
+        assert_eq!(e.data, "a\nb");
+    }
+
+    #[test]
+    fn frame_ends_are_found() {
+        assert_eq!(find_frame_end(b"data: x\n\nrest"), Some(9));
+        assert_eq!(find_frame_end(b"data: x\r\n\r\nrest"), Some(11));
+        assert_eq!(find_frame_end(b"data: x\n"), None);
     }
 }

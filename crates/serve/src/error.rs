@@ -64,6 +64,15 @@ impl ApiError {
         }
     }
 
+    /// 429 — the bounded job store has no free slot.
+    pub fn too_many_jobs(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 429,
+            code: "too_many_jobs",
+            message: message.into(),
+        }
+    }
+
     /// 500 — the server failed.
     pub fn internal(message: impl Into<String>) -> ApiError {
         ApiError {

@@ -9,7 +9,7 @@ use caffeine_core::ModelArtifact;
 
 use crate::error::ApiError;
 use crate::http::{Request, Response};
-use crate::jobs::JobSpec;
+use crate::jobs::{JobEntry, JobSpec};
 use crate::router::{route, Route};
 use crate::server::Shared;
 
@@ -26,20 +26,33 @@ pub fn route_label(r: &Route) -> &'static str {
         Route::ListJobs => "jobs.list",
         Route::SubmitJob => "jobs.submit",
         Route::GetJob(_) => "jobs.get",
+        Route::JobEvents(_) => "jobs.events",
         Route::CancelJob(_) => "jobs.cancel",
         Route::Shutdown => "admin.shutdown",
     }
 }
 
-/// Resolves and executes a request. Returns the response plus the metric
+/// What a handled request turns into: almost always a buffered
+/// [`Response`], except for the SSE endpoint, which hands the connection
+/// over to a streaming writer in the server loop.
+#[derive(Debug)]
+pub enum Outcome {
+    /// A complete response, written with `Content-Length` framing.
+    Response(Response),
+    /// Stream this job's events as `text/event-stream` until it ends.
+    StreamJobEvents(Arc<JobEntry>),
+}
+
+/// Resolves and executes a request. Returns the outcome plus the metric
 /// label it should be recorded under.
-pub fn handle(shared: &Arc<Shared>, request: &Request) -> (Response, &'static str) {
+pub fn handle(shared: &Arc<Shared>, request: &Request) -> (Outcome, &'static str) {
     match route(&request.method, &request.path) {
-        Err(e) => (e.into_response(), "unrouted"),
+        Err(e) => (Outcome::Response(e.into_response()), "unrouted"),
         Ok(r) => {
             let label = route_label(&r);
-            let response = dispatch(shared, &r, request).unwrap_or_else(ApiError::into_response);
-            (response, label)
+            let outcome = dispatch(shared, &r, request)
+                .unwrap_or_else(|e| Outcome::Response(e.into_response()));
+            (outcome, label)
         }
     }
 }
@@ -47,8 +60,9 @@ pub fn handle(shared: &Arc<Shared>, request: &Request) -> (Response, &'static st
 /// Replaces non-finite floats with `null`, recursively. The vendored
 /// JSON writer emits bare `Infinity` / `NaN` tokens (a deliberate
 /// extension for checkpoint fidelity), which strict JSON clients cannot
-/// parse — API responses must stay standard.
-fn sanitize(v: serde_json::Value) -> serde_json::Value {
+/// parse — API responses (and SSE frames, see [`crate::jobs`]) must stay
+/// standard.
+pub(crate) fn sanitize(v: serde_json::Value) -> serde_json::Value {
     match v {
         serde_json::Value::Float(f) if !f.is_finite() => serde_json::Value::Null,
         serde_json::Value::Array(items) => {
@@ -74,7 +88,26 @@ fn ok_json(value: serde_json::Value) -> Response {
     json_response(200, value)
 }
 
-fn dispatch(shared: &Arc<Shared>, route: &Route, request: &Request) -> Result<Response, ApiError> {
+/// The allowed values of the jobs `?state=` filter.
+const JOB_STATES: [&str; 5] = ["running", "paused", "finished", "failed", "cancelled"];
+
+fn dispatch(shared: &Arc<Shared>, route: &Route, request: &Request) -> Result<Outcome, ApiError> {
+    if let Route::JobEvents(id) = route {
+        let entry = shared
+            .jobs
+            .get(*id)
+            .ok_or_else(|| ApiError::not_found(format!("no job {id}")))?;
+        shared.metrics.observe_sse_stream();
+        return Ok(Outcome::StreamJobEvents(entry));
+    }
+    dispatch_response(shared, route, request).map(Outcome::Response)
+}
+
+fn dispatch_response(
+    shared: &Arc<Shared>,
+    route: &Route,
+    request: &Request,
+) -> Result<Response, ApiError> {
     match route {
         Route::Health => Ok(ok_json(serde_json::json!({"status": "ok"}))),
         Route::Metrics => {
@@ -141,9 +174,20 @@ fn dispatch(shared: &Arc<Shared>, route: &Route, request: &Request) -> Result<Re
             }))
             .with_header("x-model-version", stored.version.clone()))
         }
-        Route::ListJobs => Ok(ok_json(
-            serde_json::json!({ "jobs": shared.jobs.list_json() }),
-        )),
+        Route::ListJobs => {
+            let state = request.query_param("state");
+            if let Some(s) = state {
+                if !JOB_STATES.contains(&s) {
+                    return Err(ApiError::bad_request(format!(
+                        "unknown state `{s}` (use one of {})",
+                        JOB_STATES.join(", ")
+                    )));
+                }
+            }
+            Ok(ok_json(
+                serde_json::json!({ "jobs": shared.jobs.list_json(state) }),
+            ))
+        }
         Route::SubmitJob => {
             let spec = JobSpec::from_json(&request.body)?;
             let entry = shared.jobs.submit(
@@ -162,12 +206,33 @@ fn dispatch(shared: &Arc<Shared>, route: &Route, request: &Request) -> Result<Re
             Ok(ok_json(entry.status_json()))
         }
         Route::CancelJob(id) => {
-            if !shared.jobs.cancel(*id) {
-                return Err(ApiError::not_found(format!("no job {id}")));
+            let entry = shared
+                .jobs
+                .get(*id)
+                .ok_or_else(|| ApiError::not_found(format!("no job {id}")))?;
+            // A job that already reached a terminal state has nothing to
+            // cancel: answer 409 carrying that state, so clients can tell
+            // "cancel accepted" from "too late" (a live cancel is 202).
+            let outcome = entry.outcome();
+            if outcome.is_terminal() {
+                let state = entry.state();
+                return Ok(json_response(
+                    409,
+                    serde_json::json!({
+                        "error": {
+                            "code": "already_terminal",
+                            "message": format!(
+                                "job {id} already reached terminal state `{state}`"
+                            ),
+                        },
+                        "state": state,
+                    }),
+                ));
             }
-            let entry = shared.jobs.get(*id).expect("job exists after cancel");
+            entry.controller.cancel();
             Ok(json_response(202, entry.status_json()))
         }
+        Route::JobEvents(_) => unreachable!("handled by dispatch"),
         Route::Shutdown => {
             shared.begin_shutdown();
             Ok(json_response(202, serde_json::json!({"draining": true})))
@@ -216,6 +281,111 @@ fn parse_predict_body(body: &[u8]) -> Result<PredictBody, ApiError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::{ServeConfig, Server};
+
+    fn bare_request(method: &str, path: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            query: None,
+            headers: Vec::new(),
+            body: Vec::new(),
+            http10: false,
+        }
+    }
+
+    /// Satellite regression test: `DELETE` on a job that already reached
+    /// a terminal state answers 409 with that state in the body, while a
+    /// live cancel stays 202 — the two used to be indistinguishable.
+    #[test]
+    fn delete_on_a_terminal_job_is_409_with_the_state() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let shared = std::sync::Arc::clone(server.handle().shared());
+        let points: Vec<Vec<f64>> = (1..=16).map(|i| vec![f64::from(i) * 0.5]).collect();
+        let targets: Vec<f64> = points.iter().map(|p| 3.0 / p[0]).collect();
+        let spec = JobSpec::from_json(
+            serde_json::to_string(&serde_json::json!({
+                "var_names": ["x0"],
+                "points": points,
+                "targets": targets,
+                "population": 16,
+                "generations": 2,
+                "grammar": "rational",
+            }))
+            .unwrap()
+            .as_bytes(),
+        )
+        .unwrap();
+        let entry = shared
+            .jobs
+            .submit(
+                spec,
+                std::sync::Arc::clone(&shared.registry),
+                std::sync::Arc::clone(&shared.metrics),
+            )
+            .unwrap();
+        entry.join(); // terminal (finished)
+
+        let request = bare_request("DELETE", &format!("/v1/jobs/{}", entry.id));
+        let (outcome, label) = handle(&shared, &request);
+        assert_eq!(label, "jobs.cancel");
+        let Outcome::Response(response) = outcome else {
+            panic!("cancel must not stream");
+        };
+        assert_eq!(response.status, 409);
+        let body: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(body["state"].as_str(), Some("finished"));
+        assert_eq!(body["error"]["code"].as_str(), Some("already_terminal"));
+        assert!(
+            body["error"]["message"]
+                .as_str()
+                .unwrap()
+                .contains("terminal state `finished`"),
+            "{body:?}"
+        );
+
+        // A live job still cancels with 202.
+        let long = JobSpec::from_json(
+            serde_json::to_string(&serde_json::json!({
+                "var_names": ["x0"],
+                "points": points,
+                "targets": targets,
+                "population": 16,
+                "generations": 1_000_000,
+                "grammar": "rational",
+            }))
+            .unwrap()
+            .as_bytes(),
+        )
+        .unwrap();
+        let live = shared
+            .jobs
+            .submit(
+                long,
+                std::sync::Arc::clone(&shared.registry),
+                std::sync::Arc::clone(&shared.metrics),
+            )
+            .unwrap();
+        let request = bare_request("DELETE", &format!("/v1/jobs/{}", live.id));
+        let (outcome, _) = handle(&shared, &request);
+        let Outcome::Response(response) = outcome else {
+            panic!("cancel must not stream");
+        };
+        assert_eq!(response.status, 202);
+        live.join();
+
+        // Unknown job: still a plain 404.
+        let (outcome, _) = handle(&shared, &bare_request("DELETE", "/v1/jobs/424242"));
+        let Outcome::Response(response) = outcome else {
+            panic!("cancel must not stream");
+        };
+        assert_eq!(response.status, 404);
+    }
 
     #[test]
     fn responses_never_carry_nonstandard_json_tokens() {

@@ -37,6 +37,9 @@ pub enum HttpError {
     /// The peer closed before sending anything (not an error worth a
     /// response).
     Closed,
+    /// A read timed out before the first byte of a request arrived: a
+    /// kept-alive connection went idle (close quietly, no response).
+    Idle,
 }
 
 impl HttpError {
@@ -47,7 +50,7 @@ impl HttpError {
             HttpError::Malformed(_) => Some(400),
             HttpError::TooLarge(_) => Some(413),
             HttpError::Unsupported(_) => Some(501),
-            HttpError::Io(_) | HttpError::Closed => None,
+            HttpError::Io(_) | HttpError::Closed | HttpError::Idle => None,
         }
     }
 
@@ -59,6 +62,7 @@ impl HttpError {
             }
             HttpError::Io(e) => e.to_string(),
             HttpError::Closed => "connection closed".into(),
+            HttpError::Idle => "connection idle".into(),
         }
     }
 }
@@ -76,6 +80,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// `true` when the request line said `HTTP/1.0` (affects the
+    /// keep-alive default).
+    pub http10: bool,
 }
 
 impl Request {
@@ -94,6 +101,24 @@ impl Request {
             let (k, v) = pair.split_once('=')?;
             (k == key).then_some(v)
         })
+    }
+
+    /// Whether the client is willing to reuse the connection: HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close` is sent; HTTP/1.0
+    /// defaults to close unless `Connection: keep-alive` is sent. The
+    /// `Connection` header is treated as a comma-separated token list.
+    pub fn wants_keep_alive(&self) -> bool {
+        let token = |t: &str| {
+            self.header("connection")
+                .is_some_and(|v| v.split(',').any(|tok| tok.trim().eq_ignore_ascii_case(t)))
+        };
+        if token("close") {
+            false
+        } else if self.http10 {
+            token("keep-alive")
+        } else {
+            true
+        }
     }
 }
 
@@ -187,6 +212,7 @@ pub fn parse_head(buf: &[u8]) -> Result<Option<Head>, HttpError> {
         query,
         headers,
         body: Vec::new(),
+        http10: version == "HTTP/1.0",
     };
     if let Some(te) = request.header("transfer-encoding") {
         return Err(HttpError::Unsupported(format!(
@@ -219,27 +245,66 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 /// transport failures (including read timeouts), and [`HttpError::Closed`]
 /// when the peer disconnects before sending a byte.
 pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
-    let mut buf = Vec::with_capacity(1024);
+    let mut carry = Vec::with_capacity(1024);
+    let request = read_request_buffered(&mut carry, stream, max_body)?;
+    if !carry.is_empty() {
+        // One-shot semantics: this connection serves a single request, so
+        // trailing bytes can only be body overrun.
+        return Err(HttpError::Malformed(
+            "more body bytes than Content-Length declares".into(),
+        ));
+    }
+    Ok(request)
+}
+
+/// [`read_request`] for a kept-alive connection: consumes exactly one
+/// request from `carry` + the stream, leaving any bytes beyond it — a
+/// pipelined successor request — in `carry` for the next call.
+///
+/// # Errors
+///
+/// As [`read_request`], plus [`HttpError::Idle`] when a read times out
+/// before the first byte of a request arrives.
+pub fn read_request_buffered(
+    carry: &mut Vec<u8>,
+    stream: &mut impl Read,
+    max_body: usize,
+) -> Result<Request, HttpError> {
     let mut chunk = [0u8; 4096];
     let head = loop {
-        if let Some(head) = parse_head(&buf)? {
+        if let Some(head) = parse_head(carry)? {
             break head;
         }
-        if buf.len() >= MAX_HEAD_BYTES {
+        if carry.len() >= MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge(format!(
                 "request head exceeds {MAX_HEAD_BYTES} bytes"
             )));
         }
-        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            // A timeout before any byte arrived is not a protocol error:
+            // the peer is just holding an idle (kept-alive) connection
+            // open. Mid-request timeouts stay transport errors.
+            Err(e)
+                if carry.is_empty()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Err(HttpError::Idle)
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
         if n == 0 {
-            if buf.is_empty() {
+            if carry.is_empty() {
                 return Err(HttpError::Closed);
             }
             return Err(HttpError::Malformed(
                 "connection closed mid-request-head".into(),
             ));
         }
-        buf.extend_from_slice(&chunk[..n]);
+        carry.extend_from_slice(&chunk[..n]);
     };
 
     if head.content_length > max_body {
@@ -248,24 +313,19 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
             head.content_length
         )));
     }
-    let mut request = head.request;
-    let mut body: Vec<u8> = buf[head.consumed..].to_vec();
-    if body.len() > head.content_length {
-        return Err(HttpError::Malformed(
-            "more body bytes than Content-Length declares".into(),
-        ));
-    }
-    while body.len() < head.content_length {
-        let want = (head.content_length - body.len()).min(chunk.len());
-        let n = stream.read(&mut chunk[..want]).map_err(HttpError::Io)?;
+    let total = head.consumed + head.content_length;
+    while carry.len() < total {
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
         if n == 0 {
             return Err(HttpError::Malformed(
                 "connection closed mid-request-body".into(),
             ));
         }
-        body.extend_from_slice(&chunk[..n]);
+        carry.extend_from_slice(&chunk[..n]);
     }
-    request.body = body;
+    let mut request = head.request;
+    request.body = carry[head.consumed..total].to_vec();
+    carry.drain(..total);
     Ok(request)
 }
 
@@ -323,6 +383,7 @@ impl Response {
             409 => "Conflict",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             501 => "Not Implemented",
             503 => "Service Unavailable",
@@ -330,22 +391,89 @@ impl Response {
         }
     }
 
-    /// Writes the response (HTTP/1.1, `Connection: close`).
+    /// Writes the response (HTTP/1.1). `keep_alive` decides the
+    /// `Connection` header: the caller negotiated it from the request
+    /// version, the client's `Connection` header, and its own
+    /// per-connection request budget.
     ///
     /// # Errors
     ///
     /// Propagates transport failures.
-    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
         write!(w, "content-type: {}\r\n", self.content_type)?;
         write!(w, "content-length: {}\r\n", self.body.len())?;
-        write!(w, "connection: close\r\n")?;
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        write!(w, "connection: {connection}\r\n")?;
         for (name, value) in &self.headers {
             write!(w, "{name}: {value}\r\n")?;
         }
         write!(w, "\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
+    }
+
+    /// Writes only the head of this response with
+    /// `Transfer-Encoding: chunked` instead of a `Content-Length`, for
+    /// endpoints that stream an open-ended body (the SSE job-event
+    /// stream). The body field is ignored; stream chunks through the
+    /// returned [`ChunkedWriter`]. Streamed responses always close the
+    /// connection when done.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn write_chunked_head<'a, W: Write>(
+        &self,
+        w: &'a mut W,
+    ) -> std::io::Result<ChunkedWriter<'a, W>> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
+        write!(w, "content-type: {}\r\n", self.content_type)?;
+        write!(w, "transfer-encoding: chunked\r\n")?;
+        write!(w, "connection: close\r\n")?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.flush()?;
+        Ok(ChunkedWriter { w })
+    }
+}
+
+/// Writes an HTTP/1.1 chunked body: each [`ChunkedWriter::chunk`] call
+/// becomes one `<hex len>\r\n<bytes>\r\n` frame, and
+/// [`ChunkedWriter::finish`] sends the terminating zero-length chunk.
+#[derive(Debug)]
+pub struct ChunkedWriter<'a, W: Write> {
+    w: &'a mut W,
+}
+
+impl<W: Write> ChunkedWriter<'_, W> {
+    /// Sends one non-empty chunk and flushes it (streaming consumers must
+    /// see frames as they happen, not when a buffer fills). Empty input is
+    /// skipped — a zero-length chunk would terminate the body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (the peer hanging up mid-stream).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Terminates the chunked body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
     }
 }
 
@@ -425,6 +553,30 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_are_consumed_one_at_a_time() {
+        // Two requests sent back to back (the second with a body), as a
+        // pipelining client would: each read must consume exactly one,
+        // leaving the rest in the carry buffer.
+        let wire = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut cursor = Cursor::new(wire.as_bytes().to_vec());
+        let mut carry = Vec::new();
+        let first = read_request_buffered(&mut carry, &mut cursor, 1024).unwrap();
+        assert_eq!(first.path, "/a");
+        assert!(first.body.is_empty());
+        let second = read_request_buffered(&mut carry, &mut cursor, 1024).unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.body, b"hi");
+        assert!(carry.is_empty());
+        assert!(matches!(
+            read_request_buffered(&mut carry, &mut cursor, 1024).unwrap_err(),
+            HttpError::Closed
+        ));
+        // The one-shot reader still rejects trailing bytes outright.
+        let e = parse_str(wire).unwrap_err();
+        assert_eq!(e.status(), Some(400));
+    }
+
+    #[test]
     fn bad_content_length_is_malformed() {
         let e = parse_str("POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n").unwrap_err();
         assert_eq!(e.status(), Some(400));
@@ -437,7 +589,7 @@ mod tests {
         let mut out = Vec::new();
         Response::json(200, "{\"ok\":true}".into())
             .with_header("x-model-version", "abc")
-            .write_to(&mut out)
+            .write_to(&mut out, false)
             .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
@@ -445,5 +597,88 @@ mod tests {
         assert!(text.contains("connection: close"), "{text}");
         assert!(text.contains("x-model-version: abc"), "{text}");
         assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn responses_can_advertise_keep_alive() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".into())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: keep-alive"), "{text}");
+        assert!(!text.contains("connection: close"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_version_and_connection_header() {
+        let r = parse_str("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(r.wants_keep_alive(), "1.1 defaults to keep-alive");
+        let r = parse_str("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive());
+        let r = parse_str("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive(), "header value is case-insensitive");
+        let r = parse_str("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive(), "1.0 defaults to close");
+        let r = parse_str("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.wants_keep_alive());
+        let r = parse_str("GET / HTTP/1.1\r\nConnection: x, close\r\n\r\n").unwrap();
+        assert!(!r.wants_keep_alive(), "token list is scanned");
+    }
+
+    #[test]
+    fn idle_timeout_before_first_byte_is_distinguished() {
+        struct TimesOut;
+        impl Read for TimesOut {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            }
+        }
+        let e = read_request(&mut TimesOut, 1024).unwrap_err();
+        assert!(matches!(e, HttpError::Idle), "{e:?}");
+        assert_eq!(e.status(), None);
+
+        // Same timeout after bytes arrived: a stalled request, a real
+        // transport error (the caller answers 408).
+        struct PartialThenTimeout(bool);
+        impl Read for PartialThenTimeout {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0 {
+                    return Err(std::io::Error::from(std::io::ErrorKind::TimedOut));
+                }
+                self.0 = true;
+                buf[..4].copy_from_slice(b"GET ");
+                Ok(4)
+            }
+        }
+        let e = read_request(&mut PartialThenTimeout(false), 1024).unwrap_err();
+        assert!(matches!(e, HttpError::Io(_)), "{e:?}");
+    }
+
+    #[test]
+    fn chunked_bodies_frame_and_terminate() {
+        let mut out = Vec::new();
+        let mut sse = Response {
+            status: 200,
+            headers: Vec::new(),
+            body: Vec::new(),
+            content_type: "text/event-stream",
+        };
+        sse.headers
+            .push(("cache-control".into(), "no-cache".into()));
+        let mut w = sse.write_chunked_head(&mut out).unwrap();
+        w.chunk(b"event: progress\ndata: {}\n\n").unwrap();
+        w.chunk(b"").unwrap(); // skipped, must not terminate the stream
+        w.chunk(b"xy").unwrap();
+        w.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("transfer-encoding: chunked"), "{text}");
+        assert!(text.contains("cache-control: no-cache"), "{text}");
+        assert!(!text.contains("content-length"), "{text}");
+        let (_, body) = text.split_once("\r\n\r\n").unwrap();
+        assert_eq!(
+            body,
+            "1a\r\nevent: progress\ndata: {}\n\n\r\n2\r\nxy\r\n0\r\n\r\n"
+        );
     }
 }

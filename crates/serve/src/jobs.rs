@@ -1,10 +1,31 @@
 //! Async modeling jobs: GP runs on background threads with live
-//! progress, cancellation, checkpointing, and automatic publication of
-//! the finished front into the registry.
+//! progress, SSE event fan-out, cancellation, checkpointing, automatic
+//! publication of the finished front into the registry, a bounded job
+//! store with terminal-state eviction, and re-adoption of interrupted
+//! jobs from their checkpoints on daemon restart.
+//!
+//! # Lifecycle
+//!
+//! `submit` validates the spec, persists it next to the job's checkpoint
+//! file (when a model dir is configured), and spawns two threads: the
+//! *driver* ([`caffeine_runtime::RunController::drive`] stepping the
+//! island runner one generation at a time) and the *pump*, which fans the
+//! runner's [`caffeine_runtime::RunEvent`]s out to SSE subscribers via
+//! the job's [`EventHub`]. On a terminal outcome the driver publishes
+//! (or not), removes the job's on-disk spec + checkpoint, and the pump
+//! emits a final `done` event and closes the hub.
+//!
+//! A daemon killed mid-job leaves `job-{id}.spec.json` and
+//! `job-{id}.ckpt` behind; [`JobManager::adopt_orphans`] re-creates those
+//! jobs on the next start — resuming from the checkpoint when one
+//! exists, restarting from generation zero when the crash predated the
+//! first checkpoint write, and surfacing an unusable spec/checkpoint as
+//! a failed job rather than silently discarding it.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -12,12 +33,19 @@ use serde::Deserialize;
 
 use caffeine_core::{CaffeineSettings, GrammarConfig, ModelArtifact};
 use caffeine_doe::Dataset;
-use caffeine_runtime::{IslandRunner, RunController, RuntimeConfig};
+use caffeine_runtime::{IslandRunner, RunController, RunEvent, RuntimeCheckpoint, RuntimeConfig};
 
 use crate::error::ApiError;
+use crate::handlers::sanitize;
 use crate::metrics::Metrics;
 use crate::registry::ModelRegistry;
 use crate::router::valid_model_id;
+
+/// Events kept for late SSE subscribers, per job.
+const HUB_HISTORY_CAP: usize = 512;
+/// Per-subscriber buffered events; a consumer lagging this far behind is
+/// dropped rather than allowed to block the run.
+const SUBSCRIBER_BUFFER: usize = 256;
 
 /// A parsed job submission.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +73,9 @@ pub struct JobSpec {
     pub threads: usize,
     /// Grammar: `"full"` (default) or `"rational"`.
     pub grammar: String,
+    /// Checkpoint cadence in generations (default 10; 0 = only on
+    /// completion). Only effective when the daemon has a model dir.
+    pub checkpoint_every: usize,
 }
 
 /// Extracts an optional field, treating `null` and absence identically.
@@ -86,6 +117,7 @@ impl JobSpec {
             islands: opt_field(&v, "islands")?.unwrap_or(1),
             threads: opt_field(&v, "threads")?.unwrap_or(1),
             grammar: opt_field(&v, "grammar")?.unwrap_or_else(|| "full".to_string()),
+            checkpoint_every: opt_field(&v, "checkpoint_every")?.unwrap_or(10),
         };
         if let Some(name) = &spec.name {
             if !valid_model_id(name) {
@@ -106,6 +138,26 @@ impl JobSpec {
         Ok(spec)
     }
 
+    /// Renders the spec back to the submission JSON shape — the inverse
+    /// of [`JobSpec::from_json`], used to persist the spec next to the
+    /// job's checkpoint so a restarted daemon can rebuild the dataset.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "name": self.name,
+            "var_names": self.var_names,
+            "points": self.points,
+            "targets": self.targets,
+            "population": self.population,
+            "generations": self.generations,
+            "max_bases": self.max_bases,
+            "seed": self.seed,
+            "islands": self.islands,
+            "threads": self.threads,
+            "grammar": self.grammar,
+            "checkpoint_every": self.checkpoint_every,
+        })
+    }
+
     fn settings(&self) -> CaffeineSettings {
         let mut s = CaffeineSettings::paper();
         s.population = self.population;
@@ -120,6 +172,24 @@ impl JobSpec {
         match self.grammar.as_str() {
             "rational" => GrammarConfig::rational(n_vars),
             _ => GrammarConfig::paper_full(n_vars),
+        }
+    }
+
+    fn dataset(&self) -> Result<Dataset, ApiError> {
+        Dataset::new(
+            self.var_names.clone(),
+            self.points.clone(),
+            self.targets.clone(),
+        )
+        .map_err(ApiError::from)
+    }
+
+    fn runtime_config(&self) -> RuntimeConfig {
+        RuntimeConfig {
+            threads: self.threads.max(1),
+            islands: self.islands.max(1),
+            checkpoint_every: self.checkpoint_every,
+            ..RuntimeConfig::default()
         }
     }
 }
@@ -147,6 +217,113 @@ pub enum JobOutcome {
     Cancelled,
 }
 
+impl JobOutcome {
+    /// `true` once the job can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobOutcome::Pending)
+    }
+}
+
+/// One rendered server-sent event: the `event:` name plus its JSON
+/// `data:` payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobEventFrame {
+    /// SSE `event:` field.
+    pub event: &'static str,
+    /// SSE `data:` field (one line of JSON).
+    pub data: String,
+}
+
+impl JobEventFrame {
+    /// The wire form of the frame (terminated by the SSE blank line).
+    pub fn render(&self) -> String {
+        format!("event: {}\ndata: {}\n\n", self.event, self.data)
+    }
+}
+
+fn frame(event: &'static str, data: serde_json::Value) -> JobEventFrame {
+    JobEventFrame {
+        event,
+        data: serde_json::to_string(&sanitize(data)).expect("frame data renders"),
+    }
+}
+
+fn frame_for(event: &RunEvent) -> JobEventFrame {
+    match event {
+        RunEvent::Progress { island, stats } => frame(
+            "progress",
+            serde_json::json!({
+                "island": island,
+                "generation": stats.generation,
+                "best_error": stats.best_error,
+                "min_complexity": stats.min_complexity,
+                "front_size": stats.front_size,
+                "feasible": stats.feasible,
+            }),
+        ),
+        RunEvent::Migrated { generation } => {
+            frame("migrated", serde_json::json!({ "generation": generation }))
+        }
+        RunEvent::Checkpointed { generation } => frame(
+            "checkpoint",
+            serde_json::json!({ "generation": generation }),
+        ),
+        RunEvent::Finished { generation } => {
+            frame("finished", serde_json::json!({ "generation": generation }))
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct HubState {
+    history: VecDeque<JobEventFrame>,
+    subscribers: Vec<SyncSender<JobEventFrame>>,
+    closed: bool,
+}
+
+/// Broadcast of one job's event stream: every frame goes to the bounded
+/// per-job history (for subscribers that arrive late) and to every live
+/// subscriber. Closing the hub drops the senders, which ends every
+/// subscriber's stream.
+#[derive(Debug, Default)]
+pub struct EventHub {
+    state: Mutex<HubState>,
+}
+
+impl EventHub {
+    fn publish(&self, f: JobEventFrame) {
+        let mut st = self.state.lock().expect("hub lock");
+        if st.history.len() >= HUB_HISTORY_CAP {
+            st.history.pop_front();
+        }
+        st.history.push_back(f.clone());
+        // A subscriber whose buffer is full is lagging hopelessly (or
+        // gone); drop it rather than block the run or buffer unboundedly.
+        st.subscribers.retain(|tx| tx.try_send(f.clone()).is_ok());
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("hub lock");
+        st.closed = true;
+        st.subscribers.clear(); // drops the senders; receivers see EOF
+    }
+
+    /// Joins the stream: everything already emitted (bounded history)
+    /// plus, while the job is live, a receiver for what comes next
+    /// (`None` once the stream has closed).
+    pub fn subscribe(&self) -> (Vec<JobEventFrame>, Option<Receiver<JobEventFrame>>) {
+        let mut st = self.state.lock().expect("hub lock");
+        let history: Vec<JobEventFrame> = st.history.iter().cloned().collect();
+        if st.closed {
+            (history, None)
+        } else {
+            let (tx, rx) = std::sync::mpsc::sync_channel(SUBSCRIBER_BUFFER);
+            st.subscribers.push(tx);
+            (history, Some(rx))
+        }
+    }
+}
+
 /// One job's shared record.
 #[derive(Debug)]
 pub struct JobEntry {
@@ -156,12 +333,33 @@ pub struct JobEntry {
     pub model_id: String,
     /// Pause/cancel/progress handle.
     pub controller: RunController,
+    /// `true` when the job was re-adopted from a checkpoint at startup.
+    pub resumed: bool,
+    /// The job's SSE event stream.
+    pub events: Arc<EventHub>,
     /// Terminal outcome (behind a lock; `Pending` until the thread ends).
     outcome: Mutex<JobOutcome>,
     handle: Mutex<Option<JoinHandle<()>>>,
+    /// Set by the draining shutdown: the cancellation is an interruption,
+    /// not a user decision, so the spec + checkpoint must survive for the
+    /// next daemon to re-adopt.
+    preserve_files: std::sync::atomic::AtomicBool,
 }
 
 impl JobEntry {
+    fn new(id: u64, model_id: String, resumed: bool) -> Arc<JobEntry> {
+        Arc::new(JobEntry {
+            id,
+            model_id,
+            controller: RunController::new(),
+            resumed,
+            events: Arc::new(EventHub::default()),
+            outcome: Mutex::new(JobOutcome::Pending),
+            handle: Mutex::new(None),
+            preserve_files: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
     /// The current outcome.
     pub fn outcome(&self) -> JobOutcome {
         self.outcome.lock().expect("job lock").clone()
@@ -174,17 +372,44 @@ impl JobEntry {
         }
     }
 
-    /// Renders the job as its status JSON value.
+    /// The state label for one consistent (outcome, phase) observation.
+    fn state_label(outcome: &JobOutcome, phase: caffeine_runtime::RunPhase) -> &'static str {
+        match outcome {
+            JobOutcome::Pending => match phase {
+                // The engine finished its generations but the harvest /
+                // registry publication has not landed yet: clients that
+                // see `finished` must be able to read `result`, so hold
+                // the label back until the outcome is recorded.
+                caffeine_runtime::RunPhase::Finished => "running",
+                phase => phase.as_str(),
+            },
+            JobOutcome::Published { .. } => "finished",
+            JobOutcome::Failed { .. } => "failed",
+            JobOutcome::Cancelled => "cancelled",
+        }
+    }
+
+    /// The lowercase state label: controller phase until a terminal
+    /// outcome overrides it.
+    pub fn state(&self) -> &'static str {
+        JobEntry::state_label(&self.outcome(), self.controller.snapshot().phase)
+    }
+
+    /// Renders the job as its status JSON value. Outcome and progress are
+    /// observed once each, so the document's `state`, `progress`, and
+    /// `result`/`error` fields are mutually consistent.
     pub fn status_json(&self) -> serde_json::Value {
         let snapshot = self.controller.snapshot();
-        let mut phase = snapshot.phase.as_str();
+        let outcome = self.outcome();
         let mut body = serde_json::json!({
             "id": self.id,
             "model_id": self.model_id.clone(),
+            "resumed": self.resumed,
+            "state": JobEntry::state_label(&outcome, snapshot.phase),
             "progress": serde_json::to_value(&snapshot),
         });
-        match self.outcome() {
-            JobOutcome::Pending => {}
+        match outcome {
+            JobOutcome::Pending | JobOutcome::Cancelled => {}
             JobOutcome::Published {
                 model_id,
                 version,
@@ -202,38 +427,75 @@ impl JobEntry {
                 }
             }
             JobOutcome::Failed { message } => {
-                phase = "failed";
                 if let serde_json::Value::Object(m) = &mut body {
                     m.insert("error".into(), serde_json::Value::String(message));
                 }
             }
-            JobOutcome::Cancelled => phase = "cancelled",
-        }
-        if let serde_json::Value::Object(m) = &mut body {
-            m.insert("state".into(), serde_json::Value::String(phase.into()));
         }
         body
     }
 }
 
-/// Spawns, tracks, and cancels jobs.
+/// Why one orphaned job could not be re-adopted: `Unusable` files are
+/// surfaced as a failed record and cleaned up; `Transient` failures (a
+/// full store, a thread that would not spawn) keep the files on disk so
+/// a later restart can still resume the job.
+#[derive(Debug)]
+enum AdoptFailure {
+    Unusable(String),
+    Transient(String),
+}
+
+/// Removes a checkpoint together with its atomic-write staging file —
+/// a daemon killed mid-write leaves `<name>.partial` behind.
+fn remove_checkpoint_files(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let mut staged = path.as_os_str().to_owned();
+    staged.push(".partial");
+    let _ = std::fs::remove_file(PathBuf::from(staged));
+}
+
+/// Spawns, tracks, evicts, and re-adopts jobs. The store is bounded:
+/// submissions beyond `max_jobs` first evict terminal records
+/// (oldest-first) and are rejected with 429 when every slot holds a live
+/// job.
 #[derive(Debug)]
 pub struct JobManager {
     jobs: Mutex<BTreeMap<u64, Arc<JobEntry>>>,
     next_id: AtomicU64,
-    /// Directory for job checkpoints, when persistence is configured.
+    /// Directory for job checkpoints + specs, when persistence is
+    /// configured.
     checkpoint_dir: Option<PathBuf>,
+    max_jobs: usize,
 }
 
 impl JobManager {
-    /// A manager writing job checkpoints under `checkpoint_dir` (when
-    /// given).
-    pub fn new(checkpoint_dir: Option<PathBuf>) -> JobManager {
+    /// A manager persisting job state under `checkpoint_dir` (when
+    /// given), holding at most `max_jobs` records (clamped to ≥ 1).
+    pub fn new(checkpoint_dir: Option<PathBuf>, max_jobs: usize) -> JobManager {
         JobManager {
             jobs: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
             checkpoint_dir,
+            max_jobs: max_jobs.max(1),
         }
+    }
+
+    /// The configured record capacity.
+    pub fn capacity(&self) -> usize {
+        self.max_jobs
+    }
+
+    fn spec_path(&self, id: u64) -> Option<PathBuf> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|d| d.join(format!("job-{id}.spec.json")))
+    }
+
+    fn ckpt_path(&self, id: u64) -> Option<PathBuf> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|d| d.join(format!("job-{id}.ckpt")))
     }
 
     /// Validates a spec, spawns its background run, and returns the job
@@ -241,47 +503,134 @@ impl JobManager {
     ///
     /// # Errors
     ///
-    /// 400/422 for specs the engine's own validation rejects.
+    /// 400/422 for specs the engine's own validation rejects, 429 when
+    /// the job store is full of live jobs.
     pub fn submit(
         &self,
         spec: JobSpec,
         registry: Arc<ModelRegistry>,
         metrics: Arc<Metrics>,
     ) -> Result<Arc<JobEntry>, ApiError> {
-        let data = Dataset::new(
-            spec.var_names.clone(),
-            spec.points.clone(),
-            spec.targets.clone(),
-        )
-        .map_err(ApiError::from)?;
+        let data = spec.dataset()?;
         let settings = spec.settings();
         let grammar = spec.grammar_config(data.n_vars());
-        let config = RuntimeConfig {
-            threads: spec.threads.max(1),
-            islands: spec.islands.max(1),
-            ..RuntimeConfig::default()
-        };
-        let mut runner =
-            IslandRunner::new(settings, grammar, config, &data).map_err(ApiError::from)?;
+        let mut runner = IslandRunner::new(settings, grammar, spec.runtime_config(), &data)
+            .map_err(ApiError::from)?;
 
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let model_id = spec.name.clone().unwrap_or_else(|| format!("job-{id}"));
         if let Some(dir) = &self.checkpoint_dir {
             if std::fs::create_dir_all(dir).is_ok() {
+                if let Some(path) = self.spec_path(id) {
+                    let _ = std::fs::write(
+                        path,
+                        serde_json::to_string(&spec.to_json()).expect("spec renders"),
+                    );
+                }
                 runner.set_checkpoint_path(dir.join(format!("job-{id}.ckpt")));
             }
         }
 
-        let controller = RunController::new();
-        let entry = Arc::new(JobEntry {
-            id,
-            model_id: model_id.clone(),
-            controller: controller.clone(),
-            outcome: Mutex::new(JobOutcome::Pending),
-            handle: Mutex::new(None),
-        });
-        let var_names = spec.var_names.clone();
-        let thread_entry = Arc::clone(&entry);
+        let entry = JobEntry::new(id, model_id, false);
+        self.insert_bounded(Arc::clone(&entry), &metrics)
+            .inspect_err(|_| self.remove_job_files(id))?;
+        self.spawn_run(
+            &entry,
+            runner,
+            data,
+            spec.var_names.clone(),
+            registry,
+            metrics,
+        )
+        .inspect_err(|_| {
+            self.jobs.lock().expect("jobs lock").remove(&id);
+            self.remove_job_files(id);
+        })?;
+        Ok(entry)
+    }
+
+    /// Inserts a record, evicting terminal ones (oldest-first) to stay
+    /// within capacity.
+    ///
+    /// # Errors
+    ///
+    /// 429 when every slot holds a live (non-terminal) job.
+    fn insert_bounded(&self, entry: Arc<JobEntry>, metrics: &Metrics) -> Result<(), ApiError> {
+        let mut jobs = self.jobs.lock().expect("jobs lock");
+        if jobs.len() >= self.max_jobs {
+            let terminal: Vec<u64> = jobs
+                .iter()
+                .filter(|(_, e)| e.outcome().is_terminal())
+                .map(|(&id, _)| id)
+                .collect();
+            for id in terminal {
+                if jobs.len() < self.max_jobs {
+                    break;
+                }
+                if let Some(evicted) = jobs.remove(&id) {
+                    evicted.join(); // the thread has finished; reap it
+                    metrics.observe_job_evicted();
+                }
+            }
+        }
+        if jobs.len() >= self.max_jobs {
+            return Err(ApiError::too_many_jobs(format!(
+                "job store is full ({} live jobs, capacity {}); retry when one finishes or \
+                 cancel one",
+                jobs.len(),
+                self.max_jobs
+            )));
+        }
+        jobs.insert(entry.id, entry);
+        Ok(())
+    }
+
+    fn remove_job_files(&self, id: u64) {
+        if let Some(path) = self.spec_path(id) {
+            let _ = std::fs::remove_file(path);
+        }
+        if let Some(path) = self.ckpt_path(id) {
+            remove_checkpoint_files(&path);
+        }
+    }
+
+    /// Spawns the driver thread (stepping the runner to completion and
+    /// publishing the result) and the pump thread (fanning run events out
+    /// to the job's SSE hub).
+    fn spawn_run(
+        &self,
+        entry: &Arc<JobEntry>,
+        mut runner: IslandRunner,
+        data: Dataset,
+        var_names: Vec<String>,
+        registry: Arc<ModelRegistry>,
+        metrics: Arc<Metrics>,
+    ) -> Result<(), ApiError> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        runner.set_events(tx);
+        let pump_entry = Arc::clone(entry);
+        std::thread::Builder::new()
+            .name(format!("serve-job-{}-events", entry.id))
+            .spawn(move || {
+                for event in rx {
+                    pump_entry.events.publish(frame_for(&event));
+                }
+                // The channel closes when the runner is dropped, which the
+                // driver does only after recording the terminal outcome —
+                // so this final frame always carries the final state.
+                pump_entry
+                    .events
+                    .publish(frame("done", pump_entry.status_json()));
+                pump_entry.events.close();
+            })
+            .map_err(|e| ApiError::internal(format!("cannot spawn event pump: {e}")))?;
+
+        let id = entry.id;
+        let model_id = entry.model_id.clone();
+        let controller = entry.controller.clone();
+        let thread_entry = Arc::clone(entry);
+        let spec_path = self.spec_path(id);
+        let ckpt_path = self.ckpt_path(id);
         let handle = std::thread::Builder::new()
             .name(format!("serve-job-{id}"))
             .spawn(move || {
@@ -305,16 +654,139 @@ impl JobManager {
                         message: e.to_string(),
                     },
                 };
+                let interrupted = matches!(outcome, JobOutcome::Cancelled)
+                    && thread_entry
+                        .preserve_files
+                        .load(std::sync::atomic::Ordering::Relaxed);
                 *thread_entry.outcome.lock().expect("job lock") = outcome;
+                // Terminal: the spec/checkpoint pair has served its
+                // purpose (publication happened or was deliberately
+                // abandoned); removing it keeps restarts from re-running
+                // finished work. The one exception is a drain-cancelled
+                // job — that interruption must stay re-adoptable.
+                if !interrupted {
+                    if let Some(path) = spec_path {
+                        let _ = std::fs::remove_file(path);
+                    }
+                    if let Some(path) = ckpt_path {
+                        remove_checkpoint_files(&path);
+                    }
+                }
                 metrics.observe_job_finished();
+                drop(runner); // last event sender: ends the pump thread
             })
             .map_err(|e| ApiError::internal(format!("cannot spawn job thread: {e}")))?;
         *entry.handle.lock().expect("job lock") = Some(handle);
-        self.jobs
-            .lock()
-            .expect("jobs lock")
-            .insert(id, Arc::clone(&entry));
-        Ok(entry)
+        Ok(())
+    }
+
+    /// Scans the checkpoint directory for jobs a previous daemon left
+    /// behind and re-adopts them: resumed from their checkpoint when one
+    /// exists, restarted from scratch when the interruption predated the
+    /// first checkpoint write, surfaced as failed records when the files
+    /// are unusable. Returns the number of records brought back (visible
+    /// in `GET /v1/jobs`); jobs that do not fit the bounded store keep
+    /// their files on disk and are skipped, not destroyed.
+    pub fn adopt_orphans(&self, registry: &Arc<ModelRegistry>, metrics: &Arc<Metrics>) -> usize {
+        let Some(dir) = self.checkpoint_dir.clone() else {
+            return 0;
+        };
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            return 0;
+        };
+        let mut ids: Vec<u64> = entries
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().into_string().ok()?;
+                name.strip_prefix("job-")?
+                    .strip_suffix(".spec.json")?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        ids.sort_unstable();
+        let mut adopted = 0;
+        for id in ids {
+            self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+            match self.adopt_one(id, registry, metrics) {
+                Ok(()) => {
+                    adopted += 1;
+                    metrics.observe_job_adopted();
+                }
+                Err(AdoptFailure::Transient(message)) => {
+                    // No room (or no thread) for this job right now; its
+                    // files are intact, so a later restart — or a larger
+                    // --max-jobs — can still resume it.
+                    eprintln!("caffeine-serve: job {id} not re-adopted ({message}); its spec/checkpoint were kept");
+                }
+                Err(AdoptFailure::Unusable(message)) => {
+                    // Surface the wreckage as a failed job instead of
+                    // orphaning (or endlessly re-surfacing) it. The files
+                    // are only removed once the record is actually
+                    // visible; a full store keeps them for the next try.
+                    let entry = JobEntry::new(id, format!("job-{id}"), true);
+                    *entry.outcome.lock().expect("job lock") = JobOutcome::Failed { message };
+                    entry.events.publish(frame("done", entry.status_json()));
+                    entry.events.close();
+                    if self.insert_bounded(entry, metrics).is_ok() {
+                        self.remove_job_files(id);
+                        adopted += 1;
+                    }
+                }
+            }
+        }
+        adopted
+    }
+
+    fn adopt_one(
+        &self,
+        id: u64,
+        registry: &Arc<ModelRegistry>,
+        metrics: &Arc<Metrics>,
+    ) -> Result<(), AdoptFailure> {
+        let unusable = AdoptFailure::Unusable;
+        let spec_path = self.spec_path(id).expect("adopting implies a dir");
+        let ckpt_path = self.ckpt_path(id).expect("adopting implies a dir");
+        let body = std::fs::read(&spec_path)
+            .map_err(|e| unusable(format!("cannot read {}: {e}", spec_path.display())))?;
+        let spec = JobSpec::from_json(&body).map_err(|e| {
+            unusable(format!(
+                "spec {} unusable: {}",
+                spec_path.display(),
+                e.message
+            ))
+        })?;
+        let data = spec.dataset().map_err(|e| unusable(e.message))?;
+        let mut runner = if ckpt_path.exists() {
+            let checkpoint =
+                RuntimeCheckpoint::load(&ckpt_path).map_err(|e| unusable(e.to_string()))?;
+            IslandRunner::from_checkpoint(checkpoint, &data).map_err(|e| unusable(e.to_string()))?
+        } else {
+            // Interrupted before the first checkpoint write: restart.
+            IslandRunner::new(
+                spec.settings(),
+                spec.grammar_config(data.n_vars()),
+                spec.runtime_config(),
+                &data,
+            )
+            .map_err(|e| unusable(e.to_string()))?
+        };
+        runner.set_checkpoint_path(&ckpt_path);
+        let model_id = spec.name.clone().unwrap_or_else(|| format!("job-{id}"));
+        let entry = JobEntry::new(id, model_id, true);
+        self.insert_bounded(Arc::clone(&entry), metrics)
+            .map_err(|e| AdoptFailure::Transient(e.message))?;
+        self.spawn_run(
+            &entry,
+            runner,
+            data,
+            spec.var_names.clone(),
+            Arc::clone(registry),
+            Arc::clone(metrics),
+        )
+        .map_err(|e| {
+            self.jobs.lock().expect("jobs lock").remove(&id);
+            AdoptFailure::Transient(e.message)
+        })
     }
 
     /// Looks up a job.
@@ -333,8 +805,10 @@ impl JobManager {
         }
     }
 
-    /// Status JSON for every job, in id order.
-    pub fn list_json(&self) -> Vec<serde_json::Value> {
+    /// Status JSON for every job in id order, optionally filtered to one
+    /// state label (`running`, `paused`, `finished`, `failed`,
+    /// `cancelled`).
+    pub fn list_json(&self, state: Option<&str>) -> Vec<serde_json::Value> {
         let jobs: Vec<Arc<JobEntry>> = self
             .jobs
             .lock()
@@ -342,10 +816,18 @@ impl JobManager {
             .values()
             .cloned()
             .collect();
-        jobs.iter().map(|j| j.status_json()).collect()
+        jobs.iter()
+            .map(|j| j.status_json())
+            // Filter on the rendered document so the state tested is the
+            // state returned (a second observation could differ).
+            .filter(|doc| state.is_none_or(|s| doc["state"].as_str() == Some(s)))
+            .collect()
     }
 
     /// Cancels every job and joins their threads (graceful shutdown).
+    /// Unlike a client's `DELETE`, draining is an interruption: each
+    /// cancelled job keeps its on-disk spec + checkpoint so the next
+    /// daemon on this model dir re-adopts and finishes it.
     pub fn drain(&self) {
         let jobs: Vec<Arc<JobEntry>> = self
             .jobs
@@ -355,6 +837,8 @@ impl JobManager {
             .cloned()
             .collect();
         for job in &jobs {
+            job.preserve_files
+                .store(true, std::sync::atomic::Ordering::Relaxed);
             job.controller.cancel();
         }
         for job in &jobs {
@@ -386,12 +870,21 @@ mod tests {
         serde_json::to_string(v).unwrap().into_bytes()
     }
 
+    fn manager() -> (JobManager, Arc<ModelRegistry>, Arc<Metrics>) {
+        (
+            JobManager::new(None, 64),
+            Arc::new(ModelRegistry::in_memory()),
+            Arc::new(Metrics::new()),
+        )
+    }
+
     #[test]
     fn spec_parses_with_defaults_and_rejects_garbage() {
         let spec = JobSpec::from_json(&body(&tiny_spec())).unwrap();
         assert_eq!(spec.population, 16);
         assert_eq!(spec.seed, 0);
         assert_eq!(spec.islands, 1);
+        assert_eq!(spec.checkpoint_every, 10);
         assert!(JobSpec::from_json(b"not json").is_err());
         assert!(JobSpec::from_json(b"{}").is_err());
         let mut missing_targets = tiny_spec();
@@ -411,10 +904,24 @@ mod tests {
     }
 
     #[test]
+    fn spec_round_trips_through_its_persisted_form() {
+        let spec = JobSpec::from_json(&body(&tiny_spec())).unwrap();
+        let persisted = serde_json::to_string(&spec.to_json()).unwrap();
+        let reread = JobSpec::from_json(persisted.as_bytes()).unwrap();
+        assert_eq!(spec, reread);
+        // Anonymous jobs round-trip the absent name too.
+        let mut anon = tiny_spec();
+        if let serde_json::Value::Object(m) = &mut anon {
+            m.remove("name");
+        }
+        let spec = JobSpec::from_json(&body(&anon)).unwrap();
+        let persisted = serde_json::to_string(&spec.to_json()).unwrap();
+        assert_eq!(spec, JobSpec::from_json(persisted.as_bytes()).unwrap());
+    }
+
+    #[test]
     fn job_runs_to_publication() {
-        let manager = JobManager::new(None);
-        let registry = Arc::new(ModelRegistry::in_memory());
-        let metrics = Arc::new(Metrics::new());
+        let (manager, registry, metrics) = manager();
         let spec = JobSpec::from_json(&body(&tiny_spec())).unwrap();
         let entry = manager
             .submit(spec, Arc::clone(&registry), Arc::clone(&metrics))
@@ -431,14 +938,13 @@ mod tests {
         }
         let status = entry.status_json();
         assert_eq!(status["state"], "finished");
+        assert_eq!(status["resumed"], false);
         assert!(status["result"]["n_models"].as_u64().unwrap() > 0);
     }
 
     #[test]
     fn mismatched_shapes_are_rejected_up_front() {
-        let manager = JobManager::new(None);
-        let registry = Arc::new(ModelRegistry::in_memory());
-        let metrics = Arc::new(Metrics::new());
+        let (manager, registry, metrics) = manager();
         let mut bad = tiny_spec();
         if let serde_json::Value::Object(m) = &mut bad {
             m.insert("targets".into(), serde_json::json!([1.0, 2.0]));
@@ -450,9 +956,7 @@ mod tests {
 
     #[test]
     fn cancellation_is_observable() {
-        let manager = JobManager::new(None);
-        let registry = Arc::new(ModelRegistry::in_memory());
-        let metrics = Arc::new(Metrics::new());
+        let (manager, registry, metrics) = manager();
         let mut long = tiny_spec();
         if let serde_json::Value::Object(m) = &mut long {
             m.insert("generations".into(), serde_json::json!(100_000));
@@ -464,5 +968,313 @@ mod tests {
         assert_eq!(entry.outcome(), JobOutcome::Cancelled);
         assert_eq!(entry.status_json()["state"], "cancelled");
         assert!(!manager.cancel(9999));
+    }
+
+    #[test]
+    fn event_hub_replays_history_and_closes() {
+        let hub = EventHub::default();
+        hub.publish(frame("progress", serde_json::json!({"generation": 1})));
+        hub.publish(frame("progress", serde_json::json!({"generation": 2})));
+        let (history, live) = hub.subscribe();
+        assert_eq!(history.len(), 2);
+        assert!(live.is_some());
+        let rx = live.unwrap();
+        hub.publish(frame("done", serde_json::json!({})));
+        assert_eq!(rx.recv().unwrap().event, "done");
+        hub.close();
+        assert!(rx.recv().is_err(), "closed hub ends the stream");
+        let (history, live) = hub.subscribe();
+        assert_eq!(history.len(), 3);
+        assert!(live.is_none(), "closed hub yields history only");
+    }
+
+    #[test]
+    fn event_hub_history_is_bounded() {
+        let hub = EventHub::default();
+        for i in 0..(HUB_HISTORY_CAP + 10) {
+            hub.publish(frame("progress", serde_json::json!({ "generation": i })));
+        }
+        let (history, _) = hub.subscribe();
+        assert_eq!(history.len(), HUB_HISTORY_CAP);
+        assert!(
+            history[0].data.contains("\"generation\":10"),
+            "{}",
+            history[0].data
+        );
+    }
+
+    #[test]
+    fn finished_jobs_emit_a_done_event_and_close_their_stream() {
+        let (manager, registry, metrics) = manager();
+        let spec = JobSpec::from_json(&body(&tiny_spec())).unwrap();
+        let entry = manager.submit(spec, registry, metrics).unwrap();
+        entry.join();
+        // The pump publishes `done` after the driver exits; wait for it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let history = loop {
+            let (history, live) = entry.events.subscribe();
+            if live.is_none() {
+                break history;
+            }
+            assert!(std::time::Instant::now() < deadline, "hub never closed");
+            std::thread::yield_now();
+        };
+        let done = history.last().expect("at least the done event");
+        assert_eq!(done.event, "done");
+        assert!(
+            done.data.contains("\"state\":\"finished\""),
+            "{}",
+            done.data
+        );
+        assert!(
+            history.iter().any(|f| f.event == "progress"),
+            "expected at least one progress frame: {history:?}"
+        );
+        let rendered = done.render();
+        assert!(rendered.starts_with("event: done\ndata: {"), "{rendered}");
+        assert!(rendered.ends_with("\n\n"), "{rendered:?}");
+    }
+
+    #[test]
+    fn full_store_evicts_terminal_jobs_then_answers_429() {
+        let manager = JobManager::new(None, 2);
+        let registry = Arc::new(ModelRegistry::in_memory());
+        let metrics = Arc::new(Metrics::new());
+        let submit = |generations: u64| {
+            let mut spec = tiny_spec();
+            if let serde_json::Value::Object(m) = &mut spec {
+                m.remove("name");
+                m.insert("generations".into(), serde_json::json!(generations));
+            }
+            manager.submit(
+                JobSpec::from_json(&body(&spec)).unwrap(),
+                Arc::clone(&registry),
+                Arc::clone(&metrics),
+            )
+        };
+        // Fill the store with one quick job (runs to terminal) and one
+        // long-lived job.
+        let quick = submit(2).unwrap();
+        quick.join();
+        let long_a = submit(1_000_000).unwrap();
+        // Full, but the quick job is terminal: submitting evicts it.
+        let long_b = submit(1_000_000).unwrap();
+        assert!(manager.get(quick.id).is_none(), "terminal job evicted");
+        // Now both slots hold live jobs: 429.
+        let err = submit(1_000_000).unwrap_err();
+        assert_eq!(err.status, 429, "{}", err.message);
+        assert_eq!(err.code, "too_many_jobs");
+        // Cancelling frees a slot for the next submission.
+        manager.cancel(long_a.id);
+        long_a.join();
+        let long_c = submit(1_000_000).unwrap();
+        assert!(manager.get(long_c.id).is_some());
+        manager.drain();
+        let _ = long_b;
+    }
+
+    #[test]
+    fn list_json_filters_by_state() {
+        let (manager, registry, metrics) = manager();
+        let quick = manager
+            .submit(
+                JobSpec::from_json(&body(&tiny_spec())).unwrap(),
+                Arc::clone(&registry),
+                Arc::clone(&metrics),
+            )
+            .unwrap();
+        quick.join();
+        let mut long = tiny_spec();
+        if let serde_json::Value::Object(m) = &mut long {
+            m.remove("name");
+            m.insert("generations".into(), serde_json::json!(1_000_000));
+        }
+        let long_entry = manager
+            .submit(JobSpec::from_json(&body(&long)).unwrap(), registry, metrics)
+            .unwrap();
+        assert_eq!(manager.list_json(None).len(), 2);
+        let finished = manager.list_json(Some("finished"));
+        assert_eq!(finished.len(), 1);
+        assert_eq!(finished[0]["id"].as_u64(), Some(quick.id));
+        let running = manager.list_json(Some("running"));
+        assert_eq!(running.len(), 1);
+        assert_eq!(running[0]["id"].as_u64(), Some(long_entry.id));
+        assert!(manager.list_json(Some("failed")).is_empty());
+        manager.drain();
+    }
+
+    #[test]
+    fn orphaned_specs_are_adopted_and_run_to_publication() {
+        let dir = std::env::temp_dir().join(format!(
+            "caffeine-adopt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // A previous daemon's wreckage: a spec without a checkpoint
+        // (killed before the first write) and one corrupt spec.
+        let spec = JobSpec::from_json(&body(&tiny_spec())).unwrap();
+        std::fs::write(
+            dir.join("job-7.spec.json"),
+            serde_json::to_string(&spec.to_json()).unwrap(),
+        )
+        .unwrap();
+        std::fs::write(dir.join("job-9.spec.json"), "{ not json").unwrap();
+
+        let manager = JobManager::new(Some(dir.clone()), 8);
+        let registry = Arc::new(ModelRegistry::in_memory());
+        let metrics = Arc::new(Metrics::new());
+        let adopted = manager.adopt_orphans(&registry, &metrics);
+        assert_eq!(adopted, 2);
+
+        let good = manager.get(7).expect("job 7 adopted");
+        assert!(good.resumed);
+        good.join();
+        assert!(matches!(good.outcome(), JobOutcome::Published { .. }));
+        assert!(registry.get("tiny", None).is_some());
+
+        let bad = manager.get(9).expect("job 9 surfaced");
+        assert!(bad.resumed);
+        assert!(matches!(bad.outcome(), JobOutcome::Failed { .. }));
+        assert_eq!(bad.status_json()["state"], "failed");
+        assert!(
+            !dir.join("job-9.spec.json").exists(),
+            "unusable spec cleaned up"
+        );
+
+        // Fresh ids never collide with adopted ones.
+        let fresh = manager
+            .submit(
+                JobSpec::from_json(&body(&tiny_spec())).unwrap(),
+                registry,
+                metrics,
+            )
+            .unwrap();
+        assert!(fresh.id > 9, "id {} collides with adopted ids", fresh.id);
+        manager.drain();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drain_preserves_interrupted_jobs_but_client_cancel_does_not() {
+        let dir = std::env::temp_dir().join(format!(
+            "caffeine-drain-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let registry = Arc::new(ModelRegistry::in_memory());
+        let metrics = Arc::new(Metrics::new());
+        let mut long = tiny_spec();
+        if let serde_json::Value::Object(m) = &mut long {
+            m.insert("generations".into(), serde_json::json!(1_000_000));
+            m.insert("checkpoint_every".into(), serde_json::json!(1));
+        }
+
+        // Drain (graceful shutdown) cancels the job but must keep its
+        // spec + checkpoint so the next daemon re-adopts it.
+        let manager = JobManager::new(Some(dir.clone()), 8);
+        let entry = manager
+            .submit(
+                JobSpec::from_json(&body(&long)).unwrap(),
+                Arc::clone(&registry),
+                Arc::clone(&metrics),
+            )
+            .unwrap();
+        let id = entry.id;
+        manager.drain();
+        assert_eq!(entry.outcome(), JobOutcome::Cancelled);
+        assert!(
+            dir.join(format!("job-{id}.spec.json")).exists(),
+            "drain must preserve the spec"
+        );
+
+        // The next manager re-adopts the interrupted job...
+        let manager2 = JobManager::new(Some(dir.clone()), 8);
+        assert_eq!(manager2.adopt_orphans(&registry, &metrics), 1);
+        let readopted = manager2.get(id).expect("job re-adopted after drain");
+        assert!(readopted.resumed);
+
+        // ...and a *client* cancel of the re-adopted job is a decision,
+        // not an interruption: the files go away.
+        assert!(manager2.cancel(id));
+        readopted.join();
+        assert_eq!(readopted.outcome(), JobOutcome::Cancelled);
+        assert!(
+            !dir.join(format!("job-{id}.spec.json")).exists(),
+            "client cancel must remove the spec"
+        );
+        assert!(!dir.join(format!("job-{id}.ckpt")).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adoption_beyond_capacity_skips_jobs_but_keeps_their_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "caffeine-adopt-cap-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Three healthy orphaned specs, all long-running (stay live).
+        for id in [1u64, 2, 3] {
+            let mut spec = tiny_spec();
+            if let serde_json::Value::Object(m) = &mut spec {
+                m.remove("name");
+                m.insert("generations".into(), serde_json::json!(1_000_000));
+            }
+            std::fs::write(
+                dir.join(format!("job-{id}.spec.json")),
+                serde_json::to_string(&spec).unwrap(),
+            )
+            .unwrap();
+        }
+        let manager = JobManager::new(Some(dir.clone()), 2);
+        let registry = Arc::new(ModelRegistry::in_memory());
+        let metrics = Arc::new(Metrics::new());
+        let adopted = manager.adopt_orphans(&registry, &metrics);
+        assert_eq!(adopted, 2, "capacity 2 admits two of the three");
+        assert!(manager.get(1).is_some());
+        assert!(manager.get(2).is_some());
+        assert!(manager.get(3).is_none(), "third job skipped, not adopted");
+        assert!(
+            dir.join("job-3.spec.json").exists(),
+            "the skipped job's spec must survive for a later restart"
+        );
+        manager.drain();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn terminal_jobs_clean_up_their_disk_state() {
+        let dir = std::env::temp_dir().join(format!(
+            "caffeine-jobfiles-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let manager = JobManager::new(Some(dir.clone()), 8);
+        let registry = Arc::new(ModelRegistry::in_memory());
+        let metrics = Arc::new(Metrics::new());
+        let mut spec = tiny_spec();
+        if let serde_json::Value::Object(m) = &mut spec {
+            m.insert("checkpoint_every".into(), serde_json::json!(1));
+        }
+        let entry = manager
+            .submit(JobSpec::from_json(&body(&spec)).unwrap(), registry, metrics)
+            .unwrap();
+        entry.join();
+        assert!(matches!(entry.outcome(), JobOutcome::Published { .. }));
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.starts_with(&format!("job-{}", entry.id)))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover job files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -8,26 +8,29 @@
 //! using nothing but `std`:
 //!
 //! * **HTTP/1.1 over `std::net`** ([`http`]): a strict, bounded request
-//!   parser (never panics, answers 400/413/501 on hostile input) and a
-//!   bounded worker thread pool ([`pool`]) with 503 backpressure and
-//!   draining shutdown.
-//! * **Versioned model registry** ([`registry`]): fitted Pareto fronts
-//!   as content-hash-addressed JSON artifacts
+//!   parser (never panics, answers 400/413/501 on hostile input), a
+//!   bounded worker thread pool ([`WorkerPool`]) with 503 backpressure
+//!   and draining shutdown, keep-alive connections with a per-connection
+//!   request budget and idle timeout, and chunked transfer-encoding for
+//!   streamed responses.
+//! * **Versioned model registry** ([`ModelRegistry`]): fitted Pareto
+//!   fronts as content-hash-addressed JSON artifacts
 //!   ([`caffeine_core::ModelArtifact`]), in memory with optional disk
 //!   persistence, idempotent publication, and per-id version history.
-//! * **Batched prediction** ([`handlers`]): `POST
-//!   /v1/models/{id}/predict` deserializes row-major point batches and
-//!   evaluates them through the compiled-tape batch path with full shape
-//!   validation (empty/ragged/mismatched batches are structured 400s,
-//!   never panics).
-//! * **Async modeling jobs** ([`jobs`]): `POST /v1/jobs` launches a GP
-//!   run on a background thread through `caffeine-runtime`'s island
+//! * **Batched prediction**: `POST /v1/models/{id}/predict` deserializes
+//!   row-major point batches and evaluates them through the compiled-tape
+//!   batch path with full shape validation (empty/ragged/mismatched
+//!   batches are structured 400s, never panics).
+//! * **Async modeling jobs** ([`JobManager`]): `POST /v1/jobs` launches
+//!   a GP run on a background thread through `caffeine-runtime`'s island
 //!   engine and [`caffeine_runtime::RunController`], with live progress
-//!   snapshots, checkpointing, cancellation, and automatic publication
-//!   of the finished front into the registry.
-//! * **Observability** ([`metrics`]): request counts, per-route latency
-//!   histograms, registry cache hits, and job counters in the Prometheus
-//!   text format at `GET /metrics`.
+//!   snapshots, SSE event streaming ([`EventHub`]), checkpointing,
+//!   cancellation, automatic publication of the finished front into the
+//!   registry, a bounded store with terminal-state eviction, and
+//!   re-adoption of interrupted jobs on restart.
+//! * **Observability** ([`Metrics`]): request counts, per-route latency
+//!   histograms, registry cache hits, and job/keep-alive/SSE counters in
+//!   the Prometheus text format at `GET /metrics`.
 //!
 //! # Endpoints
 //!
@@ -39,10 +42,18 @@
 //! | `POST /v1/models/{id}`               | publish an artifact              |
 //! | `GET /v1/models/{id}[?version=h]`    | fetch an artifact                |
 //! | `POST /v1/models/{id}/predict`       | batched prediction               |
-//! | `GET /v1/jobs` · `POST /v1/jobs`     | list / submit modeling jobs      |
+//! | `GET /v1/jobs[?state=s]` · `POST /v1/jobs` | list / submit modeling jobs |
 //! | `GET /v1/jobs/{id}`                  | job status and progress          |
-//! | `DELETE /v1/jobs/{id}`               | cancel a job                     |
+//! | `GET /v1/jobs/{id}/events`           | live job events (SSE stream)     |
+//! | `DELETE /v1/jobs/{id}`               | cancel a job (409 if terminal)   |
 //! | `POST /v1/admin/shutdown`            | graceful drain                   |
+//!
+//! The full request/response contract lives in `docs/API.md` at the
+//! workspace root. Connections are kept alive between requests (bounded
+//! per-connection request budget + idle timeout); the job store is
+//! bounded with terminal-state eviction; and a daemon restarted over the
+//! same `--model-dir` re-adopts jobs that were interrupted mid-run from
+//! their checkpoints.
 //!
 //! # Quickstart
 //!
@@ -80,7 +91,7 @@ mod router;
 mod server;
 
 pub use error::ApiError;
-pub use jobs::{JobEntry, JobManager, JobOutcome, JobSpec};
+pub use jobs::{EventHub, JobEntry, JobEventFrame, JobManager, JobOutcome, JobSpec};
 pub use metrics::Metrics;
 pub use pool::WorkerPool;
 pub use registry::{ModelRegistry, StoredVersion};

@@ -60,6 +60,14 @@ pub struct Metrics {
     jobs_submitted: AtomicU64,
     /// Jobs that reached a terminal state.
     jobs_finished: AtomicU64,
+    /// Terminal job records evicted from the bounded store.
+    jobs_evicted: AtomicU64,
+    /// Interrupted jobs re-adopted from checkpoints at startup.
+    jobs_adopted: AtomicU64,
+    /// Requests served on an already-open (kept-alive) connection.
+    keepalive_reused: AtomicU64,
+    /// SSE job-event streams opened.
+    sse_streams: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -78,6 +86,10 @@ impl Metrics {
             rejected_busy: AtomicU64::new(0),
             jobs_submitted: AtomicU64::new(0),
             jobs_finished: AtomicU64::new(0),
+            jobs_evicted: AtomicU64::new(0),
+            jobs_adopted: AtomicU64::new(0),
+            keepalive_reused: AtomicU64::new(0),
+            sse_streams: AtomicU64::new(0),
         }
     }
 
@@ -110,6 +122,26 @@ impl Metrics {
     /// Records a job reaching a terminal state.
     pub fn observe_job_finished(&self) {
         self.jobs_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a terminal job record evicted from the bounded store.
+    pub fn observe_job_evicted(&self) {
+        self.jobs_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an interrupted job re-adopted from its checkpoint.
+    pub fn observe_job_adopted(&self) {
+        self.jobs_adopted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request served on a reused (kept-alive) connection.
+    pub fn observe_keepalive_reuse(&self) {
+        self.keepalive_reused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an SSE job-event stream being opened.
+    pub fn observe_sse_stream(&self) {
+        self.sse_streams.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Renders everything in the Prometheus text format. Registry cache
@@ -173,6 +205,26 @@ impl Metrics {
         out.push_str(&format!(
             "caffeine_serve_jobs_finished_total {}\n",
             self.jobs_finished.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE caffeine_serve_jobs_evicted_total counter\n");
+        out.push_str(&format!(
+            "caffeine_serve_jobs_evicted_total {}\n",
+            self.jobs_evicted.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE caffeine_serve_jobs_adopted_total counter\n");
+        out.push_str(&format!(
+            "caffeine_serve_jobs_adopted_total {}\n",
+            self.jobs_adopted.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE caffeine_serve_keepalive_reused_total counter\n");
+        out.push_str(&format!(
+            "caffeine_serve_keepalive_reused_total {}\n",
+            self.keepalive_reused.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE caffeine_serve_sse_streams_total counter\n");
+        out.push_str(&format!(
+            "caffeine_serve_sse_streams_total {}\n",
+            self.sse_streams.load(Ordering::Relaxed)
         ));
         out
     }

@@ -23,6 +23,8 @@ pub enum Route {
     SubmitJob,
     /// `GET /v1/jobs/{id}` — job status/progress.
     GetJob(u64),
+    /// `GET /v1/jobs/{id}/events` — live job events as an SSE stream.
+    JobEvents(u64),
     /// `DELETE /v1/jobs/{id}` or `POST /v1/jobs/{id}/cancel` — cancel.
     CancelJob(u64),
     /// `POST /v1/admin/shutdown` — graceful drain and exit.
@@ -101,6 +103,10 @@ pub fn route(method: &str, path: &str) -> Result<Route, ApiError> {
             "POST" => Ok(Route::CancelJob(job_id(id)?)),
             _ => not_allowed("POST"),
         },
+        ["v1", "jobs", id, "events"] => match method {
+            "GET" => Ok(Route::JobEvents(job_id(id)?)),
+            _ => not_allowed("GET"),
+        },
         ["v1", "admin", "shutdown"] => match method {
             "POST" => Ok(Route::Shutdown),
             _ => not_allowed("POST"),
@@ -142,6 +148,11 @@ mod tests {
             route("POST", "/v1/jobs/7/cancel").unwrap(),
             Route::CancelJob(7)
         );
+        assert_eq!(
+            route("GET", "/v1/jobs/7/events").unwrap(),
+            Route::JobEvents(7)
+        );
+        assert_eq!(route("POST", "/v1/jobs/7/events").unwrap_err().status, 405);
         assert_eq!(
             route("POST", "/v1/admin/shutdown").unwrap(),
             Route::Shutdown

@@ -1,6 +1,6 @@
 //! The daemon: TCP accept loop, bounded dispatch, graceful drain.
 
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,8 +28,18 @@ pub struct ServeConfig {
     pub backlog: usize,
     /// Per-request body cap in bytes.
     pub max_body_bytes: usize,
-    /// Socket read/write timeout.
+    /// Socket read/write timeout for an in-flight request.
     pub io_timeout: Duration,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served per connection before the server answers
+    /// `Connection: close` (bounds how long one client can pin a
+    /// worker; clamped to ≥ 1).
+    pub max_conn_requests: usize,
+    /// Job-record capacity of the bounded job store (clamped to ≥ 1;
+    /// submissions beyond it evict terminal records or answer 429).
+    pub max_jobs: usize,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +51,9 @@ impl Default for ServeConfig {
             backlog: 64,
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
+            max_conn_requests: 100,
+            max_jobs: 64,
         }
     }
 }
@@ -119,11 +132,23 @@ impl Server {
             Some(dir) => Arc::new(ModelRegistry::open(dir)?),
             None => Arc::new(ModelRegistry::in_memory()),
         };
-        let jobs = JobManager::new(config.model_dir.as_ref().map(|d| d.join(".jobs")));
+        let jobs = JobManager::new(
+            config.model_dir.as_ref().map(|d| d.join(".jobs")),
+            config.max_jobs,
+        );
+        let metrics = Arc::new(Metrics::new());
+        // A previous daemon killed mid-job leaves specs + checkpoints
+        // behind; bring those jobs back before accepting traffic so
+        // `GET /v1/jobs` never shows an empty store that silently holds
+        // orphaned work.
+        let adopted = jobs.adopt_orphans(&registry, &metrics);
+        if adopted > 0 {
+            eprintln!("caffeine-serve: re-adopted {adopted} interrupted job(s) from checkpoints");
+        }
         let shared = Arc::new(Shared {
             registry,
             jobs,
-            metrics: Arc::new(Metrics::new()),
+            metrics,
             config,
             local_addr,
             shutdown: AtomicBool::new(false),
@@ -200,41 +225,147 @@ impl Server {
 }
 
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let started = Instant::now();
     let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
     let _ = stream.set_nodelay(true);
+    let max_requests = shared.config.max_conn_requests.max(1);
 
-    match http::read_request(&mut stream, shared.config.max_body_bytes) {
-        Ok(request) => {
-            let (response, label) = handlers::handle(shared, &request);
-            let status = response.status;
-            let _ = response.write_to(&mut stream);
-            shared.metrics.observe(label, status, started.elapsed());
+    // Keep-alive loop: serve requests off this connection until the
+    // client closes / asks to close, the per-connection budget is spent,
+    // the connection idles out, or the server starts draining. The carry
+    // buffer holds bytes a pipelining client sent ahead of time.
+    let mut served = 0usize;
+    let mut carry = Vec::with_capacity(1024);
+    loop {
+        // Between requests, only the *wait for the first byte* runs on
+        // the (usually shorter) idle budget; once a request is in flight
+        // its transfer gets the full IO budget again.
+        if served > 0 && carry.is_empty() && !wait_for_next_request(shared, &mut stream, &mut carry)
+        {
+            break;
         }
-        Err(HttpError::Closed) => {}
-        Err(e) => {
-            let (status, code) = match e.status() {
-                Some(413) => (413, "payload_too_large"),
-                Some(501) => (501, "not_implemented"),
-                Some(_) => (400, "bad_request"),
-                // Read timeout / transport error: try a 408; the peer is
-                // probably gone, so failure to write is fine.
-                None => (408, "request_timeout"),
-            };
-            let response = ApiError {
-                status,
-                code,
-                message: e.message(),
+        let started = Instant::now();
+        match http::read_request_buffered(&mut carry, &mut stream, shared.config.max_body_bytes) {
+            Ok(request) => {
+                served += 1;
+                if served > 1 {
+                    shared.metrics.observe_keepalive_reuse();
+                }
+                let keep_alive = served < max_requests
+                    && request.wants_keep_alive()
+                    && !shared.is_shutting_down();
+                match handlers::handle(shared, &request) {
+                    (handlers::Outcome::Response(response), label) => {
+                        let status = response.status;
+                        let write_ok = response.write_to(&mut stream, keep_alive).is_ok();
+                        shared.metrics.observe(label, status, started.elapsed());
+                        if !keep_alive || !write_ok {
+                            break;
+                        }
+                    }
+                    (handlers::Outcome::StreamJobEvents(entry), label) => {
+                        let _ = stream_job_events(shared, &mut stream, &entry);
+                        shared.metrics.observe(label, 200, started.elapsed());
+                        break; // streamed responses always close
+                    }
+                }
             }
-            .into_response();
-            let _ = response.write_to(&mut stream);
-            shared
-                .metrics
-                .observe("http_error", status, started.elapsed());
+            // Nothing (more) is coming: close without a response.
+            Err(HttpError::Closed) | Err(HttpError::Idle) => break,
+            Err(e) => {
+                let (status, code) = match e.status() {
+                    Some(413) => (413, "payload_too_large"),
+                    Some(501) => (501, "not_implemented"),
+                    Some(_) => (400, "bad_request"),
+                    // Read timeout / transport error mid-request: try a
+                    // 408; the peer is probably gone, so failure to write
+                    // is fine.
+                    None => (408, "request_timeout"),
+                };
+                let response = ApiError {
+                    status,
+                    code,
+                    message: e.message(),
+                }
+                .into_response();
+                let _ = response.write_to(&mut stream, false);
+                shared
+                    .metrics
+                    .observe("http_error", status, started.elapsed());
+                break; // parser state is unknowable; never reuse
+            }
         }
     }
     let _ = stream.flush();
+}
+
+/// Waits under the idle budget for the first byte of the next kept-alive
+/// request, restoring the in-flight IO timeout once it arrives. Returns
+/// `false` when the connection should close (idle timeout, peer closed,
+/// transport failure) — silently, since no request is in flight.
+fn wait_for_next_request(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+) -> bool {
+    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    let mut first = [0u8; 1];
+    let alive = match stream.read(&mut first) {
+        Ok(0) | Err(_) => false,
+        Ok(n) => {
+            carry.extend_from_slice(&first[..n]);
+            true
+        }
+    };
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    alive
+}
+
+/// Streams one job's events as `text/event-stream` over chunked
+/// transfer-encoding: a `snapshot` frame with the job's current status,
+/// the hub's replayed history, then live frames until the job reaches a
+/// terminal state (the hub closes), the client hangs up, or the server
+/// drains. Quiet stretches carry SSE comment frames so a dead peer is
+/// noticed within a few seconds.
+fn stream_job_events(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    entry: &crate::jobs::JobEntry,
+) -> std::io::Result<()> {
+    let (history, live) = entry.events.subscribe();
+    let head = Response {
+        status: 200,
+        headers: vec![("cache-control".into(), "no-cache".into())],
+        body: Vec::new(),
+        content_type: "text/event-stream",
+    };
+    let mut w = head.write_chunked_head(stream)?;
+    let snapshot = crate::jobs::JobEventFrame {
+        event: "snapshot",
+        data: serde_json::to_string(&crate::handlers::sanitize(entry.status_json()))
+            .expect("status renders"),
+    };
+    w.chunk(snapshot.render().as_bytes())?;
+    for frame in &history {
+        w.chunk(frame.render().as_bytes())?;
+    }
+    if let Some(rx) = live {
+        loop {
+            if shared.is_shutting_down() {
+                break;
+            }
+            match rx.recv_timeout(Duration::from_secs(1)) {
+                Ok(frame) => w.chunk(frame.render().as_bytes())?,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    // Heartbeat comment: keeps proxies from timing the
+                    // stream out and detects a vanished client.
+                    w.chunk(b": keep-alive\n\n")?;
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    w.finish()
 }
 
 /// Writes a bare 503 (used when even queuing was impossible).
@@ -243,5 +374,5 @@ fn write_busy(stream: &mut TcpStream) {
         503,
         "{\"error\":{\"code\":\"unavailable\",\"message\":\"server is saturated\"}}".into(),
     )
-    .write_to(stream);
+    .write_to(stream, false);
 }

@@ -15,7 +15,10 @@ fn outcome_is_sane(result: Result<caffeine_serve::http::Request, HttpError>) {
         }
         Err(e) => match e.status() {
             Some(s) => assert!(s == 400 || s == 413 || s == 501, "status {s}"),
-            None => assert!(matches!(e, HttpError::Closed | HttpError::Io(_))),
+            None => assert!(matches!(
+                e,
+                HttpError::Closed | HttpError::Io(_) | HttpError::Idle
+            )),
         },
     }
 }

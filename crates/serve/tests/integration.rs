@@ -445,6 +445,313 @@ fn registry_survives_concurrent_hammering() {
 }
 
 #[test]
+fn keep_alive_serves_many_requests_per_connection() {
+    let (addr, handle, join) = boot(ServeConfig::default());
+
+    // One raw socket, three sequential requests: every response must
+    // arrive and advertise keep-alive.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(T)).unwrap();
+    for i in 0..3 {
+        s.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+            .unwrap();
+        let response = read_one_response(&mut s);
+        assert!(response.starts_with("HTTP/1.1 200"), "req {i}: {response}");
+        assert!(
+            response.contains("connection: keep-alive"),
+            "req {i}: {response}"
+        );
+        assert!(
+            response.ends_with("{\"status\":\"ok\"}"),
+            "req {i}: {response}"
+        );
+    }
+    // Pipelining: both requests sent before reading either response.
+    s.write_all(
+        b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\nGET /healthz HTTP/1.1\r\nhost: x\r\n\r\n",
+    )
+    .unwrap();
+    for i in 0..2 {
+        let response = read_one_response(&mut s);
+        assert!(
+            response.starts_with("HTTP/1.1 200"),
+            "pipelined {i}: {response}"
+        );
+    }
+
+    // An explicit Connection: close is honored.
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let response = read_one_response(&mut s);
+    assert!(response.contains("connection: close"), "{response}");
+    let mut rest = String::new();
+    s.read_to_string(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server closed after Connection: close");
+
+    // The high-level client reuses its connection transparently; the
+    // metrics must show reused requests.
+    let mut conn = caffeine_serve::client::Connection::new(&addr, T);
+    for _ in 0..5 {
+        let r = conn.request("GET", "/healthz", None).unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let r = client::request(&addr, "GET", "/metrics", None, T).unwrap();
+    let text = r.text();
+    let reused: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("caffeine_serve_keepalive_reused_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap();
+    assert!(
+        reused >= 6,
+        "expected ≥6 reused requests, metrics say {reused}"
+    );
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn per_connection_request_cap_and_idle_timeout_close_connections() {
+    let (addr, handle, join) = boot(ServeConfig {
+        max_conn_requests: 2,
+        idle_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+
+    // Request cap: the second (last allowed) response says close, and the
+    // socket is then shut.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(T)).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+        .unwrap();
+    assert!(read_one_response(&mut s).contains("connection: keep-alive"));
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+        .unwrap();
+    assert!(read_one_response(&mut s).contains("connection: close"));
+    let mut rest = String::new();
+    s.read_to_string(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server closed at the request cap");
+
+    // Idle timeout: after one request, an idle connection is closed
+    // quietly (no 408 spam) within the idle budget.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(T)).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+        .unwrap();
+    let _ = read_one_response(&mut s);
+    let started = Instant::now();
+    let mut rest = String::new();
+    s.read_to_string(&mut rest).unwrap();
+    assert!(rest.is_empty(), "idle close sends nothing, got: {rest}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "idle close took {:?}",
+        started.elapsed()
+    );
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Reads one `Content-Length`-framed response off a raw socket.
+fn read_one_response(s: &mut TcpStream) -> String {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        assert_eq!(s.read(&mut byte).unwrap(), 1, "socket closed mid-head");
+        raw.push(byte[0]);
+    }
+    let head = String::from_utf8(raw.clone()).unwrap();
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; length];
+    s.read_exact(&mut body).unwrap();
+    raw.extend_from_slice(&body);
+    String::from_utf8(raw).unwrap()
+}
+
+#[test]
+fn sse_stream_delivers_progress_and_done_events() {
+    let (addr, handle, join) = boot(ServeConfig::default());
+
+    // 200 generations with stats every 20 → 10 progress events; the hub
+    // replays history, so the stream content is deterministic even when
+    // the job finishes before the SSE client connects.
+    let points: Vec<Vec<f64>> = (1..=20).map(|i| vec![f64::from(i) * 0.4]).collect();
+    let targets: Vec<f64> = points.iter().map(|p| 3.0 / p[0]).collect();
+    let spec = serde_json::json!({
+        "name": "sse-job",
+        "var_names": ["x0"],
+        "points": points,
+        "targets": targets,
+        "population": 24,
+        "generations": 200,
+        "max_bases": 4,
+        "seed": 7,
+        "grammar": "rational",
+    });
+    let r = client::request(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        Some(serde_json::to_string(&spec).unwrap().as_bytes()),
+        T,
+    )
+    .unwrap();
+    assert_eq!(r.status, 201, "{}", r.text());
+    let id = r.json().unwrap()["id"].as_u64().unwrap();
+
+    let mut events: Vec<caffeine_serve::client::SseEvent> = Vec::new();
+    caffeine_serve::client::sse_tail(
+        &addr,
+        &format!("/v1/jobs/{id}/events"),
+        Duration::from_secs(60),
+        |event| {
+            events.push(event.clone());
+            event.event != "done"
+        },
+    )
+    .unwrap();
+
+    assert_eq!(events[0].event, "snapshot", "{events:?}");
+    let progress = events.iter().filter(|e| e.event == "progress").count();
+    assert!(progress >= 2, "expected ≥2 progress events, got {events:?}");
+    let done = events.last().unwrap();
+    assert_eq!(done.event, "done");
+    assert!(
+        done.data.contains("\"state\":\"finished\""),
+        "{}",
+        done.data
+    );
+    assert!(done.data.contains("\"version\""), "{}", done.data);
+
+    // Subscribing to the finished job again just replays and ends.
+    let mut replay = 0usize;
+    caffeine_serve::client::sse_tail(
+        &addr,
+        &format!("/v1/jobs/{id}/events"),
+        Duration::from_secs(10),
+        |_| {
+            replay += 1;
+            true // never ask to stop: the server must end the stream
+        },
+    )
+    .unwrap();
+    assert!(replay >= 3, "replay stream had {replay} events");
+
+    // Unknown job: 404 before any stream starts.
+    let err = caffeine_serve::client::sse_tail(
+        &addr,
+        "/v1/jobs/424242/events",
+        Duration::from_secs(5),
+        |_| true,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("404"), "{err}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn job_store_filters_evicts_and_answers_409_on_terminal_delete() {
+    let (addr, handle, join) = boot(ServeConfig {
+        max_jobs: 2,
+        ..ServeConfig::default()
+    });
+    let points: Vec<Vec<f64>> = (1..=16).map(|i| vec![f64::from(i) * 0.5]).collect();
+    let targets: Vec<f64> = points.iter().map(|p| 3.0 / p[0]).collect();
+    let submit = |generations: u64| {
+        let spec = serde_json::json!({
+            "var_names": ["x0"],
+            "points": points,
+            "targets": targets,
+            "population": 16,
+            "generations": generations,
+            "grammar": "rational",
+        });
+        client::request(
+            &addr,
+            "POST",
+            "/v1/jobs",
+            Some(serde_json::to_string(&spec).unwrap().as_bytes()),
+            T,
+        )
+        .unwrap()
+    };
+
+    // A quick job that reaches a terminal state.
+    let r = submit(2);
+    assert_eq!(r.status, 201, "{}", r.text());
+    let quick_id = r.json().unwrap()["id"].as_u64().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let r = client::request(&addr, "GET", &format!("/v1/jobs/{quick_id}"), None, T).unwrap();
+        if r.json().unwrap()["state"].as_str().unwrap() == "finished" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "quick job never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // DELETE on the finished job: 409 with the terminal state in the body.
+    let r = client::request(&addr, "DELETE", &format!("/v1/jobs/{quick_id}"), None, T).unwrap();
+    assert_eq!(r.status, 409, "{}", r.text());
+    let json = r.json().unwrap();
+    assert_eq!(json["state"].as_str(), Some("finished"));
+    assert_eq!(json["error"]["code"].as_str(), Some("already_terminal"));
+
+    // The state filter distinguishes live from finished.
+    let long_id = submit(1_000_000).json().unwrap()["id"].as_u64().unwrap();
+    let r = client::request(&addr, "GET", "/v1/jobs?state=running", None, T).unwrap();
+    let running = r.json().unwrap();
+    let running = running["jobs"].as_array().unwrap();
+    assert_eq!(running.len(), 1, "{running:?}");
+    assert_eq!(running[0]["id"].as_u64(), Some(long_id));
+    let r = client::request(&addr, "GET", "/v1/jobs?state=nonsense", None, T).unwrap();
+    assert_eq!(r.status, 400, "{}", r.text());
+
+    // Capacity 2 with one terminal + one live: the next submission evicts
+    // the finished record; the one after that meets a full store → 429.
+    let r = submit(1_000_000);
+    assert_eq!(r.status, 201, "{}", r.text());
+    let r = client::request(&addr, "GET", &format!("/v1/jobs/{quick_id}"), None, T).unwrap();
+    assert_eq!(r.status, 404, "terminal record evicted: {}", r.text());
+    let r = submit(1_000_000);
+    assert_eq!(r.status, 429, "{}", r.text());
+    assert_eq!(
+        r.json().unwrap()["error"]["code"].as_str(),
+        Some("too_many_jobs")
+    );
+
+    // Cancelling a live job is still a 202, and a second DELETE on the
+    // now-cancelled job is a 409 carrying `cancelled`.
+    let r = client::request(&addr, "DELETE", &format!("/v1/jobs/{long_id}"), None, T).unwrap();
+    assert_eq!(r.status, 202, "{}", r.text());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let r = client::request(&addr, "GET", &format!("/v1/jobs/{long_id}"), None, T).unwrap();
+        if r.json().unwrap()["state"].as_str().unwrap() == "cancelled" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cancel never landed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let r = client::request(&addr, "DELETE", &format!("/v1/jobs/{long_id}"), None, T).unwrap();
+    assert_eq!(r.status, 409, "{}", r.text());
+    assert_eq!(r.json().unwrap()["state"].as_str(), Some("cancelled"));
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
 fn shutdown_endpoint_drains_gracefully() {
     let (addr, _handle, join) = boot(ServeConfig::default());
     let r = client::request(&addr, "GET", "/healthz", None, T).unwrap();

@@ -16,8 +16,8 @@ use std::path::Path;
 use std::time::Duration;
 
 use caffeine::cli::{
-    front_summary, front_to_json, parse_csv, parse_points_csv, usage, CliOptions, PredictOptions,
-    ServeOptions,
+    front_summary, front_to_json, parse_csv, parse_points_csv, usage, CliOptions, JobsOptions,
+    PredictOptions, ServeOptions,
 };
 use caffeine::core::expr::FormatOptions;
 use caffeine::core::sag::{simplify_front, SagSettings};
@@ -34,6 +34,7 @@ fn main() {
     let outcome = match args.first().map(String::as_str) {
         Some("serve") => run_serve(&args[1..]),
         Some("predict") => run_predict(&args[1..]),
+        Some("jobs") => run_jobs(&args[1..]),
         _ => run(&args),
     };
     if let Err(msg) = outcome {
@@ -51,6 +52,9 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         addr: opts.addr.clone(),
         model_dir: opts.model_dir.clone().map(Into::into),
         workers: opts.threads.max(1),
+        max_jobs: opts.max_jobs,
+        max_conn_requests: opts.max_conn_requests,
+        idle_timeout: Duration::from_millis(opts.idle_timeout_ms),
         ..ServeConfig::default()
     })
     .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
@@ -120,6 +124,68 @@ fn run_predict(args: &[String]) -> Result<(), String> {
         eprintln!("response written to {out}");
     }
     Ok(())
+}
+
+/// `caffeine-cli jobs list|watch`: inspect a remote daemon's job store.
+fn run_jobs(args: &[String]) -> Result<(), String> {
+    let opts = JobsOptions::parse(args)?;
+    let (addr, base) = client::parse_base_url(&opts.remote)?;
+    match opts.action.as_str() {
+        "list" => {
+            let path = match &opts.state {
+                Some(s) => format!("{base}/v1/jobs?state={s}"),
+                None => format!("{base}/v1/jobs"),
+            };
+            let response = client::request(&addr, "GET", &path, None, Duration::from_secs(30))
+                .map_err(|e| format!("request to {addr} failed: {e}"))?;
+            let json = response
+                .json()
+                .map_err(|e| format!("server sent a non-JSON response: {e}"))?;
+            if response.status != 200 {
+                let detail = json["error"]["message"].as_str().unwrap_or("unknown error");
+                return Err(format!("server answered {}: {detail}", response.status));
+            }
+            let jobs = json["jobs"]
+                .as_array()
+                .ok_or("response has no `jobs` array")?;
+            println!("{:>6}  {:>10}  {:>9}  model", "id", "state", "progress");
+            for j in jobs {
+                let done = j["progress"]["completed_generations"].as_u64().unwrap_or(0);
+                let total = j["progress"]["total_generations"].as_u64().unwrap_or(0);
+                println!(
+                    "{:>6}  {:>10}  {:>4}/{:<4}  {}{}",
+                    j["id"].as_u64().unwrap_or(0),
+                    j["state"].as_str().unwrap_or("?"),
+                    done,
+                    total,
+                    j["model_id"].as_str().unwrap_or("?"),
+                    if j["resumed"] == serde_json::Value::Bool(true) {
+                        " (resumed)"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            eprintln!("{} job(s)", jobs.len());
+            Ok(())
+        }
+        _ => {
+            let id = opts.id.expect("watch always has an id");
+            let path = format!("{base}/v1/jobs/{id}/events");
+            eprintln!(
+                "tailing job {id} events from {} (ctrl-c to stop)",
+                opts.remote
+            );
+            // No read timeout between generations can exceed the server's
+            // 1s heartbeat cadence, so a modest timeout still detects a
+            // dead server.
+            client::sse_tail(&addr, &path, Duration::from_secs(30), |event| {
+                println!("{}: {}", event.event, event.data);
+                event.event != "done"
+            })
+            .map_err(|e| format!("event stream from {addr} failed: {e}"))
+        }
+    }
 }
 
 fn evolve(opts: &CliOptions, train: &caffeine::doe::Dataset) -> Result<CaffeineResult, String> {

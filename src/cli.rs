@@ -247,6 +247,12 @@ pub struct ServeOptions {
     pub model_dir: Option<String>,
     /// Worker threads.
     pub threads: usize,
+    /// Job-store capacity (terminal records are evicted; 429 beyond).
+    pub max_jobs: usize,
+    /// Requests served per connection before the server closes it.
+    pub max_conn_requests: usize,
+    /// Keep-alive idle timeout between requests, milliseconds.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -255,6 +261,9 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:7878".into(),
             model_dir: None,
             threads: 4,
+            max_jobs: 64,
+            max_conn_requests: 100,
+            idle_timeout_ms: 5_000,
         }
     }
 }
@@ -274,16 +283,86 @@ impl ServeOptions {
                     .cloned()
                     .ok_or_else(|| format!("flag {name} needs a value"))
             };
+            let mut int = |name: &str| -> Result<usize, String> {
+                value(name)?
+                    .parse()
+                    .map_err(|_| format!("{name} needs an integer"))
+            };
             match flag.as_str() {
                 "--addr" => opts.addr = value("--addr")?,
                 "--model-dir" => opts.model_dir = Some(value("--model-dir")?),
-                "--threads" => {
-                    opts.threads = value("--threads")?
-                        .parse()
-                        .map_err(|_| "--threads needs an integer".to_string())?
-                }
+                "--threads" => opts.threads = int("--threads")?,
+                "--max-jobs" => opts.max_jobs = int("--max-jobs")?,
+                "--max-conn-requests" => opts.max_conn_requests = int("--max-conn-requests")?,
+                "--idle-timeout-ms" => opts.idle_timeout_ms = int("--idle-timeout-ms")? as u64,
                 other => return Err(format!("unknown serve flag `{other}` (see --help)")),
             }
+        }
+        Ok(opts)
+    }
+}
+
+/// Parsed options of `caffeine-cli jobs <list|watch>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobsOptions {
+    /// The action: `list` or `watch`.
+    pub action: String,
+    /// Server base URL.
+    pub remote: String,
+    /// Job id (required by `watch`).
+    pub id: Option<u64>,
+    /// State filter for `list`.
+    pub state: Option<String>,
+}
+
+impl JobsOptions {
+    /// Parses the arguments after the `jobs` subcommand: an action word
+    /// (`list` or `watch`) followed by `--remote`, `--id`, `--state`.
+    ///
+    /// # Errors
+    ///
+    /// A message for a missing/unknown action, unknown flags, missing
+    /// values, or a `watch` without `--id`.
+    pub fn parse(args: &[String]) -> Result<JobsOptions, String> {
+        let action = match args.first().map(String::as_str) {
+            Some("list") => "list".to_string(),
+            Some("watch") => "watch".to_string(),
+            Some(other) => {
+                return Err(format!("unknown jobs action `{other}` (use list or watch)"))
+            }
+            None => return Err("jobs needs an action: list or watch".to_string()),
+        };
+        let mut remote = None;
+        let mut id = None;
+        let mut state = None;
+        let mut it = args[1..].iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--remote" => remote = Some(value("--remote")?),
+                "--id" => {
+                    id = Some(
+                        value("--id")?
+                            .parse()
+                            .map_err(|_| "--id needs a job id (integer)".to_string())?,
+                    )
+                }
+                "--state" => state = Some(value("--state")?),
+                other => return Err(format!("unknown jobs flag `{other}` (see --help)")),
+            }
+        }
+        let opts = JobsOptions {
+            action,
+            remote: remote.ok_or("jobs needs --remote http://host:port")?,
+            id,
+            state,
+        };
+        if opts.action == "watch" && opts.id.is_none() {
+            return Err("jobs watch needs --id <job>".to_string());
         }
         Ok(opts)
     }
@@ -390,11 +469,17 @@ pub fn usage() -> &'static str {
      \n\
      subcommands:\n\
        serve   --addr <host:port> --model-dir <dir> --threads <n>\n\
+               [--max-jobs <n>] [--max-conn-requests <n>] [--idle-timeout-ms <n>]\n\
                run the caffeine-serve daemon (model registry, batched\n\
-               /predict, async /jobs; default addr 127.0.0.1:7878)\n\
+               /predict, async /jobs with SSE events, HTTP keep-alive;\n\
+               default addr 127.0.0.1:7878; interrupted jobs found under\n\
+               --model-dir/.jobs are re-adopted on start; see docs/API.md)\n\
        predict --remote http://host:port --model <id> --points <file.csv>\n\
                [--version <hash>] [--out <file.json>]\n\
                query a remote model with a CSV of input points\n\
+       jobs    list  --remote http://host:port [--state <s>]\n\
+               watch --remote http://host:port --id <job>\n\
+               list server jobs / tail one job's live SSE event stream\n\
      \n\
      options:\n\
        --data <file>       training CSV (header row = variable names)\n\
@@ -744,6 +829,12 @@ mod tests {
             "mdl",
             "--threads",
             "8",
+            "--max-jobs",
+            "5",
+            "--max-conn-requests",
+            "32",
+            "--idle-timeout-ms",
+            "750",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -752,9 +843,51 @@ mod tests {
         assert_eq!(o.addr, "0.0.0.0:9000");
         assert_eq!(o.model_dir.as_deref(), Some("mdl"));
         assert_eq!(o.threads, 8);
+        assert_eq!(o.max_jobs, 5);
+        assert_eq!(o.max_conn_requests, 32);
+        assert_eq!(o.idle_timeout_ms, 750);
         assert_eq!(ServeOptions::parse(&[]).unwrap(), ServeOptions::default());
+        assert_eq!(ServeOptions::default().max_jobs, 64);
         assert!(ServeOptions::parse(&["--wat".to_string()]).is_err());
         assert!(ServeOptions::parse(&["--addr".to_string()]).is_err());
+        assert!(ServeOptions::parse(&["--max-jobs".to_string(), "x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn jobs_options_parse_actions_and_requirements() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = JobsOptions::parse(&to_args(&[
+            "watch",
+            "--remote",
+            "http://127.0.0.1:7878",
+            "--id",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(o.action, "watch");
+        assert_eq!(o.id, Some(7));
+        let o = JobsOptions::parse(&to_args(&[
+            "list",
+            "--remote",
+            "http://x:1",
+            "--state",
+            "running",
+        ]))
+        .unwrap();
+        assert_eq!(o.action, "list");
+        assert_eq!(o.state.as_deref(), Some("running"));
+        assert!(o.id.is_none());
+        // watch without --id, missing remote, unknown action/flags.
+        let err = JobsOptions::parse(&to_args(&["watch", "--remote", "http://x:1"])).unwrap_err();
+        assert!(err.contains("--id"), "{err}");
+        let err = JobsOptions::parse(&to_args(&["list"])).unwrap_err();
+        assert!(err.contains("--remote"), "{err}");
+        assert!(JobsOptions::parse(&to_args(&["purge"])).is_err());
+        assert!(JobsOptions::parse(&to_args(&[])).is_err());
+        assert!(JobsOptions::parse(&to_args(&["list", "--wat"])).is_err());
+        assert!(
+            JobsOptions::parse(&to_args(&["watch", "--remote", "http://x", "--id", "z"])).is_err()
+        );
     }
 
     #[test]

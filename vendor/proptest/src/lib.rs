@@ -131,7 +131,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Length specification for [`vec`]: a fixed `usize` or a range.
+    /// Length specification for [`vec()`]: a fixed `usize` or a range.
     pub trait IntoLenRange {
         /// Inclusive bounds `(min, max)`.
         fn bounds(self) -> (usize, usize);
