@@ -9,7 +9,12 @@
 //! baseline) and once reusing one kept-alive connection per client, so
 //! the snapshot records what connection reuse buys. A job lifecycle
 //! (submit → poll → fetch → verify bit-identical predictions) runs once
-//! as a correctness gate.
+//! as a correctness gate. Two admission scenarios ride along: a **burst
+//! submit** (4× `max_running_jobs` jobs at once, asserting the FIFO
+//! queue admits them in order without a 429) and an **SSE fan-out**
+//! (many concurrent `jobs/{id}/events` watchers on the dedicated
+//! streamer thread while predict load runs, recording how much the
+//! watchers cost `/predict` p50 against a single-watcher baseline).
 //!
 //! ```text
 //! cargo run --release -p caffeine-bench --bin servebench            # full
@@ -69,6 +74,36 @@ struct JobStats {
 }
 
 #[derive(Debug, Serialize)]
+struct BurstStats {
+    /// Jobs submitted at once.
+    submitted: usize,
+    /// The server's running-slot bound.
+    max_running_jobs: usize,
+    /// Jobs observed `running` right after the burst (≤ the bound).
+    running_after_burst: usize,
+    /// Jobs observed `queued` right after the burst.
+    queued_after_burst: usize,
+    /// `true` when every job finished in submission order.
+    completed_in_submission_order: bool,
+    /// Burst submit → last job finished, seconds.
+    total_secs: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SseFanoutStats {
+    /// Concurrent SSE watchers on one job.
+    watchers: usize,
+    /// Watchers that received the terminal `done` frame.
+    done_received: usize,
+    /// `/predict` p50 with a single watcher open, microseconds.
+    single_watcher_predict_p50_us: f64,
+    /// `/predict` p50 with all watchers open, microseconds.
+    fanout_predict_p50_us: f64,
+    /// fanout p50 / single-watcher p50 (the acceptance gate tracks ≤ 2).
+    p50_ratio: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct Snapshot {
     /// Snapshot schema version.
     schema: u32,
@@ -84,6 +119,10 @@ struct Snapshot {
     predict_keepalive: PredictStats,
     /// One job lifecycle, as a correctness gate.
     job: JobStats,
+    /// Burst submission through the FIFO admission queue.
+    burst: BurstStats,
+    /// Concurrent SSE watchers vs `/predict` latency.
+    sse_fanout: SseFanoutStats,
 }
 
 /// A 13-variable OTA-shaped artifact: a handful of rational bases over
@@ -254,6 +293,182 @@ fn run_job_lifecycle(addr: &str, generations: usize) -> JobStats {
     }
 }
 
+fn job_spec(name: &str, generations: usize) -> Vec<u8> {
+    let points: Vec<Vec<f64>> = (1..=24).map(|i| vec![f64::from(i) * 0.25]).collect();
+    let targets: Vec<f64> = points.iter().map(|p| 3.0 / p[0]).collect();
+    serde_json::to_string(&serde_json::json!({
+        "name": name,
+        "var_names": ["x0"],
+        "points": points,
+        "targets": targets,
+        "population": 16,
+        "generations": generations,
+        "max_bases": 4,
+        "seed": 7,
+        "grammar": "rational",
+    }))
+    .expect("spec renders")
+    .into_bytes()
+}
+
+/// Fires 4× `max_running_jobs` submissions at a dedicated queue-limited
+/// server and watches the FIFO queue drain them in submission order.
+fn run_burst(smoke: bool) -> BurstStats {
+    let max_running = 2usize;
+    let submitted = 4 * max_running;
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        max_running_jobs: max_running,
+        max_jobs: 32,
+        ..ServeConfig::default()
+    })
+    .expect("bind burst server");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    // Later jobs are strictly longer — by enough generations that
+    // adjacent completions are separated by real wall time — so FIFO
+    // completion is observable without timing luck.
+    let step = if smoke { 50 } else { 80 };
+    let t0 = Instant::now();
+    let ids: Vec<u64> = (0..submitted)
+        .map(|i| {
+            // `i + 2`: even the shortest job must comfortably outlive
+            // the whole submission burst so the queue-shape snapshot
+            // below sees every slot and queue position occupied.
+            let body = job_spec(&format!("burst-{i}"), step * (i + 2));
+            let r = client::request(&addr, "POST", "/v1/jobs", Some(&body), T).expect("submit");
+            assert_eq!(r.status, 201, "burst submission {i} rejected: {}", r.text());
+            r.json().expect("job json")["id"].as_u64().expect("id")
+        })
+        .collect();
+
+    // Snapshot the queue shape right after the burst.
+    let listing = client::request(&addr, "GET", "/v1/jobs", None, T).expect("list");
+    let listing = listing.json().expect("jobs json");
+    let count_state = |want: &str| {
+        listing["jobs"]
+            .as_array()
+            .expect("jobs array")
+            .iter()
+            .filter(|j| j["state"].as_str() == Some(want))
+            .count()
+    };
+    let running_after_burst = count_state("running");
+    let queued_after_burst = count_state("queued");
+    assert!(
+        running_after_burst <= max_running,
+        "{running_after_burst} running > {max_running} slots"
+    );
+
+    // Poll to completion, recording the order jobs first turn terminal.
+    let mut completion_order: Vec<u64> = Vec::new();
+    while completion_order.len() < ids.len() {
+        for &id in &ids {
+            if completion_order.contains(&id) {
+                continue;
+            }
+            let r = client::request(&addr, "GET", &format!("/v1/jobs/{id}"), None, T)
+                .expect("poll job");
+            let state = r.json().expect("status")["state"]
+                .as_str()
+                .unwrap_or("?")
+                .to_string();
+            assert!(
+                state != "failed" && state != "cancelled",
+                "burst job {id} ended in {state}"
+            );
+            if state == "finished" {
+                completion_order.push(id);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let total_secs = t0.elapsed().as_secs_f64();
+    let completed_in_submission_order = completion_order == ids;
+    assert!(
+        completed_in_submission_order,
+        "FIFO violated: {completion_order:?} vs {ids:?}"
+    );
+
+    handle.shutdown();
+    server_thread
+        .join()
+        .expect("burst server thread")
+        .expect("burst serve loop");
+    BurstStats {
+        submitted,
+        max_running_jobs: max_running,
+        running_after_burst,
+        queued_after_burst,
+        completed_in_submission_order,
+        total_secs,
+    }
+}
+
+/// Opens `watchers` concurrent SSE streams on one long-running job and
+/// measures `/predict` p50 while they are all attached, against a
+/// single-watcher baseline taken the same way.
+fn run_sse_fanout(addr: &str, watchers: usize) -> SseFanoutStats {
+    let measure = |n_watchers: usize, job_name: &str| -> (f64, usize) {
+        let body = job_spec(job_name, 1_000_000);
+        let r = client::request(addr, "POST", "/v1/jobs", Some(&body), T).expect("submit");
+        assert_eq!(r.status, 201, "{}", r.text());
+        let id = r.json().expect("json")["id"].as_u64().expect("id");
+
+        let threads: Vec<std::thread::JoinHandle<bool>> = (0..n_watchers)
+            .map(|_| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    let mut done = false;
+                    let _ = client::sse_tail(
+                        &addr,
+                        &format!("/v1/jobs/{id}/events"),
+                        Duration::from_secs(120),
+                        |event| {
+                            if event.event == "done" {
+                                done = true;
+                            }
+                            !done
+                        },
+                    );
+                    done
+                })
+            })
+            .collect();
+        // Let the watchers attach before measuring.
+        std::thread::sleep(Duration::from_millis(300));
+        let stats = run_predict_load(addr, 2, 50, 16, true);
+        // End the job: every watcher gets its `done` frame.
+        let r = client::request(addr, "DELETE", &format!("/v1/jobs/{id}"), None, T)
+            .expect("cancel fanout job");
+        assert_eq!(r.status, 202, "{}", r.text());
+        let done = threads
+            .into_iter()
+            .map(|t| t.join().expect("watcher thread"))
+            .filter(|d| *d)
+            .count();
+        (stats.p50_us, done)
+    };
+
+    let (single_p50, single_done) = measure(1, "fanout-baseline");
+    assert_eq!(single_done, 1, "baseline watcher missed its done frame");
+    let (fanout_p50, done_received) = measure(watchers, "fanout-load");
+    assert_eq!(
+        done_received, watchers,
+        "only {done_received}/{watchers} watchers saw done"
+    );
+    SseFanoutStats {
+        watchers,
+        done_received,
+        single_watcher_predict_p50_us: single_p50,
+        fanout_predict_p50_us: fanout_p50,
+        p50_ratio: fanout_p50 / single_p50.max(1.0),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -294,6 +509,9 @@ fn main() {
     let predict_keepalive =
         run_predict_load(&addr, concurrency, requests_per_client, batch_size, true);
     let job = run_job_lifecycle(&addr, if smoke { 4 } else { 20 });
+    // The acceptance scenario: 100 concurrent watchers (scaled down for
+    // the CI smoke) must all receive `done` while /predict stays usable.
+    let sse_fanout = run_sse_fanout(&addr, if smoke { 25 } else { 100 });
 
     handle.shutdown();
     server_thread
@@ -301,8 +519,10 @@ fn main() {
         .expect("server thread")
         .expect("serve loop");
 
+    let burst = run_burst(smoke);
+
     let snapshot = Snapshot {
-        schema: 2,
+        schema: 3,
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -312,6 +532,8 @@ fn main() {
         predict_fresh,
         predict_keepalive,
         job,
+        burst,
+        sse_fanout,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
     std::fs::write(&out_path, format!("{json}\n")).expect("write snapshot");
@@ -340,5 +562,23 @@ fn main() {
         snapshot.job.n_models,
         snapshot.job.total_secs,
         snapshot.job.bit_identical,
+    );
+    println!(
+        "  burst: {} jobs into {} slots → {} running / {} queued after submit, FIFO order {}, drained in {:.2}s",
+        snapshot.burst.submitted,
+        snapshot.burst.max_running_jobs,
+        snapshot.burst.running_after_burst,
+        snapshot.burst.queued_after_burst,
+        snapshot.burst.completed_in_submission_order,
+        snapshot.burst.total_secs,
+    );
+    println!(
+        "  sse fan-out: {}/{} watchers got done; predict p50 {:.0}µs (1 watcher) → {:.0}µs ({} watchers), ratio {:.2}",
+        snapshot.sse_fanout.done_received,
+        snapshot.sse_fanout.watchers,
+        snapshot.sse_fanout.single_watcher_predict_p50_us,
+        snapshot.sse_fanout.fanout_predict_p50_us,
+        snapshot.sse_fanout.watchers,
+        snapshot.sse_fanout.p50_ratio,
     );
 }

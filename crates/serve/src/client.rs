@@ -18,6 +18,8 @@ use std::time::Duration;
 pub struct ClientResponse {
     /// Status code.
     pub status: u16,
+    /// Header name/value pairs in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes.
     pub body: Vec<u8>,
 }
@@ -26,6 +28,21 @@ impl ClientResponse {
     /// The body as UTF-8 (lossy).
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).to_string()
+    }
+
+    /// First value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `Retry-After` header in seconds, when present and numeric —
+    /// overload responses (429/503) carry it.
+    pub fn retry_after(&self) -> Option<u64> {
+        self.header("retry-after")?.trim().parse().ok()
     }
 
     /// The body parsed as JSON.
@@ -238,13 +255,19 @@ fn read_framed_response(stream: &mut TcpStream) -> std::io::Result<(ClientRespon
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| invalid(format!("bad status line `{status_line}`")))?;
-    let header = |name: &str| -> Option<String> {
-        head.lines().skip(1).find_map(|l| {
+    let headers: Vec<(String, String)> = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| {
             let (n, v) = l.split_once(':')?;
-            n.trim()
-                .eq_ignore_ascii_case(name)
-                .then(|| v.trim().to_string())
+            Some((n.trim().to_ascii_lowercase(), v.trim().to_string()))
         })
+        .collect();
+    let header = |name: &str| -> Option<&str> {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     };
     let keeps = header("connection").is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
     let content_length: usize = match header("content-length") {
@@ -256,7 +279,14 @@ fn read_framed_response(stream: &mut TcpStream) -> std::io::Result<(ClientRespon
         None => {
             let mut body = raw[head_end + 4..].to_vec();
             stream.read_to_end(&mut body)?;
-            return Ok((ClientResponse { status, body }, false));
+            return Ok((
+                ClientResponse {
+                    status,
+                    headers,
+                    body,
+                },
+                false,
+            ));
         }
     };
     let mut body = raw[head_end + 4..].to_vec();
@@ -269,7 +299,14 @@ fn read_framed_response(stream: &mut TcpStream) -> std::io::Result<(ClientRespon
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    Ok((ClientResponse { status, body }, keeps))
+    Ok((
+        ClientResponse {
+            status,
+            headers,
+            body,
+        },
+        keeps,
+    ))
 }
 
 /// One server-sent event as parsed off the wire.
@@ -461,6 +498,26 @@ mod tests {
         );
         assert!(parse_base_url("https://x").is_err());
         assert!(parse_base_url("http://").is_err());
+    }
+
+    #[test]
+    fn response_headers_and_retry_after_parse() {
+        let r = ClientResponse {
+            status: 429,
+            headers: vec![
+                ("content-type".into(), "application/json".into()),
+                ("retry-after".into(), "7".into()),
+            ],
+            body: Vec::new(),
+        };
+        assert_eq!(r.header("Retry-After"), Some("7"));
+        assert_eq!(r.retry_after(), Some(7));
+        let none = ClientResponse {
+            status: 200,
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(none.retry_after(), None);
     }
 
     #[test]

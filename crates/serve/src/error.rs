@@ -16,79 +16,65 @@ pub struct ApiError {
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
+    /// When set, the response carries a `Retry-After: <secs>` header —
+    /// overload answers (429/503) tell clients when to come back.
+    pub retry_after: Option<u64>,
 }
 
 impl ApiError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            code,
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
     /// 400 — the request body or parameters are invalid.
     pub fn bad_request(message: impl Into<String>) -> ApiError {
-        ApiError {
-            status: 400,
-            code: "bad_request",
-            message: message.into(),
-        }
+        ApiError::new(400, "bad_request", message)
     }
 
     /// 404 — no such resource.
     pub fn not_found(message: impl Into<String>) -> ApiError {
-        ApiError {
-            status: 404,
-            code: "not_found",
-            message: message.into(),
-        }
+        ApiError::new(404, "not_found", message)
     }
 
     /// 405 — the path exists but not under this method.
     pub fn method_not_allowed(message: impl Into<String>) -> ApiError {
-        ApiError {
-            status: 405,
-            code: "method_not_allowed",
-            message: message.into(),
-        }
+        ApiError::new(405, "method_not_allowed", message)
     }
 
     /// 409 — the request conflicts with current state.
     pub fn conflict(message: impl Into<String>) -> ApiError {
-        ApiError {
-            status: 409,
-            code: "conflict",
-            message: message.into(),
-        }
+        ApiError::new(409, "conflict", message)
     }
 
     /// 422 — syntactically fine, semantically unusable.
     pub fn unprocessable(message: impl Into<String>) -> ApiError {
-        ApiError {
-            status: 422,
-            code: "unprocessable",
-            message: message.into(),
-        }
+        ApiError::new(422, "unprocessable", message)
     }
 
     /// 429 — the bounded job store has no free slot.
     pub fn too_many_jobs(message: impl Into<String>) -> ApiError {
-        ApiError {
-            status: 429,
-            code: "too_many_jobs",
-            message: message.into(),
-        }
+        ApiError::new(429, "too_many_jobs", message)
     }
 
     /// 500 — the server failed.
     pub fn internal(message: impl Into<String>) -> ApiError {
-        ApiError {
-            status: 500,
-            code: "internal",
-            message: message.into(),
-        }
+        ApiError::new(500, "internal", message)
     }
 
     /// 503 — the server is saturated or draining.
     pub fn unavailable(message: impl Into<String>) -> ApiError {
-        ApiError {
-            status: 503,
-            code: "unavailable",
-            message: message.into(),
-        }
+        ApiError::new(503, "unavailable", message)
+    }
+
+    /// Attaches a `Retry-After` hint in whole seconds (clamped to ≥ 1).
+    pub fn with_retry_after(mut self, secs: u64) -> ApiError {
+        self.retry_after = Some(secs.max(1));
+        self
     }
 
     /// Renders the error as its JSON response.
@@ -96,10 +82,14 @@ impl ApiError {
         let body = serde_json::json!({
             "error": { "code": self.code, "message": self.message }
         });
-        Response::json(
+        let response = Response::json(
             self.status,
             serde_json::to_string(&body).expect("error body serializes"),
-        )
+        );
+        match self.retry_after {
+            Some(secs) => response.with_header("retry-after", secs.to_string()),
+            None => response,
+        }
     }
 }
 
@@ -148,6 +138,29 @@ mod tests {
         let body = String::from_utf8(r.body).unwrap();
         assert!(body.contains("\"code\":\"bad_request\""), "{body}");
         assert!(body.contains("point 3 is ragged"), "{body}");
+    }
+
+    #[test]
+    fn retry_after_renders_as_a_header() {
+        let r = ApiError::too_many_jobs("queue full")
+            .with_retry_after(4)
+            .into_response();
+        assert_eq!(r.status, 429);
+        assert!(r
+            .headers
+            .iter()
+            .any(|(n, v)| n == "retry-after" && v == "4"));
+        // Clamped to at least one second.
+        let r = ApiError::unavailable("busy")
+            .with_retry_after(0)
+            .into_response();
+        assert!(r
+            .headers
+            .iter()
+            .any(|(n, v)| n == "retry-after" && v == "1"));
+        // Errors without the hint carry no header.
+        let r = ApiError::bad_request("nope").into_response();
+        assert!(r.headers.iter().all(|(n, _)| n != "retry-after"));
     }
 
     #[test]

@@ -89,7 +89,14 @@ fn ok_json(value: serde_json::Value) -> Response {
 }
 
 /// The allowed values of the jobs `?state=` filter.
-const JOB_STATES: [&str; 5] = ["running", "paused", "finished", "failed", "cancelled"];
+const JOB_STATES: [&str; 6] = [
+    "queued",
+    "running",
+    "paused",
+    "finished",
+    "failed",
+    "cancelled",
+];
 
 fn dispatch(shared: &Arc<Shared>, route: &Route, request: &Request) -> Result<Outcome, ApiError> {
     if let Route::JobEvents(id) = route {
@@ -229,7 +236,10 @@ fn dispatch_response(
                     }),
                 ));
             }
-            entry.controller.cancel();
+            // Via the manager, not the controller: a job still waiting in
+            // the admission queue has no driver thread and must settle
+            // synchronously.
+            shared.jobs.cancel(*id);
             Ok(json_response(202, entry.status_json()))
         }
         Route::JobEvents(_) => unreachable!("handled by dispatch"),

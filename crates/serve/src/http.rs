@@ -440,6 +440,24 @@ impl Response {
     }
 }
 
+/// The terminating zero-length chunk ending a chunked body — what
+/// [`ChunkedWriter::finish`] writes, as bytes for buffer-building
+/// callers (the SSE streamer's outbox).
+pub const CHUNKED_BODY_END: &[u8] = b"0\r\n\r\n";
+
+/// Appends one `<hex len>\r\n<bytes>\r\n` chunk frame to a byte buffer —
+/// the buffered twin of [`ChunkedWriter::chunk`], for writers that build
+/// an outbox and flush it nonblockingly. Empty input is skipped (a
+/// zero-length chunk would terminate the body).
+pub fn encode_chunk(out: &mut Vec<u8>, data: &[u8]) {
+    if data.is_empty() {
+        return;
+    }
+    out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
 /// Writes an HTTP/1.1 chunked body: each [`ChunkedWriter::chunk`] call
 /// becomes one `<hex len>\r\n<bytes>\r\n` frame, and
 /// [`ChunkedWriter::finish`] sends the terminating zero-length chunk.
@@ -472,7 +490,7 @@ impl<W: Write> ChunkedWriter<'_, W> {
     ///
     /// Propagates transport failures.
     pub fn finish(self) -> std::io::Result<()> {
-        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.write_all(CHUNKED_BODY_END)?;
         self.w.flush()
     }
 }
@@ -653,6 +671,27 @@ mod tests {
         }
         let e = read_request(&mut PartialThenTimeout(false), 1024).unwrap_err();
         assert!(matches!(e, HttpError::Io(_)), "{e:?}");
+    }
+
+    #[test]
+    fn encode_chunk_matches_the_streaming_writer() {
+        // The buffered encoder and ChunkedWriter must stay wire-identical:
+        // the SSE streamer builds outboxes with one, tests and the
+        // blocking path use the other.
+        let mut streamed = Vec::new();
+        {
+            let mut w = ChunkedWriter { w: &mut streamed };
+            w.chunk(b"event: x\n\n").unwrap();
+            w.chunk(b"").unwrap();
+            w.chunk(b"hi").unwrap();
+        }
+        streamed.extend_from_slice(CHUNKED_BODY_END);
+        let mut buffered = Vec::new();
+        encode_chunk(&mut buffered, b"event: x\n\n");
+        encode_chunk(&mut buffered, b"");
+        encode_chunk(&mut buffered, b"hi");
+        buffered.extend_from_slice(CHUNKED_BODY_END);
+        assert_eq!(streamed, buffered);
     }
 
     #[test]

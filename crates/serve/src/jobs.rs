@@ -7,13 +7,22 @@
 //! # Lifecycle
 //!
 //! `submit` validates the spec, persists it next to the job's checkpoint
-//! file (when a model dir is configured), and spawns two threads: the
-//! *driver* ([`caffeine_runtime::RunController::drive`] stepping the
-//! island runner one generation at a time) and the *pump*, which fans the
+//! file (when a model dir is configured), and hands the prepared run to
+//! the **admission scheduler**: a bounded set of *running* slots
+//! (`max_running`) with FIFO admission. A submission beyond the running
+//! limit enters the `queued` state — visible in job listings with its
+//! 1-based `queue_position` — instead of spawning threads; resources are
+//! committed at *admission* time, not accept time. 429 fires only when
+//! the whole bounded store is full of live (queued or running) jobs.
+//!
+//! Admission spawns two threads: the *driver*
+//! ([`caffeine_runtime::RunController::drive`] stepping the island
+//! runner one generation at a time) and the *pump*, which fans the
 //! runner's [`caffeine_runtime::RunEvent`]s out to SSE subscribers via
 //! the job's [`EventHub`]. On a terminal outcome the driver publishes
-//! (or not), removes the job's on-disk spec + checkpoint, and the pump
-//! emits a final `done` event and closes the hub.
+//! (or not), removes the job's on-disk spec + checkpoint, frees its
+//! running slot (admitting the next queued job), and the pump emits a
+//! final `done` event and closes the hub.
 //!
 //! A daemon killed mid-job leaves `job-{id}.spec.json` and
 //! `job-{id}.ckpt` behind; [`JobManager::adopt_orphans`] re-creates those
@@ -24,10 +33,11 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use serde::Deserialize;
 
@@ -291,7 +301,7 @@ pub struct EventHub {
 }
 
 impl EventHub {
-    fn publish(&self, f: JobEventFrame) {
+    pub(crate) fn publish(&self, f: JobEventFrame) {
         let mut st = self.state.lock().expect("hub lock");
         if st.history.len() >= HUB_HISTORY_CAP {
             st.history.pop_front();
@@ -306,6 +316,12 @@ impl EventHub {
         let mut st = self.state.lock().expect("hub lock");
         st.closed = true;
         st.subscribers.clear(); // drops the senders; receivers see EOF
+    }
+
+    /// [`EventHub::close`] for crate-internal tests (the SSE streamer's).
+    #[cfg(test)]
+    pub(crate) fn close_for_tests(&self) {
+        self.close();
     }
 
     /// Joins the stream: everything already emitted (bounded history)
@@ -344,6 +360,9 @@ pub struct JobEntry {
     /// not a user decision, so the spec + checkpoint must survive for the
     /// next daemon to re-adopt.
     preserve_files: std::sync::atomic::AtomicBool,
+    /// 1-based position in the admission queue; 0 once admitted (or when
+    /// the job never had to wait). Maintained by the scheduler.
+    queue_position: AtomicUsize,
 }
 
 impl JobEntry {
@@ -357,7 +376,23 @@ impl JobEntry {
             outcome: Mutex::new(JobOutcome::Pending),
             handle: Mutex::new(None),
             preserve_files: std::sync::atomic::AtomicBool::new(false),
+            queue_position: AtomicUsize::new(0),
         })
+    }
+
+    /// A bare entry (live hub, pending outcome) for crate-internal tests.
+    #[cfg(test)]
+    pub(crate) fn test_entry(id: u64, model_id: String) -> Arc<JobEntry> {
+        JobEntry::new(id, model_id, false)
+    }
+
+    /// The job's 1-based admission-queue position, or `None` once it has
+    /// been admitted to a running slot (or reached a terminal state).
+    pub fn queue_position(&self) -> Option<usize> {
+        match self.queue_position.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
     }
 
     /// The current outcome.
@@ -372,9 +407,18 @@ impl JobEntry {
         }
     }
 
-    /// The state label for one consistent (outcome, phase) observation.
-    fn state_label(outcome: &JobOutcome, phase: caffeine_runtime::RunPhase) -> &'static str {
+    /// The state label for one consistent (outcome, phase, queued)
+    /// observation.
+    fn state_label(
+        outcome: &JobOutcome,
+        phase: caffeine_runtime::RunPhase,
+        queued: bool,
+    ) -> &'static str {
         match outcome {
+            // A job waiting for a running slot has no driver yet; its
+            // controller still says `running` (the initial phase), so the
+            // queue flag must win while the outcome is open.
+            JobOutcome::Pending if queued => "queued",
             JobOutcome::Pending => match phase {
                 // The engine finished its generations but the harvest /
                 // registry publication has not landed yet: clients that
@@ -389,10 +433,14 @@ impl JobEntry {
         }
     }
 
-    /// The lowercase state label: controller phase until a terminal
-    /// outcome overrides it.
+    /// The lowercase state label: `queued` until admission, then the
+    /// controller phase until a terminal outcome overrides it.
     pub fn state(&self) -> &'static str {
-        JobEntry::state_label(&self.outcome(), self.controller.snapshot().phase)
+        JobEntry::state_label(
+            &self.outcome(),
+            self.controller.snapshot().phase,
+            self.queue_position().is_some(),
+        )
     }
 
     /// Renders the job as its status JSON value. Outcome and progress are
@@ -401,13 +449,21 @@ impl JobEntry {
     pub fn status_json(&self) -> serde_json::Value {
         let snapshot = self.controller.snapshot();
         let outcome = self.outcome();
+        let queue_position = self.queue_position();
         let mut body = serde_json::json!({
             "id": self.id,
             "model_id": self.model_id.clone(),
             "resumed": self.resumed,
-            "state": JobEntry::state_label(&outcome, snapshot.phase),
+            "state": JobEntry::state_label(&outcome, snapshot.phase, queue_position.is_some()),
             "progress": serde_json::to_value(&snapshot),
         });
+        // Only a still-pending job is truly queued; a just-settled cancel
+        // may not have cleared its position yet.
+        if matches!(outcome, JobOutcome::Pending) {
+            if let (Some(pos), serde_json::Value::Object(m)) = (queue_position, &mut body) {
+                m.insert("queue_position".into(), serde_json::json!(pos));
+            }
+        }
         match outcome {
             JobOutcome::Pending | JobOutcome::Cancelled => {}
             JobOutcome::Published {
@@ -455,10 +511,256 @@ fn remove_checkpoint_files(path: &std::path::Path) {
     let _ = std::fs::remove_file(PathBuf::from(staged));
 }
 
+/// Everything a queued job needs to run once a slot frees: the prepared
+/// (validated) runner, its data, and where to publish/persist. Held by
+/// the scheduler while the job waits so admission commits no resources
+/// beyond memory.
+struct PreparedRun {
+    runner: IslandRunner,
+    data: Dataset,
+    var_names: Vec<String>,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    spec_path: Option<PathBuf>,
+    ckpt_path: Option<PathBuf>,
+}
+
+/// One admission-queue element.
+struct QueuedJob {
+    entry: Arc<JobEntry>,
+    run: PreparedRun,
+    queued_at: Instant,
+}
+
+struct SchedState {
+    queue: VecDeque<QueuedJob>,
+    /// Jobs admitted to a running slot whose driver has not yet reached
+    /// a terminal outcome.
+    running: usize,
+}
+
+/// FIFO admission over a bounded set of running slots. Submissions (and
+/// re-adopted orphans) enqueue; a slot frees when a driver reaches a
+/// terminal outcome, which immediately admits the head of the queue.
+/// Shared with every driver thread so slot release needs no manager.
+struct Scheduler {
+    state: Mutex<SchedState>,
+    max_running: usize,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock().expect("scheduler lock");
+        f.debug_struct("Scheduler")
+            .field("max_running", &self.max_running)
+            .field("running", &st.running)
+            .field("queued", &st.queue.len())
+            .finish()
+    }
+}
+
+impl Scheduler {
+    fn new(max_running: usize) -> Arc<Scheduler> {
+        Arc::new(Scheduler {
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                running: 0,
+            }),
+            max_running: max_running.max(1),
+        })
+    }
+
+    /// The current queue depth.
+    fn depth(&self) -> usize {
+        self.state.lock().expect("scheduler lock").queue.len()
+    }
+
+    /// Admits the job into a running slot immediately when one is free
+    /// (and nothing is already waiting — FIFO), otherwise queues it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a thread-spawn failure for an immediately-admitted job;
+    /// queued jobs cannot fail here.
+    fn enqueue(self: &Arc<Scheduler>, job: QueuedJob) -> Result<(), ApiError> {
+        let mut st = self.state.lock().expect("scheduler lock");
+        if st.running < self.max_running && st.queue.is_empty() {
+            st.running += 1;
+            let metrics = Arc::clone(&job.run.metrics);
+            let outcome = spawn_admitted(self, &job.entry, job.run);
+            if outcome.is_err() {
+                st.running -= 1;
+            }
+            metrics.set_jobs_queued(st.queue.len());
+            return outcome;
+        }
+        job.entry
+            .queue_position
+            .store(st.queue.len() + 1, Ordering::Relaxed);
+        let metrics = Arc::clone(&job.run.metrics);
+        st.queue.push_back(job);
+        metrics.set_jobs_queued(st.queue.len());
+        Ok(())
+    }
+
+    /// Frees one running slot (a driver reached a terminal outcome) and
+    /// admits queued jobs while slots remain.
+    fn release_slot(self: &Arc<Scheduler>) {
+        let mut st = self.state.lock().expect("scheduler lock");
+        st.running = st.running.saturating_sub(1);
+        while st.running < self.max_running {
+            let Some(job) = st.queue.pop_front() else {
+                break;
+            };
+            job.entry.queue_position.store(0, Ordering::Relaxed);
+            job.run.metrics.observe_queue_wait(job.queued_at.elapsed());
+            job.run.metrics.set_jobs_queued(st.queue.len());
+            st.running += 1;
+            let entry = Arc::clone(&job.entry);
+            let metrics = Arc::clone(&job.run.metrics);
+            if let Err(e) = spawn_admitted(self, &entry, job.run) {
+                // The slot the job would have used frees again; surface
+                // the job as failed rather than losing it silently.
+                st.running -= 1;
+                *entry.outcome.lock().expect("job lock") =
+                    JobOutcome::Failed { message: e.message };
+                entry.events.publish(frame("done", entry.status_json()));
+                entry.events.close();
+                metrics.observe_job_finished();
+            }
+        }
+        Scheduler::renumber(&st);
+    }
+
+    /// Removes a not-yet-admitted job from the queue (cancellation),
+    /// returning it for the caller to settle. `None` when the job was
+    /// already admitted (or never queued).
+    fn remove_queued(&self, id: u64) -> Option<QueuedJob> {
+        let mut st = self.state.lock().expect("scheduler lock");
+        let idx = st.queue.iter().position(|j| j.entry.id == id)?;
+        let job = st.queue.remove(idx).expect("index just found");
+        Scheduler::renumber(&st);
+        job.run.metrics.set_jobs_queued(st.queue.len());
+        Some(job)
+    }
+
+    /// Empties the whole queue (draining shutdown), returning the jobs
+    /// for the caller to settle as interrupted.
+    fn take_all_queued(&self) -> Vec<QueuedJob> {
+        let mut st = self.state.lock().expect("scheduler lock");
+        let jobs: Vec<QueuedJob> = st.queue.drain(..).collect();
+        if let Some(job) = jobs.first() {
+            job.run.metrics.set_jobs_queued(0);
+        }
+        jobs
+    }
+
+    /// Rewrites every queued entry's 1-based position after a mutation.
+    fn renumber(st: &SchedState) {
+        for (i, job) in st.queue.iter().enumerate() {
+            job.entry.queue_position.store(i + 1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Spawns an admitted job's driver thread (stepping the runner to
+/// completion and publishing the result) and pump thread (fanning run
+/// events out to the job's SSE hub). The driver releases its scheduler
+/// slot on exit, which admits the next queued job.
+fn spawn_admitted(
+    scheduler: &Arc<Scheduler>,
+    entry: &Arc<JobEntry>,
+    run: PreparedRun,
+) -> Result<(), ApiError> {
+    let PreparedRun {
+        mut runner,
+        data,
+        var_names,
+        registry,
+        metrics,
+        spec_path,
+        ckpt_path,
+    } = run;
+    let (tx, rx) = std::sync::mpsc::channel();
+    runner.set_events(tx);
+    let pump_entry = Arc::clone(entry);
+    std::thread::Builder::new()
+        .name(format!("serve-job-{}-events", entry.id))
+        .spawn(move || {
+            for event in rx {
+                pump_entry.events.publish(frame_for(&event));
+            }
+            // The channel closes when the runner is dropped, which the
+            // driver does only after recording the terminal outcome —
+            // so this final frame always carries the final state.
+            pump_entry
+                .events
+                .publish(frame("done", pump_entry.status_json()));
+            pump_entry.events.close();
+        })
+        .map_err(|e| ApiError::internal(format!("cannot spawn event pump: {e}")))?;
+
+    let id = entry.id;
+    let model_id = entry.model_id.clone();
+    let controller = entry.controller.clone();
+    let thread_entry = Arc::clone(entry);
+    let scheduler = Arc::clone(scheduler);
+    let handle = std::thread::Builder::new()
+        .name(format!("serve-job-{id}"))
+        .spawn(move || {
+            let outcome = match controller.drive(&mut runner, &data) {
+                Ok(Some(result)) => {
+                    let n_models = result.models.len();
+                    match ModelArtifact::new(var_names, result.models)
+                        .map_err(ApiError::from)
+                        .and_then(|artifact| registry.publish(&model_id, artifact))
+                    {
+                        Ok((version, _created)) => JobOutcome::Published {
+                            model_id,
+                            version,
+                            n_models,
+                        },
+                        Err(e) => JobOutcome::Failed { message: e.message },
+                    }
+                }
+                Ok(None) => JobOutcome::Cancelled,
+                Err(e) => JobOutcome::Failed {
+                    message: e.to_string(),
+                },
+            };
+            let interrupted = matches!(outcome, JobOutcome::Cancelled)
+                && thread_entry
+                    .preserve_files
+                    .load(std::sync::atomic::Ordering::Relaxed);
+            *thread_entry.outcome.lock().expect("job lock") = outcome;
+            // Terminal: the spec/checkpoint pair has served its
+            // purpose (publication happened or was deliberately
+            // abandoned); removing it keeps restarts from re-running
+            // finished work. The one exception is a drain-cancelled
+            // job — that interruption must stay re-adoptable.
+            if !interrupted {
+                if let Some(path) = spec_path {
+                    let _ = std::fs::remove_file(path);
+                }
+                if let Some(path) = ckpt_path {
+                    remove_checkpoint_files(&path);
+                }
+            }
+            metrics.observe_job_finished();
+            // This job's slot frees; the queue head (if any) starts now.
+            scheduler.release_slot();
+            drop(runner); // last event sender: ends the pump thread
+        })
+        .map_err(|e| ApiError::internal(format!("cannot spawn job thread: {e}")))?;
+    *entry.handle.lock().expect("job lock") = Some(handle);
+    Ok(())
+}
+
 /// Spawns, tracks, evicts, and re-adopts jobs. The store is bounded:
 /// submissions beyond `max_jobs` first evict terminal records
 /// (oldest-first) and are rejected with 429 when every slot holds a live
-/// job.
+/// job. Within the store, a FIFO admission scheduler bounds how many jobs
+/// *run* concurrently; the rest wait in the `queued` state.
 #[derive(Debug)]
 pub struct JobManager {
     jobs: Mutex<BTreeMap<u64, Arc<JobEntry>>>,
@@ -467,23 +769,36 @@ pub struct JobManager {
     /// configured.
     checkpoint_dir: Option<PathBuf>,
     max_jobs: usize,
+    scheduler: Arc<Scheduler>,
 }
 
 impl JobManager {
     /// A manager persisting job state under `checkpoint_dir` (when
-    /// given), holding at most `max_jobs` records (clamped to ≥ 1).
-    pub fn new(checkpoint_dir: Option<PathBuf>, max_jobs: usize) -> JobManager {
+    /// given), holding at most `max_jobs` records with at most
+    /// `max_running` of them running concurrently (both clamped to ≥ 1).
+    pub fn new(checkpoint_dir: Option<PathBuf>, max_jobs: usize, max_running: usize) -> JobManager {
         JobManager {
             jobs: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
             checkpoint_dir,
             max_jobs: max_jobs.max(1),
+            scheduler: Scheduler::new(max_running),
         }
     }
 
     /// The configured record capacity.
     pub fn capacity(&self) -> usize {
         self.max_jobs
+    }
+
+    /// The configured bound on concurrently running jobs.
+    pub fn max_running(&self) -> usize {
+        self.scheduler.max_running
+    }
+
+    /// The current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.scheduler.depth()
     }
 
     fn spec_path(&self, id: u64) -> Option<PathBuf> {
@@ -498,13 +813,15 @@ impl JobManager {
             .map(|d| d.join(format!("job-{id}.ckpt")))
     }
 
-    /// Validates a spec, spawns its background run, and returns the job
-    /// id.
+    /// Validates a spec and hands the prepared run to the admission
+    /// scheduler: it starts immediately when a running slot is free,
+    /// otherwise the returned entry is in the `queued` state.
     ///
     /// # Errors
     ///
-    /// 400/422 for specs the engine's own validation rejects, 429 when
-    /// the job store is full of live jobs.
+    /// 400/422 for specs the engine's own validation rejects, 429 (with
+    /// a queue-depth-derived `Retry-After`) when the job store is full
+    /// of live jobs.
     pub fn submit(
         &self,
         spec: JobSpec,
@@ -534,18 +851,25 @@ impl JobManager {
         let entry = JobEntry::new(id, model_id, false);
         self.insert_bounded(Arc::clone(&entry), &metrics)
             .inspect_err(|_| self.remove_job_files(id))?;
-        self.spawn_run(
-            &entry,
+        let run = PreparedRun {
             runner,
             data,
-            spec.var_names.clone(),
+            var_names: spec.var_names.clone(),
             registry,
             metrics,
-        )
-        .inspect_err(|_| {
-            self.jobs.lock().expect("jobs lock").remove(&id);
-            self.remove_job_files(id);
-        })?;
+            spec_path: self.spec_path(id),
+            ckpt_path: self.ckpt_path(id),
+        };
+        self.scheduler
+            .enqueue(QueuedJob {
+                entry: Arc::clone(&entry),
+                run,
+                queued_at: Instant::now(),
+            })
+            .inspect_err(|_| {
+                self.jobs.lock().expect("jobs lock").remove(&id);
+                self.remove_job_files(id);
+            })?;
         Ok(entry)
     }
 
@@ -574,12 +898,15 @@ impl JobManager {
             }
         }
         if jobs.len() >= self.max_jobs {
+            // Retry-After scales with how much work is already waiting:
+            // a deep queue means a freed record is further away.
             return Err(ApiError::too_many_jobs(format!(
                 "job store is full ({} live jobs, capacity {}); retry when one finishes or \
                  cancel one",
                 jobs.len(),
                 self.max_jobs
-            )));
+            ))
+            .with_retry_after(1 + self.scheduler.depth() as u64));
         }
         jobs.insert(entry.id, entry);
         Ok(())
@@ -594,90 +921,24 @@ impl JobManager {
         }
     }
 
-    /// Spawns the driver thread (stepping the runner to completion and
-    /// publishing the result) and the pump thread (fanning run events out
-    /// to the job's SSE hub).
-    fn spawn_run(
-        &self,
-        entry: &Arc<JobEntry>,
-        mut runner: IslandRunner,
-        data: Dataset,
-        var_names: Vec<String>,
-        registry: Arc<ModelRegistry>,
-        metrics: Arc<Metrics>,
-    ) -> Result<(), ApiError> {
-        let (tx, rx) = std::sync::mpsc::channel();
-        runner.set_events(tx);
-        let pump_entry = Arc::clone(entry);
-        std::thread::Builder::new()
-            .name(format!("serve-job-{}-events", entry.id))
-            .spawn(move || {
-                for event in rx {
-                    pump_entry.events.publish(frame_for(&event));
-                }
-                // The channel closes when the runner is dropped, which the
-                // driver does only after recording the terminal outcome —
-                // so this final frame always carries the final state.
-                pump_entry
-                    .events
-                    .publish(frame("done", pump_entry.status_json()));
-                pump_entry.events.close();
-            })
-            .map_err(|e| ApiError::internal(format!("cannot spawn event pump: {e}")))?;
-
-        let id = entry.id;
-        let model_id = entry.model_id.clone();
-        let controller = entry.controller.clone();
-        let thread_entry = Arc::clone(entry);
-        let spec_path = self.spec_path(id);
-        let ckpt_path = self.ckpt_path(id);
-        let handle = std::thread::Builder::new()
-            .name(format!("serve-job-{id}"))
-            .spawn(move || {
-                let outcome = match controller.drive(&mut runner, &data) {
-                    Ok(Some(result)) => {
-                        let n_models = result.models.len();
-                        match ModelArtifact::new(var_names, result.models)
-                            .map_err(ApiError::from)
-                            .and_then(|artifact| registry.publish(&model_id, artifact))
-                        {
-                            Ok((version, _created)) => JobOutcome::Published {
-                                model_id,
-                                version,
-                                n_models,
-                            },
-                            Err(e) => JobOutcome::Failed { message: e.message },
-                        }
-                    }
-                    Ok(None) => JobOutcome::Cancelled,
-                    Err(e) => JobOutcome::Failed {
-                        message: e.to_string(),
-                    },
-                };
-                let interrupted = matches!(outcome, JobOutcome::Cancelled)
-                    && thread_entry
-                        .preserve_files
-                        .load(std::sync::atomic::Ordering::Relaxed);
-                *thread_entry.outcome.lock().expect("job lock") = outcome;
-                // Terminal: the spec/checkpoint pair has served its
-                // purpose (publication happened or was deliberately
-                // abandoned); removing it keeps restarts from re-running
-                // finished work. The one exception is a drain-cancelled
-                // job — that interruption must stay re-adoptable.
-                if !interrupted {
-                    if let Some(path) = spec_path {
-                        let _ = std::fs::remove_file(path);
-                    }
-                    if let Some(path) = ckpt_path {
-                        remove_checkpoint_files(&path);
-                    }
-                }
-                metrics.observe_job_finished();
-                drop(runner); // last event sender: ends the pump thread
-            })
-            .map_err(|e| ApiError::internal(format!("cannot spawn job thread: {e}")))?;
-        *entry.handle.lock().expect("job lock") = Some(handle);
-        Ok(())
+    /// Settles a job that never got a driver thread (cancelled while
+    /// queued, or drained): records the outcome, emits the terminal
+    /// `done` frame, and cleans up files unless the interruption must
+    /// stay re-adoptable.
+    fn settle_unstarted(&self, job: QueuedJob, outcome: JobOutcome) {
+        let entry = job.entry;
+        let interrupted = matches!(outcome, JobOutcome::Cancelled)
+            && entry
+                .preserve_files
+                .load(std::sync::atomic::Ordering::Relaxed);
+        *entry.outcome.lock().expect("job lock") = outcome;
+        entry.queue_position.store(0, Ordering::Relaxed);
+        if !interrupted {
+            self.remove_job_files(entry.id);
+        }
+        entry.events.publish(frame("done", entry.status_json()));
+        entry.events.close();
+        job.run.metrics.observe_job_finished();
     }
 
     /// Scans the checkpoint directory for jobs a previous daemon left
@@ -775,18 +1036,28 @@ impl JobManager {
         let entry = JobEntry::new(id, model_id, true);
         self.insert_bounded(Arc::clone(&entry), metrics)
             .map_err(|e| AdoptFailure::Transient(e.message))?;
-        self.spawn_run(
-            &entry,
+        // Orphans take the same admission path as fresh submissions: a
+        // restart with more interrupted jobs than running slots resumes
+        // them a few at a time instead of stampeding.
+        let run = PreparedRun {
             runner,
             data,
-            spec.var_names.clone(),
-            Arc::clone(registry),
-            Arc::clone(metrics),
-        )
-        .map_err(|e| {
-            self.jobs.lock().expect("jobs lock").remove(&id);
-            AdoptFailure::Transient(e.message)
-        })
+            var_names: spec.var_names.clone(),
+            registry: Arc::clone(registry),
+            metrics: Arc::clone(metrics),
+            spec_path: Some(spec_path),
+            ckpt_path: Some(ckpt_path),
+        };
+        self.scheduler
+            .enqueue(QueuedJob {
+                entry,
+                run,
+                queued_at: Instant::now(),
+            })
+            .map_err(|e| {
+                self.jobs.lock().expect("jobs lock").remove(&id);
+                AdoptFailure::Transient(e.message)
+            })
     }
 
     /// Looks up a job.
@@ -794,10 +1065,17 @@ impl JobManager {
         self.jobs.lock().expect("jobs lock").get(&id).cloned()
     }
 
-    /// Requests cancellation; `false` when the job does not exist.
+    /// Requests cancellation; `false` when the job does not exist. A job
+    /// still waiting in the admission queue settles synchronously (it
+    /// has no driver thread to ask); a running job's cancel lands
+    /// between generations as before.
     pub fn cancel(&self, id: u64) -> bool {
         match self.get(id) {
             Some(entry) => {
+                if let Some(job) = self.scheduler.remove_queued(id) {
+                    self.settle_unstarted(job, JobOutcome::Cancelled);
+                    return true;
+                }
                 entry.controller.cancel();
                 true
             }
@@ -806,7 +1084,7 @@ impl JobManager {
     }
 
     /// Status JSON for every job in id order, optionally filtered to one
-    /// state label (`running`, `paused`, `finished`, `failed`,
+    /// state label (`queued`, `running`, `paused`, `finished`, `failed`,
     /// `cancelled`).
     pub fn list_json(&self, state: Option<&str>) -> Vec<serde_json::Value> {
         let jobs: Vec<Arc<JobEntry>> = self
@@ -826,8 +1104,9 @@ impl JobManager {
 
     /// Cancels every job and joins their threads (graceful shutdown).
     /// Unlike a client's `DELETE`, draining is an interruption: each
-    /// cancelled job keeps its on-disk spec + checkpoint so the next
-    /// daemon on this model dir re-adopts and finishes it.
+    /// cancelled job — queued or running — keeps its on-disk spec (+
+    /// checkpoint) so the next daemon on this model dir re-adopts and
+    /// finishes it.
     pub fn drain(&self) {
         let jobs: Vec<Arc<JobEntry>> = self
             .jobs
@@ -839,6 +1118,13 @@ impl JobManager {
         for job in &jobs {
             job.preserve_files
                 .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        // Empty the queue first so finishing drivers cannot admit new
+        // runs mid-drain; queued jobs settle as interrupted (files kept).
+        for queued in self.scheduler.take_all_queued() {
+            self.settle_unstarted(queued, JobOutcome::Cancelled);
+        }
+        for job in &jobs {
             job.controller.cancel();
         }
         for job in &jobs {
@@ -872,7 +1158,7 @@ mod tests {
 
     fn manager() -> (JobManager, Arc<ModelRegistry>, Arc<Metrics>) {
         (
-            JobManager::new(None, 64),
+            JobManager::new(None, 64, 8),
             Arc::new(ModelRegistry::in_memory()),
             Arc::new(Metrics::new()),
         )
@@ -1037,7 +1323,7 @@ mod tests {
 
     #[test]
     fn full_store_evicts_terminal_jobs_then_answers_429() {
-        let manager = JobManager::new(None, 2);
+        let manager = JobManager::new(None, 2, 2);
         let registry = Arc::new(ModelRegistry::in_memory());
         let metrics = Arc::new(Metrics::new());
         let submit = |generations: u64| {
@@ -1103,6 +1389,210 @@ mod tests {
         manager.drain();
     }
 
+    /// Satellite regression test: a burst of submissions beyond the
+    /// running limit must queue FIFO — never spawn more than
+    /// `max_running` concurrent runs, keep monotone queue positions, and
+    /// complete in submission order.
+    #[test]
+    fn burst_submissions_queue_fifo_and_never_exceed_running_slots() {
+        let manager = JobManager::new(None, 64, 2);
+        let registry = Arc::new(ModelRegistry::in_memory());
+        let metrics = Arc::new(Metrics::new());
+        let submit = |i: usize, generations: usize| {
+            let mut spec = tiny_spec();
+            if let serde_json::Value::Object(m) = &mut spec {
+                m.insert("name".into(), serde_json::json!(format!("burst-{i}")));
+                m.insert("generations".into(), serde_json::json!(generations));
+            }
+            manager.submit(
+                JobSpec::from_json(&body(&spec)).unwrap(),
+                Arc::clone(&registry),
+                Arc::clone(&metrics),
+            )
+        };
+
+        // Phase 1: long-lived jobs make the queue shape observable.
+        let held: Vec<Arc<JobEntry>> = (0..8).map(|i| submit(i, 1_000_000).unwrap()).collect();
+        let states: Vec<&str> = held.iter().map(|e| e.state()).collect();
+        assert_eq!(
+            states,
+            vec!["running", "running", "queued", "queued", "queued", "queued", "queued", "queued"],
+            "burst must yield max_running running + the rest queued"
+        );
+        let positions: Vec<Option<usize>> = held.iter().map(|e| e.queue_position()).collect();
+        assert_eq!(
+            positions[2..],
+            [Some(1), Some(2), Some(3), Some(4), Some(5), Some(6)],
+            "queue positions are monotone in submission order"
+        );
+        assert_eq!(manager.queue_depth(), 6);
+        assert_eq!(metrics.jobs_queued(), 6);
+        let doc = held[4].status_json();
+        assert_eq!(doc["state"], "queued");
+        assert_eq!(doc["queue_position"].as_u64(), Some(3));
+
+        // Cancelling a queued job settles it instantly (no driver ever
+        // existed) and renumbers the jobs behind it.
+        assert!(manager.cancel(held[4].id));
+        assert_eq!(held[4].outcome(), JobOutcome::Cancelled);
+        assert_eq!(held[4].state(), "cancelled");
+        assert_eq!(
+            held[5].queue_position(),
+            Some(3),
+            "renumbered after removal"
+        );
+        // ...and its hub closed with a terminal done frame.
+        let (history, live) = held[4].events.subscribe();
+        assert!(live.is_none());
+        assert_eq!(history.last().unwrap().event, "done");
+
+        // Cancelling a *running* job frees its slot for the queue head.
+        assert!(manager.cancel(held[0].id));
+        held[0].join();
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while held[2].queue_position().is_some() {
+            assert!(Instant::now() < deadline, "queue head never admitted");
+            std::thread::yield_now();
+        }
+        assert_eq!(manager.queue_depth(), 4);
+        manager.drain();
+
+        // Phase 2: FIFO completion. Later jobs are strictly longer, so
+        // submission order is completion order with a wide margin; the
+        // sampler asserts the concurrency bound and the FIFO shape.
+        let manager = JobManager::new(None, 64, 2);
+        let jobs: Vec<Arc<JobEntry>> = (0..6)
+            .map(|i| {
+                let mut spec = tiny_spec();
+                if let serde_json::Value::Object(m) = &mut spec {
+                    m.insert("name".into(), serde_json::json!(format!("fifo-{i}")));
+                    m.insert("generations".into(), serde_json::json!(10 * (i + 1)));
+                }
+                manager
+                    .submit(
+                        JobSpec::from_json(&body(&spec)).unwrap(),
+                        Arc::clone(&registry),
+                        Arc::clone(&metrics),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let mut completion_order: Vec<usize> = Vec::new();
+        let deadline = Instant::now() + std::time::Duration::from_secs(120);
+        while completion_order.len() < jobs.len() {
+            assert!(Instant::now() < deadline, "burst never completed");
+            let states: Vec<&str> = jobs.iter().map(|e| e.state()).collect();
+            assert!(
+                states.iter().filter(|s| **s == "running").count() <= 2,
+                "more than max_running concurrent runs: {states:?}"
+            );
+            // FIFO: the queued jobs are always a suffix of submission
+            // order (admission can never leapfrog).
+            if let Some(first_queued) = states.iter().position(|s| *s == "queued") {
+                assert!(
+                    states[first_queued..].iter().all(|s| *s == "queued"),
+                    "queue admitted out of order: {states:?}"
+                );
+            }
+            for (i, state) in states.iter().enumerate() {
+                if *state == "finished" && !completion_order.contains(&i) {
+                    completion_order.push(i);
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(
+            completion_order,
+            (0..jobs.len()).collect::<Vec<_>>(),
+            "jobs must finish in submission order"
+        );
+        for job in &jobs {
+            assert!(matches!(job.outcome(), JobOutcome::Published { .. }));
+        }
+    }
+
+    /// Drained queued jobs keep their spec files and re-adopt through
+    /// the same admission queue on the next start.
+    #[test]
+    fn drain_preserves_queued_jobs_and_readoption_requeues() {
+        let dir = std::env::temp_dir().join(format!(
+            "caffeine-queue-drain-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let registry = Arc::new(ModelRegistry::in_memory());
+        let metrics = Arc::new(Metrics::new());
+        let manager = JobManager::new(Some(dir.clone()), 8, 1);
+        let submit = |mgr: &JobManager| {
+            let mut spec = tiny_spec();
+            if let serde_json::Value::Object(m) = &mut spec {
+                m.remove("name");
+                m.insert("generations".into(), serde_json::json!(1_000_000));
+                m.insert("checkpoint_every".into(), serde_json::json!(1));
+            }
+            mgr.submit(
+                JobSpec::from_json(&body(&spec)).unwrap(),
+                Arc::clone(&registry),
+                Arc::clone(&metrics),
+            )
+            .unwrap()
+        };
+        let running = submit(&manager);
+        let queued = submit(&manager);
+        assert_eq!(running.state(), "running");
+        assert_eq!(queued.state(), "queued");
+        manager.drain();
+        assert_eq!(running.outcome(), JobOutcome::Cancelled);
+        assert_eq!(queued.outcome(), JobOutcome::Cancelled);
+        for id in [running.id, queued.id] {
+            assert!(
+                dir.join(format!("job-{id}.spec.json")).exists(),
+                "drain must preserve job {id}'s spec (queued or running)"
+            );
+        }
+
+        // The next daemon re-adopts both through the admission queue:
+        // one running slot, so one resumes and one queues.
+        let manager2 = JobManager::new(Some(dir.clone()), 8, 1);
+        assert_eq!(manager2.adopt_orphans(&registry, &metrics), 2);
+        let readopted_running = manager2.get(running.id).unwrap();
+        let readopted_queued = manager2.get(queued.id).unwrap();
+        assert!(readopted_running.resumed && readopted_queued.resumed);
+        assert_eq!(readopted_running.state(), "running");
+        assert_eq!(readopted_queued.state(), "queued");
+        assert_eq!(readopted_queued.queue_position(), Some(1));
+        manager2.drain();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_store_429_carries_a_queue_derived_retry_after() {
+        let manager = JobManager::new(None, 2, 1);
+        let registry = Arc::new(ModelRegistry::in_memory());
+        let metrics = Arc::new(Metrics::new());
+        let submit = || {
+            let mut spec = tiny_spec();
+            if let serde_json::Value::Object(m) = &mut spec {
+                m.remove("name");
+                m.insert("generations".into(), serde_json::json!(1_000_000));
+            }
+            manager.submit(
+                JobSpec::from_json(&body(&spec)).unwrap(),
+                Arc::clone(&registry),
+                Arc::clone(&metrics),
+            )
+        };
+        let _running = submit().unwrap();
+        let _queued = submit().unwrap();
+        let err = submit().unwrap_err();
+        assert_eq!(err.status, 429);
+        // One job waits in the queue → Retry-After = 1 + depth = 2.
+        assert_eq!(err.retry_after, Some(2));
+        manager.drain();
+    }
+
     #[test]
     fn orphaned_specs_are_adopted_and_run_to_publication() {
         let dir = std::env::temp_dir().join(format!(
@@ -1122,7 +1612,7 @@ mod tests {
         .unwrap();
         std::fs::write(dir.join("job-9.spec.json"), "{ not json").unwrap();
 
-        let manager = JobManager::new(Some(dir.clone()), 8);
+        let manager = JobManager::new(Some(dir.clone()), 8, 8);
         let registry = Arc::new(ModelRegistry::in_memory());
         let metrics = Arc::new(Metrics::new());
         let adopted = manager.adopt_orphans(&registry, &metrics);
@@ -1175,7 +1665,7 @@ mod tests {
 
         // Drain (graceful shutdown) cancels the job but must keep its
         // spec + checkpoint so the next daemon re-adopts it.
-        let manager = JobManager::new(Some(dir.clone()), 8);
+        let manager = JobManager::new(Some(dir.clone()), 8, 8);
         let entry = manager
             .submit(
                 JobSpec::from_json(&body(&long)).unwrap(),
@@ -1192,7 +1682,7 @@ mod tests {
         );
 
         // The next manager re-adopts the interrupted job...
-        let manager2 = JobManager::new(Some(dir.clone()), 8);
+        let manager2 = JobManager::new(Some(dir.clone()), 8, 8);
         assert_eq!(manager2.adopt_orphans(&registry, &metrics), 1);
         let readopted = manager2.get(id).expect("job re-adopted after drain");
         assert!(readopted.resumed);
@@ -1232,7 +1722,7 @@ mod tests {
             )
             .unwrap();
         }
-        let manager = JobManager::new(Some(dir.clone()), 2);
+        let manager = JobManager::new(Some(dir.clone()), 2, 2);
         let registry = Arc::new(ModelRegistry::in_memory());
         let metrics = Arc::new(Metrics::new());
         let adopted = manager.adopt_orphans(&registry, &metrics);
@@ -1257,7 +1747,7 @@ mod tests {
         ));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
-        let manager = JobManager::new(Some(dir.clone()), 8);
+        let manager = JobManager::new(Some(dir.clone()), 8, 8);
         let registry = Arc::new(ModelRegistry::in_memory());
         let metrics = Arc::new(Metrics::new());
         let mut spec = tiny_spec();

@@ -21,13 +21,18 @@
 //!   row-major point batches and evaluates them through the compiled-tape
 //!   batch path with full shape validation (empty/ragged/mismatched
 //!   batches are structured 400s, never panics).
-//! * **Async modeling jobs** ([`JobManager`]): `POST /v1/jobs` launches
-//!   a GP run on a background thread through `caffeine-runtime`'s island
-//!   engine and [`caffeine_runtime::RunController`], with live progress
-//!   snapshots, SSE event streaming ([`EventHub`]), checkpointing,
-//!   cancellation, automatic publication of the finished front into the
-//!   registry, a bounded store with terminal-state eviction, and
-//!   re-adoption of interrupted jobs on restart.
+//! * **Async modeling jobs** ([`JobManager`]): `POST /v1/jobs` admits a
+//!   GP run through a FIFO **admission scheduler** — at most
+//!   `--max-running-jobs` runs execute concurrently, the rest wait in
+//!   the `queued` state with a visible queue position — onto background
+//!   threads through `caffeine-runtime`'s island engine and
+//!   [`caffeine_runtime::RunController`], with live progress snapshots,
+//!   SSE event streaming ([`EventHub`]) served by a dedicated streamer
+//!   thread ([`SseStreamer`], so open streams never occupy pool
+//!   workers), checkpointing, cancellation, automatic publication of
+//!   the finished front into the registry, a bounded store with
+//!   terminal-state eviction, and re-adoption of interrupted jobs on
+//!   restart (through the same queue).
 //! * **Observability** ([`Metrics`]): request counts, per-route latency
 //!   histograms, registry cache hits, and job/keep-alive/SSE counters in
 //!   the Prometheus text format at `GET /metrics`.
@@ -89,6 +94,7 @@ mod pool;
 mod registry;
 mod router;
 mod server;
+mod sse;
 
 pub use error::ApiError;
 pub use jobs::{EventHub, JobEntry, JobEventFrame, JobManager, JobOutcome, JobSpec};
@@ -97,3 +103,4 @@ pub use pool::WorkerPool;
 pub use registry::{ModelRegistry, StoredVersion};
 pub use router::{route, valid_model_id, Route};
 pub use server::{ServeConfig, Server, ServerHandle, Shared};
+pub use sse::SseStreamer;

@@ -68,6 +68,12 @@ pub struct Metrics {
     keepalive_reused: AtomicU64,
     /// SSE job-event streams opened.
     sse_streams: AtomicU64,
+    /// SSE streams currently owned by the streamer thread (gauge).
+    sse_active: AtomicU64,
+    /// Jobs currently waiting in the admission queue (gauge).
+    jobs_queued: AtomicU64,
+    /// Time jobs spent queued before admission.
+    queue_wait: Mutex<Histogram>,
 }
 
 impl Default for Metrics {
@@ -90,6 +96,9 @@ impl Metrics {
             jobs_adopted: AtomicU64::new(0),
             keepalive_reused: AtomicU64::new(0),
             sse_streams: AtomicU64::new(0),
+            sse_active: AtomicU64::new(0),
+            jobs_queued: AtomicU64::new(0),
+            queue_wait: Mutex::new(Histogram::default()),
         }
     }
 
@@ -142,6 +151,39 @@ impl Metrics {
     /// Records an SSE job-event stream being opened.
     pub fn observe_sse_stream(&self) {
         self.sse_streams.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a stream entering the dedicated streamer's ownership.
+    pub fn observe_sse_adopted(&self) {
+        self.sse_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a stream leaving the streamer (done, dead, or dropped).
+    pub fn observe_sse_closed(&self) {
+        // Saturating: a close without a matched adopt must not wrap.
+        let _ = self
+            .sse_active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Publishes the current admission-queue depth (gauge).
+    pub fn set_jobs_queued(&self, depth: usize) {
+        self.jobs_queued.store(depth as u64, Ordering::Relaxed);
+    }
+
+    /// The last published admission-queue depth.
+    pub fn jobs_queued(&self) -> u64 {
+        self.jobs_queued.load(Ordering::Relaxed)
+    }
+
+    /// Records how long one job waited in the admission queue.
+    pub fn observe_queue_wait(&self, waited: Duration) {
+        self.queue_wait
+            .lock()
+            .expect("metrics lock")
+            .observe(waited);
     }
 
     /// Renders everything in the Prometheus text format. Registry cache
@@ -226,6 +268,40 @@ impl Metrics {
             "caffeine_serve_sse_streams_total {}\n",
             self.sse_streams.load(Ordering::Relaxed)
         ));
+        out.push_str("# TYPE caffeine_serve_sse_active gauge\n");
+        out.push_str(&format!(
+            "caffeine_serve_sse_active {}\n",
+            self.sse_active.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE caffeine_serve_jobs_queued gauge\n");
+        out.push_str(&format!(
+            "caffeine_serve_jobs_queued {}\n",
+            self.jobs_queued.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE caffeine_serve_queue_wait_seconds histogram\n");
+        {
+            let hist = self.queue_wait.lock().expect("metrics lock");
+            let mut cumulative = 0;
+            for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+                cumulative += hist.buckets[i];
+                out.push_str(&format!(
+                    "caffeine_serve_queue_wait_seconds_bucket{{le=\"{}\"}} {cumulative}\n",
+                    bound as f64 / 1e6
+                ));
+            }
+            out.push_str(&format!(
+                "caffeine_serve_queue_wait_seconds_bucket{{le=\"+Inf\"}} {}\n",
+                hist.count
+            ));
+            out.push_str(&format!(
+                "caffeine_serve_queue_wait_seconds_sum {}\n",
+                hist.sum_us as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "caffeine_serve_queue_wait_seconds_count {}\n",
+                hist.count
+            ));
+        }
         out
     }
 }
@@ -261,6 +337,31 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("le=\"+Inf\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn gauges_and_queue_wait_render() {
+        let m = Metrics::new();
+        m.set_jobs_queued(3);
+        m.observe_sse_adopted();
+        m.observe_sse_adopted();
+        m.observe_sse_closed();
+        m.observe_queue_wait(Duration::from_millis(2));
+        let text = m.render(0, 0);
+        assert!(text.contains("caffeine_serve_jobs_queued 3"), "{text}");
+        assert!(text.contains("caffeine_serve_sse_active 1"), "{text}");
+        assert!(
+            text.contains("caffeine_serve_queue_wait_seconds_count 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("caffeine_serve_queue_wait_seconds_bucket{le=\"0.004096\"} 1"),
+            "{text}"
+        );
+        // The gauge is saturating: an unmatched close stays at zero.
+        m.observe_sse_closed();
+        m.observe_sse_closed();
+        assert!(m.render(0, 0).contains("caffeine_serve_sse_active 0"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! sender on shutdown lets workers drain everything already queued
 //! before exiting — in-flight requests finish, nothing new is admitted.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -16,6 +17,7 @@ use std::thread::JoinHandle;
 pub struct WorkerPool<T: Send + 'static> {
     tx: Option<SyncSender<T>>,
     workers: Vec<JoinHandle<()>>,
+    queued: Arc<AtomicUsize>,
 }
 
 impl<T: Send + 'static> WorkerPool<T> {
@@ -30,19 +32,22 @@ impl<T: Send + 'static> WorkerPool<T> {
         let (tx, rx) = std::sync::mpsc::sync_channel::<T>(backlog.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let handler = Arc::new(handler);
+        let queued = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let handler = Arc::clone(&handler);
+                let queued = Arc::clone(&queued);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, handler.as_ref()))
+                    .spawn(move || worker_loop(&rx, handler.as_ref(), &queued))
                     .expect("spawn worker thread")
             })
             .collect();
         WorkerPool {
             tx: Some(tx),
             workers: handles,
+            queued,
         }
     }
 
@@ -57,9 +62,18 @@ impl<T: Send + 'static> WorkerPool<T> {
             return Err(task);
         };
         match tx.try_send(task) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.queued.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
             Err(TrySendError::Full(t) | TrySendError::Disconnected(t)) => Err(t),
         }
+    }
+
+    /// Tasks accepted but not yet picked up by a worker — an approximate
+    /// backpressure signal for the acceptor.
+    pub fn queued(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
     }
 
     /// Stops admitting work and joins every worker after the queue
@@ -82,7 +96,7 @@ impl<T: Send + 'static> Drop for WorkerPool<T> {
     }
 }
 
-fn worker_loop<T>(rx: &Mutex<Receiver<T>>, handler: &(impl Fn(T) + ?Sized)) {
+fn worker_loop<T>(rx: &Mutex<Receiver<T>>, handler: &(impl Fn(T) + ?Sized), queued: &AtomicUsize) {
     loop {
         // Hold the lock only while dequeuing, never while handling.
         let task = match rx.lock() {
@@ -90,7 +104,10 @@ fn worker_loop<T>(rx: &Mutex<Receiver<T>>, handler: &(impl Fn(T) + ?Sized)) {
             Err(_) => return, // a worker panicked while holding the lock
         };
         match task {
-            Ok(task) => handler(task),
+            Ok(task) => {
+                queued.fetch_sub(1, Ordering::Relaxed);
+                handler(task);
+            }
             Err(_) => return, // channel closed and drained
         }
     }
@@ -143,6 +160,7 @@ mod tests {
             }
         }
         assert_eq!(bounced, Some(7), "saturated pool must hand the task back");
+        assert_eq!(pool.queued(), 1, "one task waits in the backlog slot");
         drop(held);
         pool.shutdown();
     }

@@ -14,6 +14,7 @@ use crate::jobs::JobManager;
 use crate::metrics::Metrics;
 use crate::pool::WorkerPool;
 use crate::registry::ModelRegistry;
+use crate::sse::SseStreamer;
 
 /// Server construction options.
 #[derive(Debug, Clone)]
@@ -40,6 +41,9 @@ pub struct ServeConfig {
     /// Job-record capacity of the bounded job store (clamped to ≥ 1;
     /// submissions beyond it evict terminal records or answer 429).
     pub max_jobs: usize,
+    /// Concurrently *running* GP jobs; submissions beyond this queue
+    /// (FIFO) instead of spawning threads. `0` means "same as `workers`".
+    pub max_running_jobs: usize,
 }
 
 impl Default for ServeConfig {
@@ -54,11 +58,13 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(5),
             max_conn_requests: 100,
             max_jobs: 64,
+            max_running_jobs: 0,
         }
     }
 }
 
-/// State shared by every worker: registry, jobs, metrics, shutdown flag.
+/// State shared by every worker: registry, jobs, metrics, the SSE
+/// streamer, shutdown flag.
 #[derive(Debug)]
 pub struct Shared {
     /// The model registry.
@@ -67,6 +73,9 @@ pub struct Shared {
     pub jobs: JobManager,
     /// Observability counters.
     pub metrics: Arc<Metrics>,
+    /// The dedicated SSE streamer thread owning all event-stream
+    /// connections (so they never pin pool workers).
+    pub sse: SseStreamer,
     config: ServeConfig,
     local_addr: SocketAddr,
     shutdown: AtomicBool,
@@ -132,9 +141,14 @@ impl Server {
             Some(dir) => Arc::new(ModelRegistry::open(dir)?),
             None => Arc::new(ModelRegistry::in_memory()),
         };
+        let max_running = match config.max_running_jobs {
+            0 => config.workers.max(1),
+            n => n,
+        };
         let jobs = JobManager::new(
             config.model_dir.as_ref().map(|d| d.join(".jobs")),
             config.max_jobs,
+            max_running,
         );
         let metrics = Arc::new(Metrics::new());
         // A previous daemon killed mid-job leaves specs + checkpoints
@@ -145,10 +159,12 @@ impl Server {
         if adopted > 0 {
             eprintln!("caffeine-serve: re-adopted {adopted} interrupted job(s) from checkpoints");
         }
+        let sse = SseStreamer::new(Arc::clone(&metrics));
         let shared = Arc::new(Shared {
             registry,
             jobs,
             metrics,
+            sse,
             config,
             local_addr,
             shutdown: AtomicBool::new(false),
@@ -215,11 +231,14 @@ impl Server {
                 // Pool saturated: answer 503 on the acceptor thread (one
                 // small write) and close.
                 self.shared.metrics.observe_busy();
-                write_busy(&mut stream);
+                write_busy(&mut stream, pool.queued());
             }
         }
         pool.shutdown();
         self.shared.jobs.drain();
+        // Jobs are terminal now, so every hub has closed; the streamer
+        // flushes what it can and exits.
+        self.shared.sse.shutdown();
         Ok(())
     }
 }
@@ -264,9 +283,25 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                         }
                     }
                     (handlers::Outcome::StreamJobEvents(entry), label) => {
-                        let _ = stream_job_events(shared, &mut stream, &entry);
-                        shared.metrics.observe(label, 200, started.elapsed());
-                        break; // streamed responses always close
+                        // Hand the socket to the dedicated streamer so
+                        // this worker returns to the pool immediately —
+                        // open streams must not occupy workers. Streamed
+                        // responses always close when done.
+                        match shared.sse.adopt(stream, &entry) {
+                            Ok(()) => shared.metrics.observe(label, 200, started.elapsed()),
+                            Err((mut returned, e)) => {
+                                // The client still deserves a response
+                                // (and the metrics the truth) when the
+                                // streamer cannot take the connection.
+                                let _ = returned.set_nonblocking(false);
+                                let response =
+                                    ApiError::internal(format!("cannot stream events: {e}"))
+                                        .into_response();
+                                let _ = response.write_to(&mut returned, false);
+                                shared.metrics.observe(label, 500, started.elapsed());
+                            }
+                        }
+                        return;
                     }
                 }
             }
@@ -286,6 +321,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                     status,
                     code,
                     message: e.message(),
+                    retry_after: None,
                 }
                 .into_response();
                 let _ = response.write_to(&mut stream, false);
@@ -321,58 +357,25 @@ fn wait_for_next_request(
     alive
 }
 
-/// Streams one job's events as `text/event-stream` over chunked
-/// transfer-encoding: a `snapshot` frame with the job's current status,
-/// the hub's replayed history, then live frames until the job reaches a
-/// terminal state (the hub closes), the client hangs up, or the server
-/// drains. Quiet stretches carry SSE comment frames so a dead peer is
-/// noticed within a few seconds.
-fn stream_job_events(
-    shared: &Arc<Shared>,
-    stream: &mut TcpStream,
-    entry: &crate::jobs::JobEntry,
-) -> std::io::Result<()> {
-    let (history, live) = entry.events.subscribe();
-    let head = Response {
-        status: 200,
-        headers: vec![("cache-control".into(), "no-cache".into())],
-        body: Vec::new(),
-        content_type: "text/event-stream",
-    };
-    let mut w = head.write_chunked_head(stream)?;
-    let snapshot = crate::jobs::JobEventFrame {
-        event: "snapshot",
-        data: serde_json::to_string(&crate::handlers::sanitize(entry.status_json()))
-            .expect("status renders"),
-    };
-    w.chunk(snapshot.render().as_bytes())?;
-    for frame in &history {
-        w.chunk(frame.render().as_bytes())?;
-    }
-    if let Some(rx) = live {
-        loop {
-            if shared.is_shutting_down() {
-                break;
-            }
-            match rx.recv_timeout(Duration::from_secs(1)) {
-                Ok(frame) => w.chunk(frame.render().as_bytes())?,
-                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                    // Heartbeat comment: keeps proxies from timing the
-                    // stream out and detects a vanished client.
-                    w.chunk(b": keep-alive\n\n")?;
-                }
-                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
-            }
-        }
-    }
-    w.finish()
-}
-
 /// Writes a bare 503 (used when even queuing was impossible).
-fn write_busy(stream: &mut TcpStream) {
+///
+/// This runs on the **acceptor thread**, so it must never block: a
+/// client that connects and then never reads (zero receive window)
+/// would otherwise freeze `accept()` for every other client. The
+/// response is rendered to a buffer and sent with a single best-effort
+/// nonblocking write — a peer too hostile to take ~140 bytes just loses
+/// them. `Retry-After` scales with how deep the worker queue already is
+/// (clamped to 1..=30 seconds).
+fn write_busy(stream: &mut TcpStream, pool_queued: usize) {
+    let retry_after = (1 + pool_queued as u64 / 4).min(30);
+    let mut rendered = Vec::with_capacity(256);
     let _ = Response::json(
         503,
         "{\"error\":{\"code\":\"unavailable\",\"message\":\"server is saturated\"}}".into(),
     )
-    .write_to(stream, false);
+    .with_header("retry-after", retry_after.to_string())
+    .write_to(&mut rendered, false);
+    if stream.set_nonblocking(true).is_ok() {
+        let _ = stream.write(&rendered);
+    }
 }

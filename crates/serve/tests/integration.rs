@@ -751,6 +751,259 @@ fn job_store_filters_evicts_and_answers_409_on_terminal_delete() {
     join.join().unwrap().unwrap();
 }
 
+/// Tentpole regression: a burst of submissions beyond `max_running_jobs`
+/// queues (FIFO, visible positions) instead of spawning threads or
+/// answering 429; 429 fires only when the whole store is full of live
+/// jobs, and then carries a queue-derived `Retry-After`.
+#[test]
+fn burst_submissions_queue_with_visible_positions_and_retry_after() {
+    let (addr, handle, join) = boot(ServeConfig {
+        workers: 4,
+        max_running_jobs: 2,
+        max_jobs: 8,
+        ..ServeConfig::default()
+    });
+    let points: Vec<Vec<f64>> = (1..=16).map(|i| vec![f64::from(i) * 0.5]).collect();
+    let targets: Vec<f64> = points.iter().map(|p| 3.0 / p[0]).collect();
+    let submit = || {
+        let spec = serde_json::json!({
+            "var_names": ["x0"],
+            "points": points,
+            "targets": targets,
+            "population": 16,
+            "generations": 1_000_000,
+            "grammar": "rational",
+        });
+        client::request(
+            &addr,
+            "POST",
+            "/v1/jobs",
+            Some(serde_json::to_string(&spec).unwrap().as_bytes()),
+            T,
+        )
+        .unwrap()
+    };
+
+    // 8 submissions into 2 running slots: all accepted (201), the first
+    // two running, the rest queued with monotone 1-based positions.
+    let mut ids = Vec::new();
+    for i in 0..8 {
+        let r = submit();
+        assert_eq!(r.status, 201, "submission {i}: {}", r.text());
+        let doc = r.json().unwrap();
+        ids.push(doc["id"].as_u64().unwrap());
+        if i < 2 {
+            assert_eq!(doc["state"].as_str(), Some("running"), "{doc:?}");
+            assert!(doc["queue_position"].as_u64().is_none(), "{doc:?}");
+        } else {
+            assert_eq!(doc["state"].as_str(), Some("queued"), "{doc:?}");
+            assert_eq!(doc["queue_position"].as_u64(), Some(i - 1), "{doc:?}");
+        }
+    }
+    // The listing agrees, and the state filter knows `queued`.
+    let r = client::request(&addr, "GET", "/v1/jobs?state=queued", None, T).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    let queued = r.json().unwrap();
+    assert_eq!(queued["jobs"].as_array().unwrap().len(), 6, "{queued:?}");
+    let r = client::request(&addr, "GET", "/v1/jobs?state=running", None, T).unwrap();
+    assert_eq!(r.json().unwrap()["jobs"].as_array().unwrap().len(), 2);
+
+    // The store (capacity 8) is now full of live jobs: the 9th meets a
+    // 429 whose Retry-After reflects the queue depth (1 + 6).
+    let r = submit();
+    assert_eq!(r.status, 429, "{}", r.text());
+    assert_eq!(
+        r.json().unwrap()["error"]["code"].as_str(),
+        Some("too_many_jobs")
+    );
+    assert_eq!(r.retry_after(), Some(7), "Retry-After derived from depth");
+
+    // Cancelling a queued job settles it instantly and renumbers the
+    // jobs behind it.
+    let r = client::request(&addr, "DELETE", &format!("/v1/jobs/{}", ids[4]), None, T).unwrap();
+    assert_eq!(r.status, 202, "{}", r.text());
+    let r = client::request(&addr, "GET", &format!("/v1/jobs/{}", ids[4]), None, T).unwrap();
+    assert_eq!(r.json().unwrap()["state"].as_str(), Some("cancelled"));
+    let r = client::request(&addr, "GET", &format!("/v1/jobs/{}", ids[5]), None, T).unwrap();
+    let doc = r.json().unwrap();
+    assert_eq!(doc["queue_position"].as_u64(), Some(3), "{doc:?}");
+
+    // Metrics expose the queue.
+    let r = client::request(&addr, "GET", "/metrics", None, T).unwrap();
+    let text = r.text();
+    assert!(text.contains("caffeine_serve_jobs_queued 5"), "{text}");
+    assert!(
+        text.contains("caffeine_serve_queue_wait_seconds_count"),
+        "{text}"
+    );
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Headline bugfix regression: the saturated-pool 503 is written on the
+/// acceptor thread — a client that connects and never reads must not be
+/// able to stall `accept()` for everyone else.
+#[test]
+fn saturated_pool_503_never_blocks_the_acceptor() {
+    let (addr, handle, join) = boot(ServeConfig {
+        workers: 1,
+        backlog: 1,
+        io_timeout: Duration::from_secs(2),
+        ..ServeConfig::default()
+    });
+
+    // Pin the single worker and the single backlog slot with stalled
+    // half-requests (each holds its spot until the 2s read timeout).
+    let mut pin = TcpStream::connect(&addr).unwrap();
+    pin.write_all(b"POST /v1/jobs HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // worker picks `pin` up
+    let mut fill = TcpStream::connect(&addr).unwrap();
+    fill.write_all(b"POST /v1/jobs HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // `fill` occupies the backlog
+
+    // A herd of clients that connect and then never read a byte: each
+    // gets the best-effort 503 write and is forgotten.
+    let silent: Vec<TcpStream> = (0..8).map(|_| TcpStream::connect(&addr).unwrap()).collect();
+
+    // The acceptor must still be answering promptly: a fresh probe gets
+    // its 503 (the pool is still saturated) within a tight bound, with
+    // the Retry-After satellite asserted on the wire.
+    let started = Instant::now();
+    let mut probe = TcpStream::connect(&addr).unwrap();
+    probe.set_read_timeout(Some(T)).unwrap();
+    let mut raw = String::new();
+    probe.read_to_string(&mut raw).unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "acceptor stalled for {:?} behind non-reading clients",
+        started.elapsed()
+    );
+    assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+    assert!(raw.contains("retry-after: 1"), "{raw}");
+    assert!(raw.contains("\"unavailable\""), "{raw}");
+    drop(silent);
+
+    // Once the stalled requests time out the pool frees up again.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(r) = client::request(&addr, "GET", "/healthz", None, T) {
+            if r.status == 200 {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "pool never recovered");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    drop(pin);
+    drop(fill);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Tentpole regression: open SSE streams are owned by the dedicated
+/// streamer thread, so fan-out beyond the worker count leaves the pool
+/// fully available for plain requests.
+#[test]
+fn sse_watchers_do_not_occupy_pool_workers() {
+    let (addr, handle, join) = boot(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let points: Vec<Vec<f64>> = (1..=16).map(|i| vec![f64::from(i) * 0.5]).collect();
+    let targets: Vec<f64> = points.iter().map(|p| 3.0 / p[0]).collect();
+    let spec = serde_json::json!({
+        "var_names": ["x0"],
+        "points": points,
+        "targets": targets,
+        "population": 16,
+        "generations": 1_000_000,
+        "grammar": "rational",
+    });
+    let r = client::request(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        Some(serde_json::to_string(&spec).unwrap().as_bytes()),
+        T,
+    )
+    .unwrap();
+    assert_eq!(r.status, 201, "{}", r.text());
+    let id = r.json().unwrap()["id"].as_u64().unwrap();
+
+    // Six watchers on a two-worker pool: before the streamer, the third
+    // watcher alone would have starved every other request.
+    let watchers: Vec<std::thread::JoinHandle<(usize, bool)>> = (0..6)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut frames = 0usize;
+                let mut done = false;
+                let _ = client::sse_tail(
+                    &addr,
+                    &format!("/v1/jobs/{id}/events"),
+                    Duration::from_secs(60),
+                    |event| {
+                        frames += 1;
+                        if event.event == "done" {
+                            done = true;
+                        }
+                        !done
+                    },
+                );
+                (frames, done)
+            })
+        })
+        .collect();
+    // Let every watcher attach (6 streams > 2 workers).
+    std::thread::sleep(Duration::from_millis(500));
+
+    // The pool must still answer plain requests while all six streams
+    // are open.
+    for _ in 0..5 {
+        let r = client::request(&addr, "GET", "/healthz", None, T).unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let r = client::request(&addr, "GET", "/metrics", None, T).unwrap();
+    let active: u64 = r
+        .text()
+        .lines()
+        .find_map(|l| l.strip_prefix("caffeine_serve_sse_active "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap();
+    assert_eq!(active, 6, "all six streams owned by the streamer");
+
+    // Ending the job ends every stream with a `done` frame.
+    let r = client::request(&addr, "DELETE", &format!("/v1/jobs/{id}"), None, T).unwrap();
+    assert_eq!(r.status, 202, "{}", r.text());
+    for watcher in watchers {
+        let (frames, done) = watcher.join().unwrap();
+        assert!(done, "watcher missed the done frame after {frames} frames");
+        assert!(frames >= 2, "expected snapshot + done at least");
+    }
+
+    // The gauge returns to zero once the streams close.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let r = client::request(&addr, "GET", "/metrics", None, T).unwrap();
+        let active: u64 = r
+            .text()
+            .lines()
+            .find_map(|l| l.strip_prefix("caffeine_serve_sse_active "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap();
+        if active == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "sse_active stuck at {active}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
 #[test]
 fn shutdown_endpoint_drains_gracefully() {
     let (addr, _handle, join) = boot(ServeConfig::default());

@@ -53,6 +53,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         model_dir: opts.model_dir.clone().map(Into::into),
         workers: opts.threads.max(1),
         max_jobs: opts.max_jobs,
+        max_running_jobs: opts.max_running_jobs,
         max_conn_requests: opts.max_conn_requests,
         idle_timeout: Duration::from_millis(opts.idle_timeout_ms),
         ..ServeConfig::default()
@@ -179,11 +180,27 @@ fn run_jobs(args: &[String]) -> Result<(), String> {
             // No read timeout between generations can exceed the server's
             // 1s heartbeat cadence, so a modest timeout still detects a
             // dead server.
+            let mut saw_done = false;
             client::sse_tail(&addr, &path, Duration::from_secs(30), |event| {
                 println!("{}: {}", event.event, event.data);
-                event.event != "done"
+                if event.event == "done" {
+                    saw_done = true;
+                }
+                !saw_done
             })
-            .map_err(|e| format!("event stream from {addr} failed: {e}"))
+            .map_err(|e| format!("event stream from {addr} failed: {e}"))?;
+            // A stream that ends cleanly always carries `done` as its
+            // last frame; ending without one means the server dropped
+            // this watcher (lagging consumer) — not a finished job.
+            if !saw_done {
+                return Err(format!(
+                    "event stream for job {id} ended before a `done` event — the server \
+                     dropped this watcher (it fell too far behind); the job is still \
+                     running. Reconnect with: caffeine-cli jobs watch --remote {} --id {id}",
+                    opts.remote
+                ));
+            }
+            Ok(())
         }
     }
 }

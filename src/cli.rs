@@ -249,6 +249,9 @@ pub struct ServeOptions {
     pub threads: usize,
     /// Job-store capacity (terminal records are evicted; 429 beyond).
     pub max_jobs: usize,
+    /// Concurrently running GP jobs; submissions beyond this wait in the
+    /// FIFO admission queue (0 = same as `threads`).
+    pub max_running_jobs: usize,
     /// Requests served per connection before the server closes it.
     pub max_conn_requests: usize,
     /// Keep-alive idle timeout between requests, milliseconds.
@@ -262,6 +265,7 @@ impl Default for ServeOptions {
             model_dir: None,
             threads: 4,
             max_jobs: 64,
+            max_running_jobs: 0,
             max_conn_requests: 100,
             idle_timeout_ms: 5_000,
         }
@@ -293,6 +297,7 @@ impl ServeOptions {
                 "--model-dir" => opts.model_dir = Some(value("--model-dir")?),
                 "--threads" => opts.threads = int("--threads")?,
                 "--max-jobs" => opts.max_jobs = int("--max-jobs")?,
+                "--max-running-jobs" => opts.max_running_jobs = int("--max-running-jobs")?,
                 "--max-conn-requests" => opts.max_conn_requests = int("--max-conn-requests")?,
                 "--idle-timeout-ms" => opts.idle_timeout_ms = int("--idle-timeout-ms")? as u64,
                 other => return Err(format!("unknown serve flag `{other}` (see --help)")),
@@ -469,9 +474,12 @@ pub fn usage() -> &'static str {
      \n\
      subcommands:\n\
        serve   --addr <host:port> --model-dir <dir> --threads <n>\n\
-               [--max-jobs <n>] [--max-conn-requests <n>] [--idle-timeout-ms <n>]\n\
+               [--max-jobs <n>] [--max-running-jobs <n>] [--max-conn-requests <n>]\n\
+               [--idle-timeout-ms <n>]\n\
                run the caffeine-serve daemon (model registry, batched\n\
-               /predict, async /jobs with SSE events, HTTP keep-alive;\n\
+               /predict, async /jobs with FIFO queued admission — at most\n\
+               --max-running-jobs run at once, default = --threads — SSE\n\
+               events off a dedicated streamer thread, HTTP keep-alive;\n\
                default addr 127.0.0.1:7878; interrupted jobs found under\n\
                --model-dir/.jobs are re-adopted on start; see docs/API.md)\n\
        predict --remote http://host:port --model <id> --points <file.csv>\n\
@@ -831,6 +839,8 @@ mod tests {
             "8",
             "--max-jobs",
             "5",
+            "--max-running-jobs",
+            "3",
             "--max-conn-requests",
             "32",
             "--idle-timeout-ms",
@@ -844,13 +854,17 @@ mod tests {
         assert_eq!(o.model_dir.as_deref(), Some("mdl"));
         assert_eq!(o.threads, 8);
         assert_eq!(o.max_jobs, 5);
+        assert_eq!(o.max_running_jobs, 3);
         assert_eq!(o.max_conn_requests, 32);
         assert_eq!(o.idle_timeout_ms, 750);
         assert_eq!(ServeOptions::parse(&[]).unwrap(), ServeOptions::default());
         assert_eq!(ServeOptions::default().max_jobs, 64);
+        // 0 = "same as --threads": resolved at bind time, not parse time.
+        assert_eq!(ServeOptions::default().max_running_jobs, 0);
         assert!(ServeOptions::parse(&["--wat".to_string()]).is_err());
         assert!(ServeOptions::parse(&["--addr".to_string()]).is_err());
         assert!(ServeOptions::parse(&["--max-jobs".to_string(), "x".to_string()]).is_err());
+        assert!(ServeOptions::parse(&["--max-running-jobs".to_string()]).is_err());
     }
 
     #[test]
