@@ -35,6 +35,12 @@ use caffeine_core::expr::{BasisFunction, VarCombo, WeightConfig};
 use caffeine_core::{Model, ModelArtifact};
 use caffeine_serve::{client, ServeConfig, Server};
 
+/// Warn-level logger for the measured servers: per-request access
+/// lines would pollute the harness output and skew the timings.
+fn quiet_logger() -> caffeine_obs::Logger {
+    caffeine_obs::Logger::stderr(caffeine_obs::Level::Warn, caffeine_obs::LogFormat::Text)
+}
+
 const T: Duration = Duration::from_secs(30);
 
 #[derive(Debug, Serialize)]
@@ -107,6 +113,8 @@ struct SseFanoutStats {
 struct Snapshot {
     /// Snapshot schema version.
     schema: u32,
+    /// `caffeine-serve` crate version that produced this snapshot.
+    serve_version: String,
     /// Unix timestamp (seconds) of the run.
     unix_time: u64,
     /// `true` when produced by `--smoke` (timings not meaningful).
@@ -321,6 +329,7 @@ fn run_burst(smoke: bool) -> BurstStats {
         workers: 4,
         max_running_jobs: max_running,
         max_jobs: 32,
+        logger: quiet_logger(),
         ..ServeConfig::default()
     })
     .expect("bind burst server");
@@ -483,6 +492,7 @@ fn main() {
         addr: "127.0.0.1:0".into(),
         workers: server_workers,
         backlog: 256,
+        logger: quiet_logger(),
         ..ServeConfig::default()
     })
     .expect("bind ephemeral server");
@@ -522,7 +532,8 @@ fn main() {
     let burst = run_burst(smoke);
 
     let snapshot = Snapshot {
-        schema: 3,
+        schema: 4,
+        serve_version: caffeine_serve::VERSION.to_string(),
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())

@@ -23,11 +23,14 @@
 //! [`CaffeineEngine::run`] remains the one-call serial entry point and is
 //! exactly `init → step × generations → harvest`.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use caffeine_doe::{Dataset, PointMatrix};
+use caffeine_obs::PhaseAccumulator;
 
 use crate::expr::{complexity, ComplexityWeights, EvalContext};
 use crate::fit::{fit_linear_weights_cached, FitOutcome, FitScratch};
@@ -36,6 +39,7 @@ use crate::metrics::ErrorMetric;
 use crate::model::Model;
 use crate::nsga2;
 use crate::pareto;
+use crate::phases;
 use crate::{CaffeineError, GrammarConfig};
 
 /// Run settings (defaults follow the paper's Sec. 6.1 where stated).
@@ -177,6 +181,13 @@ impl CaffeineResult {
 pub trait Evaluator {
     /// Evaluates every not-yet-evaluated individual in the slice.
     fn evaluate_all(&self, population: &mut [Individual]);
+
+    /// The phase accumulator this evaluator records into, if any.
+    /// [`EngineState::step`] uses it to time its own segments; `None`
+    /// (the default) keeps stepping completely uninstrumented.
+    fn phases(&self) -> Option<&Arc<PhaseAccumulator>> {
+        None
+    }
 }
 
 /// The reference serial [`Evaluator`]: least-squares weight learning plus
@@ -191,6 +202,7 @@ pub struct DatasetEvaluator<'a> {
     complexity: ComplexityWeights,
     infeasible_error: f64,
     ctx: EvalContext,
+    phases: Option<Arc<PhaseAccumulator>>,
 }
 
 impl<'a> DatasetEvaluator<'a> {
@@ -229,12 +241,20 @@ impl<'a> DatasetEvaluator<'a> {
             complexity: settings.complexity,
             infeasible_error: settings.infeasible_error,
             ctx: EvalContext::new(grammar.weights),
+            phases: None,
         })
     }
 
     /// The training dataset.
     pub fn data(&self) -> &'a Dataset {
         self.data
+    }
+
+    /// Attaches a phase accumulator: batch evaluations through this
+    /// evaluator time their gather/solve stages and count basis-cache
+    /// hits and misses into it. Telemetry never changes outcomes.
+    pub fn set_phases(&mut self, phases: Arc<PhaseAccumulator>) {
+        self.phases = Some(phases);
     }
 
     /// Fits the linear weights and fills the cached evaluation of one
@@ -285,8 +305,22 @@ impl<'a> DatasetEvaluator<'a> {
     /// cache spans the whole batch, so bases repeated across individuals
     /// (ubiquitous after crossover) are evaluated once.
     pub fn evaluate_batch(&self, population: &mut [Individual], scratch: &mut FitScratch) {
+        if let (Some(phases), None) = (&self.phases, scratch.telemetry()) {
+            scratch.set_telemetry(Arc::clone(phases));
+        }
+        let (hits_before, misses_before) = (scratch.cache_hits(), scratch.cache_misses());
         for ind in population {
             self.evaluate_one_with(ind, scratch);
+        }
+        if let Some(phases) = scratch.telemetry() {
+            phases.incr(
+                phases::CACHE_HITS,
+                scratch.cache_hits().saturating_sub(hits_before),
+            );
+            phases.incr(
+                phases::CACHE_MISSES,
+                scratch.cache_misses().saturating_sub(misses_before),
+            );
         }
     }
 
@@ -305,6 +339,10 @@ impl Evaluator for DatasetEvaluator<'_> {
         // generation, matching the population the columns came from.
         let mut scratch = FitScratch::new();
         self.evaluate_batch(population, &mut scratch);
+    }
+
+    fn phases(&self) -> Option<&Arc<PhaseAccumulator>> {
+        self.phases.as_ref()
     }
 }
 
@@ -382,9 +420,14 @@ impl EngineState {
     /// RNG stream never depends on evaluation scheduling — the hook that
     /// makes parallel evaluation deterministic.
     pub fn step(&mut self, evaluator: &dyn Evaluator) {
+        // Wall-clock telemetry lives entirely outside `self`: it is never
+        // serialized, never compared, and never touches the RNG, so
+        // instrumented and uninstrumented runs stay bit-identical.
+        let acc = evaluator.phases().cloned();
         let generation = self.generation;
         let ops = GpOperators::new(&self.grammar, op_settings(&self.settings));
 
+        let variation = acc.as_deref().map(|a| a.span(phases::SELECTION));
         let objectives: Vec<Vec<f64>> = self
             .population
             .iter()
@@ -399,7 +442,12 @@ impl EngineState {
             let p2 = &self.population[ranked.tournament(&mut self.rng)];
             offspring.push(ops.make_offspring(&mut self.rng, p1, p2));
         }
-        evaluator.evaluate_all(&mut offspring);
+        drop(variation);
+        {
+            let _eval = acc.as_deref().map(|a| a.span(phases::EVAL_WALL));
+            evaluator.evaluate_all(&mut offspring);
+        }
+        let _selection = acc.as_deref().map(|a| a.span(phases::SELECTION));
 
         // Elitist environmental selection over parents + offspring.
         let mut combined = std::mem::take(&mut self.population);

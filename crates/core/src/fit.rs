@@ -20,11 +20,14 @@
 //!   [`FitOutcome`]s.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use caffeine_doe::PointMatrix;
 use caffeine_linalg::{lstsq, lstsq_ridge, LinalgError, Matrix};
+use caffeine_obs::PhaseAccumulator;
 
 use crate::expr::{eval_basis_all, BasisFunction, EvalContext, Tape, TapeVm};
+use crate::phases;
 
 /// Outcome of fitting the linear weights of one candidate model.
 #[derive(Debug, Clone)]
@@ -192,6 +195,10 @@ pub struct FitScratch {
     slots: Vec<Slot>,
     hits: u64,
     misses: u64,
+    /// When attached, the fit path records gather/solve wall time into
+    /// these cells ([`phases::BASIS_EVAL`] / [`phases::LINEAR_SOLVE`]).
+    /// Detached scratches never read the clock.
+    telemetry: Option<Arc<PhaseAccumulator>>,
 }
 
 impl FitScratch {
@@ -213,6 +220,17 @@ impl FitScratch {
     /// Number of distinct basis columns currently cached.
     pub fn cached_columns(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Attaches a phase accumulator; subsequent fits time their gather
+    /// and solve stages into it.
+    pub fn set_telemetry(&mut self, telemetry: Arc<PhaseAccumulator>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached phase accumulator, if any.
+    pub fn telemetry(&self) -> Option<&Arc<PhaseAccumulator>> {
+        self.telemetry.as_ref()
     }
 
     /// Empties the basis-column cache, recycling every column buffer and
@@ -304,15 +322,19 @@ pub fn fit_linear_weights_cached(
         scratch.clear_cache();
         scratch.bound_to = Some(fp);
     }
+    let telemetry = scratch.telemetry.clone();
     // Evaluate / look up every basis column, bailing on the first
     // unusable one exactly like the reference design-matrix builder.
     scratch.slots.clear();
-    for b in bases {
-        match scratch.gather(b, pm, ctx) {
-            Some(slot) => scratch.slots.push(slot),
-            None => {
-                scratch.finish_fit();
-                return FitOutcome::Infeasible;
+    {
+        let _gather = telemetry.as_deref().map(|t| t.span(phases::BASIS_EVAL));
+        for b in bases {
+            match scratch.gather(b, pm, ctx) {
+                Some(slot) => scratch.slots.push(slot),
+                None => {
+                    scratch.finish_fit();
+                    return FitOutcome::Infeasible;
+                }
             }
         }
     }
@@ -324,6 +346,7 @@ pub fn fit_linear_weights_cached(
         return FitOutcome::Infeasible;
     }
     let outcome = {
+        let _solve = telemetry.as_deref().map(|t| t.span(phases::LINEAR_SOLVE));
         let cols: Vec<&[f64]> = scratch
             .slots
             .iter()

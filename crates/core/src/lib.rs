@@ -84,6 +84,7 @@ mod metrics;
 mod model;
 pub mod nsga2;
 pub mod pareto;
+pub mod phases;
 pub mod sag;
 
 pub use artifact::{ModelArtifact, MODEL_SCHEMA_VERSION};

@@ -1,0 +1,45 @@
+//! Engine-phase names: the shared vocabulary between the instrumentation
+//! points (fit gather/solve, [`EngineState::step`]'s selection segments,
+//! the runtime's migration) and the consumers that turn accumulated cells
+//! into progress frames and `/metrics` series.
+//!
+//! All instrumentation is opt-in: an evaluator without an attached
+//! [`PhaseAccumulator`] never reads the clock, so the serial engine path
+//! stays exactly as fast as before.
+//!
+//! [`EngineState::step`]: crate::EngineState::step
+
+use caffeine_obs::PhaseAccumulator;
+
+/// Basis-column production: tape compile, cache lookup, and column
+/// evaluation over the point matrix (nanoseconds).
+pub const BASIS_EVAL: &str = "basis_eval";
+/// Design-matrix assembly and the least-squares / ridge solve
+/// (nanoseconds).
+pub const LINEAR_SOLVE: &str = "linear_solve";
+/// Wall time of whole offspring-batch evaluations, as seen by `step()`
+/// (nanoseconds). With parallel evaluation this is wall time while
+/// [`BASIS_EVAL`] / [`LINEAR_SOLVE`] sum CPU time across workers.
+pub const EVAL_WALL: &str = "eval_wall";
+/// Everything in a step that is not evaluation: ranking, tournament
+/// variation, and environmental selection (nanoseconds).
+pub const SELECTION: &str = "selection";
+/// Ring migration between islands (nanoseconds; recorded by the runtime).
+pub const MIGRATION: &str = "migration";
+/// Basis-column cache hits (count).
+pub const CACHE_HITS: &str = "cache_hits";
+/// Basis-column cache misses (count).
+pub const CACHE_MISSES: &str = "cache_misses";
+
+/// An accumulator with a cell for every engine phase above.
+pub fn engine_accumulator() -> PhaseAccumulator {
+    PhaseAccumulator::new(&[
+        BASIS_EVAL,
+        LINEAR_SOLVE,
+        EVAL_WALL,
+        SELECTION,
+        MIGRATION,
+        CACHE_HITS,
+        CACHE_MISSES,
+    ])
+}

@@ -17,6 +17,7 @@ use caffeine_doe::Dataset;
 
 use crate::checkpoint::RuntimeError;
 use crate::island::IslandRunner;
+use crate::stats::PhaseBreakdown;
 
 /// What the controller has most recently been told / observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +55,9 @@ pub struct ProgressSnapshot {
     pub total_generations: usize,
     /// The most recent island-0 statistics snapshot, when one exists.
     pub latest: Option<EvolutionStats>,
+    /// Where the most recent generation's time went, once one generation
+    /// has run under this controller.
+    pub phases: Option<PhaseBreakdown>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +99,7 @@ impl RunController {
                         completed_generations: 0,
                         total_generations: 0,
                         latest: None,
+                        phases: None,
                     },
                 }),
                 Condvar::new(),
@@ -218,6 +223,7 @@ impl RunController {
             completed_generations: runner.completed_generations(),
             total_generations: runner.total_generations(),
             latest,
+            phases: runner.last_phases().cloned(),
         });
     }
 }

@@ -3,20 +3,24 @@
 
 use std::path::PathBuf;
 use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::Instant;
 
 use rand::splitmix64;
 
 use caffeine_core::gp::Individual;
+use caffeine_core::phases;
 use caffeine_core::{
     assemble_result, nsga2, CaffeineResult, CaffeineSettings, DatasetEvaluator, EngineState,
-    GrammarConfig,
+    EvolutionStats, GrammarConfig,
 };
 use caffeine_doe::Dataset;
+use caffeine_obs::PhaseAccumulator;
 
 use crate::checkpoint::{RuntimeCheckpoint, RuntimeError};
 use crate::config::RuntimeConfig;
 use crate::pool::ParallelEvaluator;
-use crate::stats::RunEvent;
+use crate::stats::{FrontPoint, PhaseBreakdown, RunEvent};
 
 /// Derives the RNG seed of island `island` from the master seed.
 ///
@@ -53,9 +57,17 @@ pub struct IslandRunner {
     completed: usize,
     checkpoint_path: Option<PathBuf>,
     events: Option<Sender<RunEvent>>,
+    /// Telemetry side channel: never serialized into checkpoints and
+    /// never compared, so instrumentation cannot perturb determinism.
+    phases: Arc<PhaseAccumulator>,
+    last_phases: Option<PhaseBreakdown>,
 }
 
 impl IslandRunner {
+    /// Maximum points in the live Pareto front a Progress event carries —
+    /// keeps SSE frames small however large the population gets.
+    pub const FRONT_POINT_CAP: usize = 64;
+
     /// Creates a runner: validates everything, splits the population over
     /// the islands, and draws + evaluates every island's initial
     /// population.
@@ -104,6 +116,8 @@ impl IslandRunner {
             completed: 0,
             checkpoint_path: None,
             events: None,
+            phases: Arc::new(phases::engine_accumulator()),
+            last_phases: None,
         })
     }
 
@@ -136,6 +150,8 @@ impl IslandRunner {
             completed: checkpoint.completed,
             checkpoint_path: None,
             events: None,
+            phases: Arc::new(phases::engine_accumulator()),
+            last_phases: None,
         })
     }
 
@@ -200,6 +216,18 @@ impl IslandRunner {
         &self.islands
     }
 
+    /// The shared phase accumulator this runner's evaluators record into
+    /// (cumulative over the whole run).
+    pub fn phases(&self) -> &Arc<PhaseAccumulator> {
+        &self.phases
+    }
+
+    /// The most recent generation's phase breakdown, once one generation
+    /// has run under this runner.
+    pub fn last_phases(&self) -> Option<&PhaseBreakdown> {
+        self.last_phases.as_ref()
+    }
+
     /// Takes the current state as a serializable checkpoint value.
     pub fn checkpoint(&self, data: &Dataset) -> RuntimeCheckpoint {
         RuntimeCheckpoint {
@@ -220,6 +248,36 @@ impl IslandRunner {
         }
     }
 
+    /// Builds one generation's [`PhaseBreakdown`] from the accumulator
+    /// deltas since `before` (a [`PhaseAccumulator::snapshot`] taken at
+    /// the start of the generation) and the measured wall time.
+    fn take_breakdown(&self, before: &[(&'static str, u64)], wall: f64) -> PhaseBreakdown {
+        let delta = |name: &str| -> u64 {
+            let prev = before
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |(_, v)| *v);
+            self.phases.get(name).saturating_sub(prev)
+        };
+        let secs = |name: &str| delta(name) as f64 / 1e9;
+        let basis_eval = secs(phases::BASIS_EVAL);
+        let linear_solve = secs(phases::LINEAR_SOLVE);
+        let eval_wall = secs(phases::EVAL_WALL);
+        PhaseBreakdown {
+            generation: self.completed,
+            basis_eval,
+            linear_solve,
+            // Clamped: with parallel workers basis+solve sum CPU time
+            // and can exceed the evaluation wall clock.
+            eval_other: (eval_wall - basis_eval - linear_solve).max(0.0),
+            selection: secs(phases::SELECTION),
+            migration: secs(phases::MIGRATION),
+            wall,
+            cache_hits: delta(phases::CACHE_HITS),
+            cache_misses: delta(phases::CACHE_MISSES),
+        }
+    }
+
     /// Builds the parallel evaluator this runner's loops use. Creation
     /// copies the dataset into column-major form, so drivers stepping one
     /// generation at a time (e.g. [`crate::RunController::drive`])
@@ -230,10 +288,12 @@ impl IslandRunner {
     ///
     /// Propagates dataset validation failures.
     pub fn evaluator<'a>(&self, data: &'a Dataset) -> Result<ParallelEvaluator<'a>, RuntimeError> {
-        Ok(ParallelEvaluator::new(
+        let mut evaluator = ParallelEvaluator::new(
             DatasetEvaluator::new(&self.master, &self.grammar, data)?,
             self.config.threads,
-        ))
+        );
+        evaluator.set_phases(Arc::clone(&self.phases));
+        Ok(evaluator)
     }
 
     /// Advances the whole archipelago by at most `n` generations
@@ -263,14 +323,16 @@ impl IslandRunner {
     ) -> Result<(), RuntimeError> {
         let target = self.master.generations.min(self.completed + n);
         while self.completed < target {
+            let cells_before = self.phases.snapshot();
+            let wall_start = Instant::now();
+            let mut grown: Vec<(usize, EvolutionStats, Vec<FrontPoint>)> = Vec::new();
             for (idx, island) in self.islands.iter_mut().enumerate() {
                 let before = island.stats.len();
                 island.step(evaluator);
                 if island.stats.len() > before {
                     let stats = island.stats[island.stats.len() - 1].clone();
-                    if let Some(tx) = &self.events {
-                        let _ = tx.send(RunEvent::Progress { island: idx, stats });
-                    }
+                    let front = live_front(&island.population);
+                    grown.push((idx, stats, front));
                 }
             }
             self.completed += 1;
@@ -281,7 +343,24 @@ impl IslandRunner {
                 && self.config.migrate_every > 0
                 && self.completed.is_multiple_of(self.config.migrate_every);
             if migration_due {
+                let acc = Arc::clone(&self.phases);
+                let _migration = acc.span(phases::MIGRATION);
                 self.migrate();
+            }
+            let breakdown = self.take_breakdown(&cells_before, wall_start.elapsed().as_secs_f64());
+            self.last_phases = Some(breakdown.clone());
+            // Progress first, then Migrated — the event order consumers
+            // already rely on — with every Progress carrying the full
+            // per-generation breakdown (migration time included).
+            for (idx, stats, front) in grown {
+                self.emit(RunEvent::Progress {
+                    island: idx,
+                    stats,
+                    phases: breakdown.clone(),
+                    front,
+                });
+            }
+            if migration_due {
                 self.emit(RunEvent::Migrated {
                     generation: self.completed,
                 });
@@ -375,6 +454,37 @@ impl IslandRunner {
             }
         }
     }
+}
+
+/// The population's current nondominated (error, complexity) points,
+/// sorted by error, deduplicated, and capped at
+/// [`IslandRunner::FRONT_POINT_CAP`]. Read-only telemetry — no RNG, no
+/// mutation — so carrying it on progress events cannot perturb the run.
+fn live_front(population: &[Individual]) -> Vec<FrontPoint> {
+    let objectives: Vec<Vec<f64>> = population.iter().map(|i| i.objectives().to_vec()).collect();
+    let ranked = nsga2::rank_population(&objectives);
+    let mut points: Vec<FrontPoint> = objectives
+        .iter()
+        .enumerate()
+        .filter(|(i, o)| ranked.rank[*i] == 0 && o.len() >= 2 && o.iter().all(|v| v.is_finite()))
+        .map(|(_, o)| FrontPoint {
+            error: o[0],
+            complexity: o[1],
+        })
+        .collect();
+    points.sort_by(|a, b| {
+        a.error
+            .partial_cmp(&b.error)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                a.complexity
+                    .partial_cmp(&b.complexity)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    });
+    points.dedup_by(|a, b| a.error == b.error && a.complexity == b.complexity);
+    points.truncate(IslandRunner::FRONT_POINT_CAP);
+    points
 }
 
 /// Indices sorted best-to-worst under the NSGA-II crowded comparison

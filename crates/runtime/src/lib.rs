@@ -62,4 +62,4 @@ pub use config::RuntimeConfig;
 pub use control::{ProgressSnapshot, RunController, RunPhase};
 pub use island::{derive_island_seed, IslandRunner};
 pub use pool::ParallelEvaluator;
-pub use stats::RunEvent;
+pub use stats::{FrontPoint, PhaseBreakdown, RunEvent};

@@ -1,7 +1,10 @@
 //! Deterministic parallel fitness evaluation.
 
+use std::sync::Arc;
+
 use caffeine_core::gp::Individual;
 use caffeine_core::{DatasetEvaluator, Evaluator, FitScratch};
+use caffeine_obs::PhaseAccumulator;
 
 /// An [`Evaluator`] that fans a population batch out over scoped worker
 /// threads.
@@ -38,9 +41,20 @@ impl<'a> ParallelEvaluator<'a> {
     pub fn threads(&self) -> usize {
         self.threads
     }
+
+    /// Attaches a phase accumulator; every worker's scratch records
+    /// basis/solve time and cache traffic into it. Telemetry only — the
+    /// evaluation results are unchanged.
+    pub fn set_phases(&mut self, phases: Arc<PhaseAccumulator>) {
+        self.inner.set_phases(phases);
+    }
 }
 
 impl Evaluator for ParallelEvaluator<'_> {
+    fn phases(&self) -> Option<&Arc<PhaseAccumulator>> {
+        self.inner.phases()
+    }
+
     fn evaluate_all(&self, population: &mut [Individual]) {
         if self.threads == 1 || population.len() < 2 {
             self.inner.evaluate_all(population);

@@ -1,7 +1,62 @@
-//! Live progress events.
+//! Live progress events and per-generation phase telemetry.
 
 use caffeine_core::EvolutionStats;
 use serde::{Deserialize, Serialize};
+
+/// Where one generation's wall time went, split along the engine's phase
+/// vocabulary ([`caffeine_core::phases`]). All durations are seconds.
+///
+/// Built by [`crate::IslandRunner`] from accumulator deltas around each
+/// generation; with a single worker thread the phase fields sum to
+/// roughly `wall`, while parallel evaluation makes `basis_eval` /
+/// `linear_solve` CPU-time sums that can exceed the wall clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Completed generations when this breakdown was taken.
+    pub generation: usize,
+    /// Basis-column production (tape compile + cache + evaluation).
+    pub basis_eval: f64,
+    /// Design-matrix assembly and least-squares / ridge solves.
+    pub linear_solve: f64,
+    /// Evaluation wall time not covered by the two phases above
+    /// (objective assembly, scratch bookkeeping, thread fan-out).
+    pub eval_other: f64,
+    /// Ranking, tournament variation, and environmental selection.
+    pub selection: f64,
+    /// Ring migration between islands (zero on non-migration generations).
+    pub migration: f64,
+    /// Wall time of the whole generation as seen by the runner.
+    pub wall: f64,
+    /// Basis-column cache hits during the generation.
+    pub cache_hits: u64,
+    /// Basis-column cache misses during the generation.
+    pub cache_misses: u64,
+}
+
+impl PhaseBreakdown {
+    /// The sum of every phase field (seconds) — the accounted-for part
+    /// of [`PhaseBreakdown::wall`].
+    pub fn phase_sum(&self) -> f64 {
+        self.basis_eval + self.linear_solve + self.eval_other + self.selection + self.migration
+    }
+
+    /// Cache hits over total lookups, or `None` when nothing was looked
+    /// up this generation.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+}
+
+/// One point of a live (error, complexity) Pareto front, as carried by
+/// [`RunEvent::Progress`] for dashboards and watchers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontPoint {
+    /// Normalized training error (objective 0).
+    pub error: f64,
+    /// Expression complexity (objective 1).
+    pub complexity: f64,
+}
 
 /// One progress event emitted by [`crate::IslandRunner`] while a run is
 /// executing (send half: any `std::sync::mpsc::Sender<RunEvent>`).
@@ -14,6 +69,12 @@ pub enum RunEvent {
         island: usize,
         /// The snapshot.
         stats: EvolutionStats,
+        /// Where the generation's time went.
+        phases: PhaseBreakdown,
+        /// The island's current nondominated (error, complexity) front,
+        /// sorted by error and capped at
+        /// [`crate::IslandRunner::FRONT_POINT_CAP`] points.
+        front: Vec<FrontPoint>,
     },
     /// A migration round completed after this many total generations.
     Migrated {

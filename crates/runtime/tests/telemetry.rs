@@ -1,0 +1,145 @@
+//! Phase-telemetry integration: every progress event carries a
+//! [`PhaseBreakdown`] whose phases account for the generation's wall
+//! time, and the side channel never perturbs the evolved result.
+
+use std::sync::mpsc;
+
+use caffeine_core::{CaffeineSettings, GrammarConfig};
+use caffeine_doe::Dataset;
+use caffeine_runtime::{IslandRunner, PhaseBreakdown, RunController, RunEvent, RuntimeConfig};
+
+fn dataset() -> Dataset {
+    let xs: Vec<Vec<f64>> = (1..=60)
+        .map(|i| vec![0.4 + i as f64 * 0.1, 1.0 + (i % 7) as f64 * 0.3])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 3.0 / x[1]).collect();
+    Dataset::new(vec!["x0".into(), "x1".into()], xs, ys).unwrap()
+}
+
+fn runner(threads: usize, islands: usize, generations: usize, data: &Dataset) -> IslandRunner {
+    let mut settings = CaffeineSettings::quick_test();
+    settings.population = 60;
+    settings.generations = generations;
+    settings.stats_every = 1;
+    settings.seed = 23;
+    let config = RuntimeConfig {
+        threads,
+        islands,
+        migrate_every: 2,
+        ..RuntimeConfig::default()
+    };
+    IslandRunner::new(settings, GrammarConfig::rational(2), config, data).unwrap()
+}
+
+#[test]
+fn serial_phase_sums_account_for_generation_wall_time() {
+    let data = dataset();
+    let mut runner = runner(1, 1, 12, &data);
+    let (tx, rx) = mpsc::channel();
+    runner.set_events(tx);
+    runner.run_generations(&data, 12).unwrap();
+    drop(runner);
+
+    let breakdowns: Vec<PhaseBreakdown> = rx
+        .into_iter()
+        .filter_map(|e| match e {
+            RunEvent::Progress { phases, .. } => Some(phases),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(breakdowns.len(), 12, "one breakdown per generation");
+
+    for b in &breakdowns {
+        assert!(b.wall > 0.0, "wall must be measured: {b:?}");
+        assert!(b.phase_sum() <= b.wall * 1.10, "phases exceed wall: {b:?}");
+        assert!(b.basis_eval >= 0.0 && b.linear_solve >= 0.0 && b.selection >= 0.0);
+        assert_eq!(b.migration, 0.0, "single island never migrates: {b:?}");
+    }
+    // Aggregated over the run (robust to per-generation clock noise), the
+    // instrumented phases must account for at least 90% of the wall time
+    // spent stepping — the "phases sum within 10% of wall" contract.
+    let wall: f64 = breakdowns.iter().map(|b| b.wall).sum();
+    let accounted: f64 = breakdowns.iter().map(|b| b.phase_sum()).sum();
+    assert!(
+        accounted >= wall * 0.90,
+        "phases account for {accounted:.6}s of {wall:.6}s wall"
+    );
+    // The basis cache sees traffic every generation.
+    let lookups: u64 = breakdowns
+        .iter()
+        .map(|b| b.cache_hits + b.cache_misses)
+        .sum();
+    assert!(lookups > 0, "no cache traffic recorded");
+    let ratio = breakdowns
+        .last()
+        .and_then(PhaseBreakdown::cache_hit_ratio)
+        .unwrap_or(0.0);
+    assert!((0.0..=1.0).contains(&ratio), "ratio out of range: {ratio}");
+}
+
+#[test]
+fn migration_generations_record_migration_time() {
+    let data = dataset();
+    let mut runner = runner(2, 2, 4, &data);
+    let (tx, rx) = mpsc::channel();
+    runner.set_events(tx);
+    runner.run_generations(&data, 4).unwrap();
+    let last = runner.last_phases().cloned().expect("ran generations");
+    drop(runner);
+    // Generation 4 is a migrate_every=2 boundary.
+    assert_eq!(last.generation, 4);
+    assert!(
+        last.migration > 0.0,
+        "migration span not recorded: {last:?}"
+    );
+
+    // Progress events still arrive before the Migrated marker of the
+    // same generation, now with phase payloads attached.
+    let events: Vec<RunEvent> = rx.into_iter().collect();
+    let first_migrated = events
+        .iter()
+        .position(|e| matches!(e, RunEvent::Migrated { generation: 2 }))
+        .expect("migration event");
+    let progress_gen2 = events
+        .iter()
+        .position(|e| matches!(e, RunEvent::Progress { phases, .. } if phases.generation == 2))
+        .expect("gen-2 progress event");
+    assert!(
+        progress_gen2 < first_migrated,
+        "Progress must precede Migrated"
+    );
+}
+
+#[test]
+fn controller_snapshot_exposes_last_breakdown() {
+    let data = dataset();
+    let mut runner = runner(1, 1, 3, &data);
+    let ctl = RunController::new();
+    assert!(ctl.snapshot().phases.is_none(), "no phases before driving");
+    ctl.drive(&mut runner, &data).unwrap().unwrap();
+    let snap = ctl.snapshot();
+    let phases = snap.phases.expect("breakdown after a driven run");
+    assert_eq!(phases.generation, 3);
+    assert!(phases.wall > 0.0);
+
+    // The breakdown round-trips through JSON (it rides in SSE frames).
+    let json = serde_json::to_string(&serde_json::to_value(&phases)).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let back: PhaseBreakdown = serde::Deserialize::from_value(&value).unwrap();
+    assert_eq!(back, phases);
+}
+
+#[test]
+fn telemetry_never_changes_the_evolved_result() {
+    // The accumulator is a side channel: a run observed through events
+    // and breakdowns is bit-identical to an unobserved one.
+    let data = dataset();
+    let mut observed = runner(2, 2, 6, &data);
+    let (tx, rx) = mpsc::channel();
+    observed.set_events(tx);
+    let with_events = observed.run(&data).unwrap();
+    drop(rx);
+    let mut plain = runner(2, 2, 6, &data);
+    let without = plain.run(&data).unwrap();
+    assert_eq!(with_events.models, without.models);
+}

@@ -1,0 +1,34 @@
+//! The embedded live dashboard served at `GET /dashboard`.
+//!
+//! One self-contained HTML file — no JS toolchain, no external assets,
+//! no CDN — compiled into the binary with `include_str!`. The page polls
+//! `GET /v1/jobs` for the job set and follows each live job's
+//! `GET /v1/jobs/{id}/events` SSE stream, rendering a log-scale
+//! convergence curve, the live (error, complexity) Pareto front carried
+//! by `progress` frames, and a per-phase bar breakdown of where the last
+//! generation's wall time went.
+
+/// The dashboard page, verbatim.
+pub const HTML: &str = include_str!("dashboard.html");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dashboard_is_self_contained_html() {
+        assert!(HTML.starts_with("<!DOCTYPE html>"));
+        // Zero external dependencies: nothing fetched from another origin.
+        assert!(!HTML.contains("http://"), "external reference in dashboard");
+        assert!(
+            !HTML.contains("https://"),
+            "external reference in dashboard"
+        );
+        assert!(!HTML.contains("<script src"), "external script");
+        assert!(!HTML.contains("<link "), "external stylesheet");
+        // It drives the daemon's own API surface.
+        assert!(HTML.contains("/v1/jobs"));
+        assert!(HTML.contains("EventSource"));
+        assert!(HTML.contains("progress"));
+    }
+}

@@ -19,6 +19,7 @@ pub fn route_label(r: &Route) -> &'static str {
     match r {
         Route::Health => "healthz",
         Route::Metrics => "metrics",
+        Route::Dashboard => "dashboard",
         Route::ListModels => "models.list",
         Route::PublishModel(_) => "models.publish",
         Route::GetModel(_) => "models.get",
@@ -44,13 +45,19 @@ pub enum Outcome {
 }
 
 /// Resolves and executes a request. Returns the outcome plus the metric
-/// label it should be recorded under.
-pub fn handle(shared: &Arc<Shared>, request: &Request) -> (Outcome, &'static str) {
+/// label it should be recorded under. `request_id` is the trace id the
+/// server resolved for this request; handlers thread it into their debug
+/// logs so handler-level lines correlate with the access log.
+pub fn handle(
+    shared: &Arc<Shared>,
+    request: &Request,
+    request_id: &str,
+) -> (Outcome, &'static str) {
     match route(&request.method, &request.path) {
         Err(e) => (Outcome::Response(e.into_response()), "unrouted"),
         Ok(r) => {
             let label = route_label(&r);
-            let outcome = dispatch(shared, &r, request)
+            let outcome = dispatch(shared, &r, request, request_id)
                 .unwrap_or_else(|e| Outcome::Response(e.into_response()));
             (outcome, label)
         }
@@ -98,7 +105,12 @@ const JOB_STATES: [&str; 6] = [
     "cancelled",
 ];
 
-fn dispatch(shared: &Arc<Shared>, route: &Route, request: &Request) -> Result<Outcome, ApiError> {
+fn dispatch(
+    shared: &Arc<Shared>,
+    route: &Route,
+    request: &Request,
+    request_id: &str,
+) -> Result<Outcome, ApiError> {
     if let Route::JobEvents(id) = route {
         let entry = shared
             .jobs
@@ -107,13 +119,14 @@ fn dispatch(shared: &Arc<Shared>, route: &Route, request: &Request) -> Result<Ou
         shared.metrics.observe_sse_stream();
         return Ok(Outcome::StreamJobEvents(entry));
     }
-    dispatch_response(shared, route, request).map(Outcome::Response)
+    dispatch_response(shared, route, request, request_id).map(Outcome::Response)
 }
 
 fn dispatch_response(
     shared: &Arc<Shared>,
     route: &Route,
     request: &Request,
+    request_id: &str,
 ) -> Result<Response, ApiError> {
     match route {
         Route::Health => Ok(ok_json(serde_json::json!({"status": "ok"}))),
@@ -123,6 +136,7 @@ fn dispatch_response(
                 .render(shared.registry.hits(), shared.registry.misses());
             Ok(Response::text(200, text))
         }
+        Route::Dashboard => Ok(Response::html(200, crate::dashboard::HTML.to_string())),
         Route::ListModels => {
             let models: Vec<serde_json::Value> = shared
                 .registry
@@ -143,6 +157,15 @@ fn dispatch_response(
                 .map_err(|_| ApiError::bad_request("artifact body is not UTF-8"))?;
             let artifact = ModelArtifact::from_json(text).map_err(ApiError::from)?;
             let (version, created) = shared.registry.publish(id, artifact)?;
+            shared.logger().debug(
+                "registry.publish",
+                &[
+                    ("request_id", request_id.into()),
+                    ("model_id", id.as_str().into()),
+                    ("version", version.as_str().into()),
+                    ("created", created.into()),
+                ],
+            );
             let status = if created { 201 } else { 200 };
             Ok(json_response(
                 status,
@@ -171,6 +194,15 @@ fn dispatch_response(
                 .artifact
                 .predict(body.model_index, &body.points)
                 .map_err(ApiError::from)?;
+            shared.logger().debug(
+                "registry.predict",
+                &[
+                    ("request_id", request_id.into()),
+                    ("model_id", id.as_str().into()),
+                    ("version", stored.version.as_str().into()),
+                    ("n_points", body.points.len().into()),
+                ],
+            );
             // Non-finite predictions (poles, overflow) arrive at the
             // client as `null` via sanitize().
             Ok(ok_json(serde_json::json!({
@@ -341,7 +373,7 @@ mod tests {
         entry.join(); // terminal (finished)
 
         let request = bare_request("DELETE", &format!("/v1/jobs/{}", entry.id));
-        let (outcome, label) = handle(&shared, &request);
+        let (outcome, label) = handle(&shared, &request, "t-rid");
         assert_eq!(label, "jobs.cancel");
         let Outcome::Response(response) = outcome else {
             panic!("cancel must not stream");
@@ -382,7 +414,7 @@ mod tests {
             )
             .unwrap();
         let request = bare_request("DELETE", &format!("/v1/jobs/{}", live.id));
-        let (outcome, _) = handle(&shared, &request);
+        let (outcome, _) = handle(&shared, &request, "t-rid");
         let Outcome::Response(response) = outcome else {
             panic!("cancel must not stream");
         };
@@ -390,7 +422,7 @@ mod tests {
         live.join();
 
         // Unknown job: still a plain 404.
-        let (outcome, _) = handle(&shared, &bare_request("DELETE", "/v1/jobs/424242"));
+        let (outcome, _) = handle(&shared, &bare_request("DELETE", "/v1/jobs/424242"), "t-rid");
         let Outcome::Response(response) = outcome else {
             panic!("cancel must not stream");
         };

@@ -363,6 +363,16 @@ impl Response {
         }
     }
 
+    /// An HTML response (the embedded dashboard page).
+    pub fn html(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "text/html; charset=utf-8",
+        }
+    }
+
     /// Adds a header.
     pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
         self.headers.push((name.to_string(), value.into()));

@@ -260,7 +260,12 @@ fn frame(event: &'static str, data: serde_json::Value) -> JobEventFrame {
 
 fn frame_for(event: &RunEvent) -> JobEventFrame {
     match event {
-        RunEvent::Progress { island, stats } => frame(
+        RunEvent::Progress {
+            island,
+            stats,
+            phases,
+            front,
+        } => frame(
             "progress",
             serde_json::json!({
                 "island": island,
@@ -269,6 +274,9 @@ fn frame_for(event: &RunEvent) -> JobEventFrame {
                 "min_complexity": stats.min_complexity,
                 "front_size": stats.front_size,
                 "feasible": stats.feasible,
+                "phases": serde_json::to_value(phases),
+                "cache_hit_ratio": phases.cache_hit_ratio(),
+                "front": serde_json::to_value(front),
             }),
         ),
         RunEvent::Migrated { generation } => {
@@ -684,10 +692,14 @@ fn spawn_admitted(
     let (tx, rx) = std::sync::mpsc::channel();
     runner.set_events(tx);
     let pump_entry = Arc::clone(entry);
+    let pump_metrics = Arc::clone(&metrics);
     std::thread::Builder::new()
         .name(format!("serve-job-{}-events", entry.id))
         .spawn(move || {
             for event in rx {
+                if let RunEvent::Progress { phases, .. } = &event {
+                    pump_metrics.observe_engine_phases(phases);
+                }
                 pump_entry.events.publish(frame_for(&event));
             }
             // The channel closes when the runner is dropped, which the

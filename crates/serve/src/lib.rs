@@ -34,8 +34,12 @@
 //!   terminal-state eviction, and re-adoption of interrupted jobs on
 //!   restart (through the same queue).
 //! * **Observability** ([`Metrics`]): request counts, per-route latency
-//!   histograms, registry cache hits, and job/keep-alive/SSE counters in
-//!   the Prometheus text format at `GET /metrics`.
+//!   histograms, registry cache hits, engine phase timings, and
+//!   job/keep-alive/SSE counters in the Prometheus text format at
+//!   `GET /metrics`; structured (text or JSON) access logs with an
+//!   `X-Request-Id` echoed on every response; and an embedded zero-
+//!   dependency live dashboard at `GET /dashboard` (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! # Endpoints
 //!
@@ -43,6 +47,7 @@
 //! |--------------------------------------|----------------------------------|
 //! | `GET /healthz`                       | liveness                         |
 //! | `GET /metrics`                       | Prometheus metrics               |
+//! | `GET /dashboard`                     | live jobs dashboard (HTML)       |
 //! | `GET /v1/models`                     | list ids and versions            |
 //! | `POST /v1/models/{id}`               | publish an artifact              |
 //! | `GET /v1/models/{id}[?version=h]`    | fetch an artifact                |
@@ -85,6 +90,7 @@
 #![deny(unsafe_code)]
 
 pub mod client;
+mod dashboard;
 mod error;
 mod handlers;
 pub mod http;
@@ -97,6 +103,10 @@ mod server;
 mod sse;
 
 pub use error::ApiError;
+
+/// The `caffeine-serve` crate version, as stamped into
+/// `caffeine_build_info` on `/metrics` and into bench snapshots.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 pub use jobs::{EventHub, JobEntry, JobEventFrame, JobManager, JobOutcome, JobSpec};
 pub use metrics::Metrics;
 pub use pool::WorkerPool;

@@ -4,7 +4,20 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
+
+use caffeine_runtime::PhaseBreakdown;
+
+/// The phase labels of `caffeine_engine_phase_seconds`, in render order.
+/// Mirrors [`PhaseBreakdown`]'s duration fields.
+const ENGINE_PHASES: [&str; 6] = [
+    "basis_eval",
+    "linear_solve",
+    "eval_other",
+    "selection",
+    "migration",
+    "wall",
+];
 
 /// Upper bounds of the latency buckets, in microseconds (powers of four
 /// from 16µs to ~17s, plus +Inf implicitly).
@@ -74,6 +87,17 @@ pub struct Metrics {
     jobs_queued: AtomicU64,
     /// Time jobs spent queued before admission.
     queue_wait: Mutex<Histogram>,
+    /// Wall-clock start of the process (unix seconds), for
+    /// `process_start_time_seconds`.
+    start_unix: f64,
+    /// Cumulative engine time per phase, microseconds, indexed like
+    /// [`ENGINE_PHASES`]. Fed by the job event pumps from each
+    /// generation's [`PhaseBreakdown`].
+    engine_phase_us: [AtomicU64; ENGINE_PHASES.len()],
+    /// Cumulative basis-cache hits across all jobs' generations.
+    cache_hits: AtomicU64,
+    /// Cumulative basis-cache misses across all jobs' generations.
+    cache_misses: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -99,7 +123,33 @@ impl Metrics {
             sse_active: AtomicU64::new(0),
             jobs_queued: AtomicU64::new(0),
             queue_wait: Mutex::new(Histogram::default()),
+            start_unix: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0),
+            engine_phase_us: Default::default(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Folds one generation's phase breakdown into the cumulative
+    /// engine-phase counters and cache totals.
+    pub fn observe_engine_phases(&self, b: &PhaseBreakdown) {
+        let secs = [
+            b.basis_eval,
+            b.linear_solve,
+            b.eval_other,
+            b.selection,
+            b.migration,
+            b.wall,
+        ];
+        for (cell, s) in self.engine_phase_us.iter().zip(secs) {
+            cell.fetch_add((s.max(0.0) * 1e6) as u64, Ordering::Relaxed);
+        }
+        self.cache_hits.fetch_add(b.cache_hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(b.cache_misses, Ordering::Relaxed);
     }
 
     /// Records one finished request.
@@ -194,6 +244,16 @@ impl Metrics {
         let uptime = self.started.elapsed().as_secs_f64();
         out.push_str("# TYPE caffeine_serve_uptime_seconds gauge\n");
         out.push_str(&format!("caffeine_serve_uptime_seconds {uptime:.3}\n"));
+        out.push_str("# TYPE process_start_time_seconds gauge\n");
+        out.push_str(&format!(
+            "process_start_time_seconds {:.3}\n",
+            self.start_unix
+        ));
+        out.push_str("# TYPE caffeine_build_info gauge\n");
+        out.push_str(&format!(
+            "caffeine_build_info{{version=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION")
+        ));
 
         out.push_str("# TYPE caffeine_serve_requests_total counter\n");
         for ((route, status), count) in self.requests.lock().expect("metrics lock").iter() {
@@ -302,6 +362,26 @@ impl Metrics {
                 hist.count
             ));
         }
+        out.push_str("# TYPE caffeine_engine_phase_seconds counter\n");
+        for (phase, cell) in ENGINE_PHASES.iter().zip(&self.engine_phase_us) {
+            out.push_str(&format!(
+                "caffeine_engine_phase_seconds{{phase=\"{phase}\"}} {:.6}\n",
+                cell.load(Ordering::Relaxed) as f64 / 1e6
+            ));
+        }
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        out.push_str("# TYPE caffeine_engine_cache_hits_total counter\n");
+        out.push_str(&format!("caffeine_engine_cache_hits_total {hits}\n"));
+        out.push_str("# TYPE caffeine_engine_cache_misses_total counter\n");
+        out.push_str(&format!("caffeine_engine_cache_misses_total {misses}\n"));
+        out.push_str("# TYPE caffeine_basis_cache_hit_ratio gauge\n");
+        let ratio = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!("caffeine_basis_cache_hit_ratio {ratio:.6}\n"));
         out
     }
 }
@@ -362,6 +442,81 @@ mod tests {
         m.observe_sse_closed();
         m.observe_sse_closed();
         assert!(m.render(0, 0).contains("caffeine_serve_sse_active 0"));
+    }
+
+    #[test]
+    fn build_info_start_time_and_engine_phases_render() {
+        let m = Metrics::new();
+        let text = m.render(0, 0);
+        assert!(
+            text.contains(&format!(
+                "caffeine_build_info{{version=\"{}\"}} 1",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{text}"
+        );
+        // The daemon started after the unix epoch, presumably.
+        let start: f64 = text
+            .lines()
+            .find(|l| l.starts_with("process_start_time_seconds "))
+            .and_then(|l| l.split(' ').nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(start > 1e9, "{start}");
+        // Zeroed phase counters still render (so dashboards see the series).
+        assert!(
+            text.contains("caffeine_engine_phase_seconds{phase=\"basis_eval\"} 0.000000"),
+            "{text}"
+        );
+
+        m.observe_engine_phases(&PhaseBreakdown {
+            generation: 1,
+            basis_eval: 0.25,
+            linear_solve: 0.5,
+            eval_other: 0.01,
+            selection: 0.05,
+            migration: 0.0,
+            wall: 1.0,
+            cache_hits: 30,
+            cache_misses: 10,
+        });
+        m.observe_engine_phases(&PhaseBreakdown {
+            generation: 2,
+            basis_eval: 0.25,
+            linear_solve: 0.25,
+            eval_other: 0.0,
+            selection: 0.0,
+            migration: 0.0,
+            wall: 0.5,
+            cache_hits: 10,
+            cache_misses: 0,
+        });
+        let text = m.render(0, 0);
+        assert!(
+            text.contains("caffeine_engine_phase_seconds{phase=\"basis_eval\"} 0.500000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("caffeine_engine_phase_seconds{phase=\"linear_solve\"} 0.750000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("caffeine_engine_phase_seconds{phase=\"wall\"} 1.500000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("caffeine_engine_cache_hits_total 40"),
+            "{text}"
+        );
+        assert!(
+            text.contains("caffeine_engine_cache_misses_total 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("caffeine_basis_cache_hit_ratio 0.800000"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@ pub enum Route {
     Health,
     /// `GET /metrics` — Prometheus-style counters and histograms.
     Metrics,
+    /// `GET /dashboard` — the embedded live-jobs HTML dashboard.
+    Dashboard,
     /// `GET /v1/models` — list registry contents.
     ListModels,
     /// `POST|PUT /v1/models/{id}` — publish an artifact under an id.
@@ -76,6 +78,10 @@ pub fn route(method: &str, path: &str) -> Result<Route, ApiError> {
             "GET" => Ok(Route::Metrics),
             _ => not_allowed("GET"),
         },
+        ["dashboard"] => match method {
+            "GET" => Ok(Route::Dashboard),
+            _ => not_allowed("GET"),
+        },
         ["v1", "models"] => match method {
             "GET" => Ok(Route::ListModels),
             _ => not_allowed("GET"),
@@ -123,6 +129,8 @@ mod tests {
     fn resolves_the_full_surface() {
         assert_eq!(route("GET", "/healthz").unwrap(), Route::Health);
         assert_eq!(route("GET", "/metrics").unwrap(), Route::Metrics);
+        assert_eq!(route("GET", "/dashboard").unwrap(), Route::Dashboard);
+        assert_eq!(route("POST", "/dashboard").unwrap_err().status, 405);
         assert_eq!(route("GET", "/v1/models").unwrap(), Route::ListModels);
         assert_eq!(
             route("POST", "/v1/models/ota-gain").unwrap(),

@@ -7,6 +7,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use caffeine_obs::{Level, LogFormat, Logger};
+
 use crate::error::ApiError;
 use crate::handlers;
 use crate::http::{self, HttpError, Response};
@@ -44,6 +46,11 @@ pub struct ServeConfig {
     /// Concurrently *running* GP jobs; submissions beyond this queue
     /// (FIFO) instead of spawning threads. `0` means "same as `workers`".
     pub max_running_jobs: usize,
+    /// Structured logger every request and handler logs through
+    /// (stderr text at `info` by default; tests inject a capture).
+    pub logger: Logger,
+    /// Requests slower than this additionally log a `http.slow` warning.
+    pub slow_request: Duration,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +66,8 @@ impl Default for ServeConfig {
             max_conn_requests: 100,
             max_jobs: 64,
             max_running_jobs: 0,
+            logger: Logger::stderr(Level::Info, LogFormat::Text),
+            slow_request: Duration::from_secs(1),
         }
     }
 }
@@ -95,6 +104,11 @@ impl Shared {
     /// `true` once draining started.
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The server's structured logger.
+    pub fn logger(&self) -> &Logger {
+        &self.config.logger
     }
 }
 
@@ -231,7 +245,7 @@ impl Server {
                 // Pool saturated: answer 503 on the acceptor thread (one
                 // small write) and close.
                 self.shared.metrics.observe_busy();
-                write_busy(&mut stream, pool.queued());
+                write_busy(&mut stream, pool.queued(), self.shared.logger());
             }
         }
         pool.shutdown();
@@ -273,11 +287,32 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 let keep_alive = served < max_requests
                     && request.wants_keep_alive()
                     && !shared.is_shutting_down();
-                match handlers::handle(shared, &request) {
+                // Accept a well-formed client trace id; mint one
+                // otherwise. Every response echoes it back.
+                let request_id = request
+                    .header("x-request-id")
+                    .filter(|v| caffeine_obs::valid_request_id(v))
+                    .map(str::to_string)
+                    .unwrap_or_else(caffeine_obs::request_id);
+                let bytes_in = request.body.len();
+                match handlers::handle(shared, &request, &request_id) {
                     (handlers::Outcome::Response(response), label) => {
+                        let response = response.with_header("x-request-id", request_id.clone());
                         let status = response.status;
+                        let bytes_out = response.body.len();
                         let write_ok = response.write_to(&mut stream, keep_alive).is_ok();
-                        shared.metrics.observe(label, status, started.elapsed());
+                        let elapsed = started.elapsed();
+                        shared.metrics.observe(label, status, elapsed);
+                        log_access(
+                            shared,
+                            &request_id,
+                            label,
+                            &request,
+                            status,
+                            elapsed,
+                            bytes_in,
+                            bytes_out,
+                        );
                         if !keep_alive || !write_ok {
                             break;
                         }
@@ -287,8 +322,21 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                         // this worker returns to the pool immediately —
                         // open streams must not occupy workers. Streamed
                         // responses always close when done.
-                        match shared.sse.adopt(stream, &entry) {
-                            Ok(()) => shared.metrics.observe(label, 200, started.elapsed()),
+                        match shared.sse.adopt(stream, &entry, &request_id) {
+                            Ok(()) => {
+                                let elapsed = started.elapsed();
+                                shared.metrics.observe(label, 200, elapsed);
+                                log_access(
+                                    shared,
+                                    &request_id,
+                                    label,
+                                    &request,
+                                    200,
+                                    elapsed,
+                                    bytes_in,
+                                    0,
+                                );
+                            }
                             Err((mut returned, e)) => {
                                 // The client still deserves a response
                                 // (and the metrics the truth) when the
@@ -296,9 +344,22 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                                 let _ = returned.set_nonblocking(false);
                                 let response =
                                     ApiError::internal(format!("cannot stream events: {e}"))
-                                        .into_response();
+                                        .into_response()
+                                        .with_header("x-request-id", request_id.clone());
+                                let bytes_out = response.body.len();
                                 let _ = response.write_to(&mut returned, false);
-                                shared.metrics.observe(label, 500, started.elapsed());
+                                let elapsed = started.elapsed();
+                                shared.metrics.observe(label, 500, elapsed);
+                                log_access(
+                                    shared,
+                                    &request_id,
+                                    label,
+                                    &request,
+                                    500,
+                                    elapsed,
+                                    bytes_in,
+                                    bytes_out,
+                                );
                             }
                         }
                         return;
@@ -317,22 +378,70 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                     // is fine.
                     None => (408, "request_timeout"),
                 };
+                // No request parsed, so there is no client id to accept;
+                // the error response still carries a server-minted one.
+                let request_id = caffeine_obs::request_id();
                 let response = ApiError {
                     status,
                     code,
                     message: e.message(),
                     retry_after: None,
                 }
-                .into_response();
+                .into_response()
+                .with_header("x-request-id", request_id.clone());
+                let bytes_out = response.body.len();
                 let _ = response.write_to(&mut stream, false);
-                shared
-                    .metrics
-                    .observe("http_error", status, started.elapsed());
+                let elapsed = started.elapsed();
+                shared.metrics.observe("http_error", status, elapsed);
+                shared.logger().info(
+                    "http.access",
+                    &[
+                        ("request_id", request_id.as_str().into()),
+                        ("route", "http_error".into()),
+                        ("method", "-".into()),
+                        ("path", "-".into()),
+                        ("status", status.into()),
+                        ("latency_ms", (elapsed.as_secs_f64() * 1e3).into()),
+                        ("bytes_in", 0usize.into()),
+                        ("bytes_out", bytes_out.into()),
+                    ],
+                );
                 break; // parser state is unknowable; never reuse
             }
         }
     }
     let _ = stream.flush();
+}
+
+/// Emits the one structured `http.access` line every served request gets,
+/// plus an `http.slow` warning when the request exceeded the configured
+/// slow-request threshold.
+#[allow(clippy::too_many_arguments)]
+fn log_access(
+    shared: &Arc<Shared>,
+    request_id: &str,
+    route: &'static str,
+    request: &http::Request,
+    status: u16,
+    elapsed: Duration,
+    bytes_in: usize,
+    bytes_out: usize,
+) {
+    let latency_ms = elapsed.as_secs_f64() * 1e3;
+    let fields = [
+        ("request_id", request_id.into()),
+        ("route", route.into()),
+        ("method", request.method.as_str().into()),
+        ("path", request.path.as_str().into()),
+        ("status", status.into()),
+        ("latency_ms", latency_ms.into()),
+        ("bytes_in", bytes_in.into()),
+        ("bytes_out", bytes_out.into()),
+    ];
+    shared.logger().info("http.access", &fields);
+    if elapsed >= shared.config.slow_request {
+        shared.logger().warn("http.slow", &fields);
+    }
 }
 
 /// Waits under the idle budget for the first byte of the next kept-alive
@@ -365,16 +474,27 @@ fn wait_for_next_request(
 /// response is rendered to a buffer and sent with a single best-effort
 /// nonblocking write — a peer too hostile to take ~140 bytes just loses
 /// them. `Retry-After` scales with how deep the worker queue already is
-/// (clamped to 1..=30 seconds).
-fn write_busy(stream: &mut TcpStream, pool_queued: usize) {
+/// (clamped to 1..=30 seconds). The request was never parsed, so the
+/// `x-request-id` is always server-generated here.
+fn write_busy(stream: &mut TcpStream, pool_queued: usize, logger: &Logger) {
     let retry_after = (1 + pool_queued as u64 / 4).min(30);
+    let request_id = caffeine_obs::request_id();
     let mut rendered = Vec::with_capacity(256);
     let _ = Response::json(
         503,
         "{\"error\":{\"code\":\"unavailable\",\"message\":\"server is saturated\"}}".into(),
     )
     .with_header("retry-after", retry_after.to_string())
+    .with_header("x-request-id", request_id.clone())
     .write_to(&mut rendered, false);
+    logger.warn(
+        "http.busy",
+        &[
+            ("request_id", request_id.into()),
+            ("queued", pool_queued.into()),
+            ("retry_after", retry_after.into()),
+        ],
+    );
     if stream.set_nonblocking(true).is_ok() {
         let _ = stream.write(&rendered);
     }

@@ -207,15 +207,21 @@ impl SseStreamer {
     /// The socket could not be switched to nonblocking mode, or the
     /// streamer is already shut down. The stream is handed back so the
     /// caller can still answer an error instead of silently hanging up.
+    /// `request_id` is echoed on the stream's response head, as on every
+    /// buffered response.
     pub fn adopt(
         &self,
         stream: TcpStream,
         entry: &JobEntry,
+        request_id: &str,
     ) -> Result<(), (TcpStream, std::io::Error)> {
         let (history, live) = entry.events.subscribe();
         let head = Response {
             status: 200,
-            headers: vec![("cache-control".into(), "no-cache".into())],
+            headers: vec![
+                ("cache-control".into(), "no-cache".into()),
+                ("x-request-id".into(), request_id.to_string()),
+            ],
             body: Vec::new(),
             content_type: "text/event-stream",
         };
@@ -366,7 +372,7 @@ mod tests {
         });
 
         let (mut client, server_side) = socket_pair();
-        streamer.adopt(server_side, &entry).unwrap();
+        streamer.adopt(server_side, &entry, "sse-rid").unwrap();
 
         // A live frame after adoption, then the hub closes.
         entry.events.publish(JobEventFrame {
@@ -406,8 +412,8 @@ mod tests {
 
         let (client_a, server_a) = socket_pair();
         let (mut client_b, server_b) = socket_pair();
-        streamer.adopt(server_a, &entry).unwrap();
-        streamer.adopt(server_b, &entry).unwrap();
+        streamer.adopt(server_a, &entry, "sse-rid").unwrap();
+        streamer.adopt(server_b, &entry, "sse-rid").unwrap();
         drop(client_a); // A hangs up immediately.
 
         entry.events.publish(JobEventFrame {

@@ -882,6 +882,8 @@ fn saturated_pool_503_never_blocks_the_acceptor() {
     assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
     assert!(raw.contains("retry-after: 1"), "{raw}");
     assert!(raw.contains("\"unavailable\""), "{raw}");
+    // Even the acceptor-thread 503 carries a trace id.
+    assert!(raw.contains("x-request-id: "), "{raw}");
     drop(silent);
 
     // Once the stalled requests time out the pool frees up again.
@@ -1015,4 +1017,386 @@ fn shutdown_endpoint_drains_gracefully() {
     join.join().unwrap().unwrap();
     // And the port must actually be released/refusing.
     assert!(client::request(&addr, "GET", "/healthz", None, Duration::from_millis(500)).is_err());
+}
+
+/// Extracts the `x-request-id` header from a raw response string.
+fn response_request_id(response: &str) -> String {
+    response
+        .lines()
+        .find_map(|l| l.strip_prefix("x-request-id: "))
+        .expect("response missing x-request-id header")
+        .trim()
+        .to_string()
+}
+
+/// Tentpole regression: every response carries `X-Request-Id` — a valid
+/// caller-supplied id echoed verbatim, anything else replaced by a
+/// server-minted one — and every request leaves exactly one JSON
+/// access-log line carrying the same id.
+#[test]
+fn every_response_carries_request_id_with_matching_access_log_line() {
+    let (logger, capture) =
+        caffeine_obs::Logger::capture(caffeine_obs::Level::Info, caffeine_obs::LogFormat::Json);
+    let (addr, handle, join) = boot(ServeConfig {
+        logger,
+        ..ServeConfig::default()
+    });
+
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(T)).unwrap();
+
+    // A valid caller id is echoed verbatim.
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\nx-request-id: caller-id.01\r\n\r\n")
+        .unwrap();
+    let response = read_one_response(&mut s);
+    assert!(
+        response.contains("x-request-id: caller-id.01"),
+        "{response}"
+    );
+
+    // No caller id: the server mints one (16 lowercase hex chars).
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+        .unwrap();
+    let response = read_one_response(&mut s);
+    let minted = response_request_id(&response);
+    assert_eq!(minted.len(), 16, "{response}");
+    assert!(minted.chars().all(|c| c.is_ascii_hexdigit()), "{response}");
+
+    // An invalid caller id (embedded spaces) is replaced, never echoed.
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\nx-request-id: not ok id\r\n\r\n")
+        .unwrap();
+    let response = read_one_response(&mut s);
+    let replaced = response_request_id(&response);
+    assert_ne!(replaced, "not ok id", "{response}");
+    assert!(caffeine_obs::valid_request_id(&replaced), "{response}");
+
+    // Error paths carry the id too: a routed 404 …
+    s.write_all(b"GET /v1/jobs/424242 HTTP/1.1\r\nhost: x\r\nx-request-id: miss-404\r\n\r\n")
+        .unwrap();
+    let response = read_one_response(&mut s);
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    assert!(response.contains("x-request-id: miss-404"), "{response}");
+
+    // … and a parse-level 400 on a fresh socket.
+    let mut bad = TcpStream::connect(&addr).unwrap();
+    bad.write_all(b"BLURB\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    bad.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+    assert!(raw.contains("x-request-id: "), "{raw}");
+
+    // Every request above left a JSON access-log line; the ids on the
+    // wire match the ids in the log. (The log line is written just after
+    // the response bytes, so allow a brief settle.)
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let logs: Vec<serde_json::Value> = loop {
+        let access: Vec<serde_json::Value> = capture
+            .lines()
+            .iter()
+            .filter_map(|l| serde_json::from_str(l).ok())
+            .filter(|v: &serde_json::Value| v["event"].as_str() == Some("http.access"))
+            .collect();
+        if access.len() >= 5 || Instant::now() > deadline {
+            break access;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(logs.len() >= 5, "expected ≥5 access lines, got {logs:?}");
+    let by_id = |id: &str| {
+        logs.iter()
+            .find(|v| v["request_id"].as_str() == Some(id))
+            .unwrap_or_else(|| panic!("no access log for {id}: {logs:?}"))
+    };
+    let line = by_id("caller-id.01");
+    assert_eq!(line["route"].as_str(), Some("healthz"), "{line:?}");
+    assert_eq!(line["status"].as_u64(), Some(200), "{line:?}");
+    assert_eq!(line["method"].as_str(), Some("GET"), "{line:?}");
+    assert_eq!(line["path"].as_str(), Some("/healthz"), "{line:?}");
+    assert!(line["latency_ms"].as_f64().is_some(), "{line:?}");
+    assert!(line["bytes_out"].as_u64().unwrap() > 0, "{line:?}");
+    let line = by_id(&minted);
+    assert_eq!(line["route"].as_str(), Some("healthz"), "{line:?}");
+    let line = by_id("miss-404");
+    assert_eq!(line["status"].as_u64(), Some(404), "{line:?}");
+    assert_eq!(line["route"].as_str(), Some("jobs.get"), "{line:?}");
+    // The parse-level failure logs under the http_error pseudo-route.
+    assert!(
+        logs.iter().any(|v| v["route"].as_str() == Some("http_error")
+            && v["status"].as_u64() == Some(400)),
+        "{logs:?}"
+    );
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Satellite: slow requests get a `http.slow` warn line sharing the
+/// access-log field set, gated on the configured threshold.
+#[test]
+fn slow_request_threshold_emits_warn_line() {
+    let (logger, capture) =
+        caffeine_obs::Logger::capture(caffeine_obs::Level::Info, caffeine_obs::LogFormat::Json);
+    let (addr, handle, join) = boot(ServeConfig {
+        logger,
+        slow_request: Duration::from_millis(0), // everything is "slow"
+        ..ServeConfig::default()
+    });
+    let r = client::request(&addr, "GET", "/healthz", None, T).unwrap();
+    assert_eq!(r.status, 200);
+    let id = r.header("x-request-id").unwrap().to_string();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let hit = capture.lines().iter().any(|l| {
+            serde_json::from_str::<serde_json::Value>(l).is_ok_and(|v| {
+                v["event"].as_str() == Some("http.slow")
+                    && v["level"].as_str() == Some("warn")
+                    && v["request_id"].as_str() == Some(id.as_str())
+            })
+        });
+        if hit {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no http.slow line for {id}: {:?}",
+            capture.lines()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Tentpole: `GET /dashboard` serves the embedded self-contained page.
+#[test]
+fn dashboard_endpoint_serves_the_embedded_page() {
+    let (addr, handle, join) = boot(ServeConfig::default());
+    let r = client::request(&addr, "GET", "/dashboard", None, T).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.header("content-type"), Some("text/html; charset=utf-8"));
+    assert!(r.header("x-request-id").is_some());
+    let body = r.text();
+    assert!(
+        body.starts_with("<!DOCTYPE html>"),
+        "not a page: {body:.0?}"
+    );
+    assert!(body.contains("EventSource"), "dashboard must follow SSE");
+    assert!(body.contains("/v1/jobs"), "dashboard must poll the job API");
+    // Non-GET is rejected like any other route mismatch.
+    let r = client::request(&addr, "POST", "/dashboard", None, T).unwrap();
+    assert_eq!(r.status, 405, "{}", r.text());
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// A sorted label set, the identity of a series within a family.
+type LabelSet = Vec<(String, String)>;
+
+/// Splits a `k="v",k2="v2"` label string into sorted pairs. Values in
+/// this exposition never contain commas or escaped quotes.
+fn label_pairs(labels: &str) -> LabelSet {
+    let mut pairs: Vec<(String, String)> = labels
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|kv| {
+            let eq = kv.find('=').unwrap_or_else(|| panic!("bad label: {kv}"));
+            (
+                kv[..eq].to_string(),
+                kv[eq + 1..].trim_matches('"').to_string(),
+            )
+        })
+        .collect();
+    pairs.sort();
+    pairs
+}
+
+/// Satellite: the whole `/metrics` exposition parses — every sample is
+/// `name[{labels}] value`, every family has a `# TYPE`, no series
+/// repeats, histogram buckets are cumulative and end at `+Inf` equal to
+/// `_count` — and engine-phase counters accumulate real job time.
+#[test]
+fn metrics_exposition_parses_and_engine_phases_accumulate() {
+    let (addr, handle, join) = boot(ServeConfig::default());
+
+    // Drive a real job to completion so the engine-phase counters move,
+    // then mix in ordinary traffic for more route series.
+    let points: Vec<Vec<f64>> = (1..=20).map(|i| vec![f64::from(i) * 0.4]).collect();
+    let targets: Vec<f64> = points.iter().map(|p| 3.0 / p[0]).collect();
+    let spec = serde_json::json!({
+        "var_names": ["x0"],
+        "points": points,
+        "targets": targets,
+        "population": 24,
+        "generations": 200,
+        "max_bases": 4,
+        "seed": 7,
+        "grammar": "rational",
+    });
+    let r = client::request(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        Some(serde_json::to_string(&spec).unwrap().as_bytes()),
+        T,
+    )
+    .unwrap();
+    assert_eq!(r.status, 201, "{}", r.text());
+    let id = r.json().unwrap()["id"].as_u64().unwrap();
+    client::sse_tail(
+        &addr,
+        &format!("/v1/jobs/{id}/events"),
+        Duration::from_secs(60),
+        |event| event.event != "done",
+    )
+    .unwrap();
+    client::request(&addr, "GET", "/healthz", None, T).unwrap();
+    client::request(&addr, "GET", "/no-such-route", None, T).unwrap();
+
+    let text = client::request(&addr, "GET", "/metrics", None, T)
+        .unwrap()
+        .text();
+
+    // Parse every line of the exposition.
+    let mut types: std::collections::HashMap<String, String> = Default::default();
+    let mut seen: std::collections::HashSet<String> = Default::default();
+    let mut samples: Vec<(String, String, f64)> = Vec::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap().to_string();
+            let kind = it.next().unwrap_or("").to_string();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "{line}"
+            );
+            assert!(types.insert(name, kind).is_none(), "duplicate TYPE: {line}");
+            continue;
+        }
+        if line.starts_with('#') {
+            assert!(line.starts_with("# HELP "), "unknown comment: {line}");
+            continue;
+        }
+        let (name, labels, value) = if let Some(brace) = line.find('{') {
+            let close = line
+                .rfind('}')
+                .unwrap_or_else(|| panic!("unclosed labels: {line}"));
+            (
+                &line[..brace],
+                &line[brace + 1..close],
+                line[close + 1..].trim(),
+            )
+        } else {
+            let sp = line.find(' ').unwrap_or_else(|| panic!("no value: {line}"));
+            (&line[..sp], "", line[sp + 1..].trim())
+        };
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable value: {line}"));
+        assert!(value.is_finite(), "non-finite sample: {line}");
+        assert!(
+            seen.insert(format!("{name}{{{labels}}}")),
+            "duplicate series: {line}"
+        );
+        samples.push((name.to_string(), labels.to_string(), value));
+    }
+    assert!(!samples.is_empty(), "empty exposition:\n{text}");
+
+    // Every sample belongs to a declared family; histogram children
+    // (`_bucket`/`_sum`/`_count`) resolve to their base name.
+    for (name, _, _) in &samples {
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| types.get(*b).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        assert!(types.contains_key(base), "undeclared family for {name}");
+    }
+
+    // Histogram buckets are cumulative per label set and end at +Inf,
+    // which must agree with the `_count` series.
+    for (base, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let mut groups: std::collections::HashMap<LabelSet, Vec<(f64, f64)>> = Default::default();
+        for (name, labels, value) in &samples {
+            if name != &format!("{base}_bucket") {
+                continue;
+            }
+            let mut pairs = label_pairs(labels);
+            let le_at = pairs
+                .iter()
+                .position(|(k, _)| k == "le")
+                .unwrap_or_else(|| panic!("bucket without le: {labels}"));
+            let le = pairs.remove(le_at).1;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().unwrap_or_else(|_| panic!("bad le: {labels}"))
+            };
+            groups.entry(pairs).or_default().push((le, *value));
+        }
+        assert!(!groups.is_empty(), "histogram {base} emitted no buckets");
+        for (pairs, mut buckets) in groups {
+            buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in buckets.windows(2) {
+                assert!(
+                    w[1].1 >= w[0].1,
+                    "{base}{pairs:?} buckets not cumulative: {buckets:?}"
+                );
+            }
+            let (last_le, inf_count) = *buckets.last().unwrap();
+            assert!(last_le.is_infinite(), "{base}{pairs:?} missing +Inf bucket");
+            let count = samples
+                .iter()
+                .find(|(n, l, _)| n == &format!("{base}_count") && label_pairs(l) == pairs)
+                .map(|(_, _, v)| *v)
+                .unwrap_or_else(|| panic!("{base}_count missing for {pairs:?}"));
+            assert_eq!(inf_count, count, "{base}{pairs:?}: +Inf != _count");
+            assert!(
+                samples
+                    .iter()
+                    .any(|(n, l, _)| n == &format!("{base}_sum") && label_pairs(l) == pairs),
+                "{base}_sum missing for {pairs:?}"
+            );
+        }
+    }
+
+    // Build/process identity gauges.
+    let start = samples
+        .iter()
+        .find(|(n, _, _)| n == "process_start_time_seconds")
+        .map(|(_, _, v)| *v)
+        .expect("process_start_time_seconds missing");
+    assert!(start > 1.0e9, "implausible start time {start}");
+    assert!(
+        seen.contains(&format!(
+            "caffeine_build_info{{version=\"{}\"}}",
+            env!("CARGO_PKG_VERSION")
+        )),
+        "{text}"
+    );
+
+    // Engine phases accumulated real time from the finished job.
+    let phase = |which: &str| {
+        samples
+            .iter()
+            .find(|(n, l, _)| {
+                n == "caffeine_engine_phase_seconds" && l.contains(&format!("phase=\"{which}\""))
+            })
+            .map(|(_, _, v)| *v)
+            .unwrap_or_else(|| panic!("missing engine phase {which}"))
+    };
+    assert!(phase("wall") > 0.0, "wall phase never accumulated");
+    assert!(
+        phase("basis_eval") + phase("linear_solve") + phase("eval_other") > 0.0,
+        "no evaluation time recorded"
+    );
+    for which in ["selection", "migration"] {
+        assert!(phase(which) >= 0.0);
+    }
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
 }

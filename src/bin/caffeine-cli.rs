@@ -56,6 +56,8 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         max_running_jobs: opts.max_running_jobs,
         max_conn_requests: opts.max_conn_requests,
         idle_timeout: Duration::from_millis(opts.idle_timeout_ms),
+        logger: caffeine::obs::Logger::stderr(opts.log_level, opts.log_format),
+        slow_request: Duration::from_millis(opts.slow_request_ms),
         ..ServeConfig::default()
     })
     .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
@@ -182,7 +184,14 @@ fn run_jobs(args: &[String]) -> Result<(), String> {
             // dead server.
             let mut saw_done = false;
             client::sse_tail(&addr, &path, Duration::from_secs(30), |event| {
-                println!("{}: {}", event.event, event.data);
+                if opts.timings && event.event == "progress" {
+                    match timings_line(&event.data) {
+                        Some(line) => println!("{line}"),
+                        None => println!("{}: {}", event.event, event.data),
+                    }
+                } else {
+                    println!("{}: {}", event.event, event.data);
+                }
                 if event.event == "done" {
                     saw_done = true;
                 }
@@ -203,6 +212,46 @@ fn run_jobs(args: &[String]) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// Renders one SSE `progress` frame as a compact per-phase timing line
+/// (`jobs watch --timings`). `None` when the frame has no phase data
+/// (e.g. a frame from an older server).
+fn timings_line(data: &str) -> Option<String> {
+    let v: serde_json::Value = serde_json::from_str(data).ok()?;
+    let phases = v.as_object()?.get("phases")?.as_object()?;
+    let ms = |key: &str| phases.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0) * 1e3;
+    let wall = ms("wall");
+    let pct = |part: f64| {
+        if wall > 0.0 {
+            format!(" ({:.0}%)", 100.0 * part / wall)
+        } else {
+            String::new()
+        }
+    };
+    let basis = ms("basis_eval");
+    let solve = ms("linear_solve");
+    let cache = match v["cache_hit_ratio"].as_f64() {
+        Some(r) => format!("{:.1}%", 100.0 * r),
+        None => "-".to_string(),
+    };
+    Some(format!(
+        "gen {:>4}  wall {wall:.1}ms  basis {basis:.1}ms{}  solve {solve:.1}ms{}  \
+         eval-other {:.1}ms  select {:.1}ms  migrate {:.1}ms  cache {cache}  \
+         best_error {}",
+        phases
+            .get("generation")
+            .and_then(|x| x.as_u64())
+            .unwrap_or(0),
+        pct(basis),
+        pct(solve),
+        ms("eval_other"),
+        ms("selection"),
+        ms("migration"),
+        v["best_error"]
+            .as_f64()
+            .map_or_else(|| "-".to_string(), |e| format!("{e:.6}")),
+    ))
 }
 
 fn evolve(opts: &CliOptions, train: &caffeine::doe::Dataset) -> Result<CaffeineResult, String> {
@@ -262,7 +311,7 @@ fn evolve(opts: &CliOptions, train: &caffeine::doe::Dataset) -> Result<CaffeineR
     let printer = std::thread::spawn(move || {
         for event in rx {
             match event {
-                RunEvent::Progress { island, stats } => eprintln!(
+                RunEvent::Progress { island, stats, .. } => eprintln!(
                     "gen {:>5} island {island}: best error {:.4}%, front {}, feasible {}",
                     stats.generation,
                     100.0 * stats.best_error,

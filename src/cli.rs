@@ -256,6 +256,12 @@ pub struct ServeOptions {
     pub max_conn_requests: usize,
     /// Keep-alive idle timeout between requests, milliseconds.
     pub idle_timeout_ms: u64,
+    /// Log verbosity: `error`, `warn`, `info`, or `debug`.
+    pub log_level: caffeine_obs::Level,
+    /// Log line format: `text` or `json`.
+    pub log_format: caffeine_obs::LogFormat,
+    /// Requests slower than this get an `http.slow` warning, ms.
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -268,6 +274,9 @@ impl Default for ServeOptions {
             max_running_jobs: 0,
             max_conn_requests: 100,
             idle_timeout_ms: 5_000,
+            log_level: caffeine_obs::Level::Info,
+            log_format: caffeine_obs::LogFormat::Text,
+            slow_request_ms: 1_000,
         }
     }
 }
@@ -300,6 +309,18 @@ impl ServeOptions {
                 "--max-running-jobs" => opts.max_running_jobs = int("--max-running-jobs")?,
                 "--max-conn-requests" => opts.max_conn_requests = int("--max-conn-requests")?,
                 "--idle-timeout-ms" => opts.idle_timeout_ms = int("--idle-timeout-ms")? as u64,
+                "--log-level" => {
+                    let raw = value("--log-level")?;
+                    opts.log_level = caffeine_obs::Level::parse(&raw).map_err(|_| {
+                        format!("--log-level must be error, warn, info, or debug (got `{raw}`)")
+                    })?;
+                }
+                "--log-format" => {
+                    let raw = value("--log-format")?;
+                    opts.log_format = caffeine_obs::LogFormat::parse(&raw)
+                        .map_err(|_| format!("--log-format must be text or json (got `{raw}`)"))?;
+                }
+                "--slow-request-ms" => opts.slow_request_ms = int("--slow-request-ms")? as u64,
                 other => return Err(format!("unknown serve flag `{other}` (see --help)")),
             }
         }
@@ -318,6 +339,9 @@ pub struct JobsOptions {
     pub id: Option<u64>,
     /// State filter for `list`.
     pub state: Option<String>,
+    /// `watch` only: print a per-phase timing line for each progress
+    /// frame instead of the raw frame JSON.
+    pub timings: bool,
 }
 
 impl JobsOptions {
@@ -340,6 +364,7 @@ impl JobsOptions {
         let mut remote = None;
         let mut id = None;
         let mut state = None;
+        let mut timings = false;
         let mut it = args[1..].iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -357,6 +382,7 @@ impl JobsOptions {
                     )
                 }
                 "--state" => state = Some(value("--state")?),
+                "--timings" => timings = true,
                 other => return Err(format!("unknown jobs flag `{other}` (see --help)")),
             }
         }
@@ -365,9 +391,13 @@ impl JobsOptions {
             remote: remote.ok_or("jobs needs --remote http://host:port")?,
             id,
             state,
+            timings,
         };
         if opts.action == "watch" && opts.id.is_none() {
             return Err("jobs watch needs --id <job>".to_string());
+        }
+        if opts.timings && opts.action != "watch" {
+            return Err("--timings only applies to jobs watch".to_string());
         }
         Ok(opts)
     }
@@ -475,19 +505,25 @@ pub fn usage() -> &'static str {
      subcommands:\n\
        serve   --addr <host:port> --model-dir <dir> --threads <n>\n\
                [--max-jobs <n>] [--max-running-jobs <n>] [--max-conn-requests <n>]\n\
-               [--idle-timeout-ms <n>]\n\
+               [--idle-timeout-ms <n>] [--log-level <error|warn|info|debug>]\n\
+               [--log-format <text|json>] [--slow-request-ms <n>]\n\
                run the caffeine-serve daemon (model registry, batched\n\
                /predict, async /jobs with FIFO queued admission — at most\n\
                --max-running-jobs run at once, default = --threads — SSE\n\
-               events off a dedicated streamer thread, HTTP keep-alive;\n\
-               default addr 127.0.0.1:7878; interrupted jobs found under\n\
-               --model-dir/.jobs are re-adopted on start; see docs/API.md)\n\
+               events off a dedicated streamer thread, HTTP keep-alive,\n\
+               structured access logs with X-Request-Id tracing, a live\n\
+               HTML dashboard at /dashboard, engine phase timings in\n\
+               /metrics; default addr 127.0.0.1:7878; interrupted jobs\n\
+               found under --model-dir/.jobs are re-adopted on start; see\n\
+               docs/API.md and docs/OBSERVABILITY.md)\n\
        predict --remote http://host:port --model <id> --points <file.csv>\n\
                [--version <hash>] [--out <file.json>]\n\
                query a remote model with a CSV of input points\n\
        jobs    list  --remote http://host:port [--state <s>]\n\
-               watch --remote http://host:port --id <job>\n\
+               watch --remote http://host:port --id <job> [--timings]\n\
                list server jobs / tail one job's live SSE event stream\n\
+               (--timings renders each progress frame's per-phase\n\
+               breakdown as a one-line summary)\n\
      \n\
      options:\n\
        --data <file>       training CSV (header row = variable names)\n\
@@ -868,6 +904,34 @@ mod tests {
     }
 
     #[test]
+    fn serve_options_parse_observability_flags() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = ServeOptions::parse(&to_args(&[
+            "--log-level",
+            "debug",
+            "--log-format",
+            "json",
+            "--slow-request-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(o.log_level, caffeine_obs::Level::Debug);
+        assert_eq!(o.log_format, caffeine_obs::LogFormat::Json);
+        assert_eq!(o.slow_request_ms, 250);
+        // Defaults: info-level text logs, 1s slow threshold.
+        let d = ServeOptions::default();
+        assert_eq!(d.log_level, caffeine_obs::Level::Info);
+        assert_eq!(d.log_format, caffeine_obs::LogFormat::Text);
+        assert_eq!(d.slow_request_ms, 1_000);
+        // Bad values are named in the error.
+        let err = ServeOptions::parse(&to_args(&["--log-level", "loud"])).unwrap_err();
+        assert!(err.contains("`loud`"), "{err}");
+        let err = ServeOptions::parse(&to_args(&["--log-format", "xml"])).unwrap_err();
+        assert!(err.contains("`xml`"), "{err}");
+        assert!(ServeOptions::parse(&to_args(&["--slow-request-ms", "x"])).is_err());
+    }
+
+    #[test]
     fn jobs_options_parse_actions_and_requirements() {
         let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         let o = JobsOptions::parse(&to_args(&[
@@ -891,6 +955,21 @@ mod tests {
         assert_eq!(o.action, "list");
         assert_eq!(o.state.as_deref(), Some("running"));
         assert!(o.id.is_none());
+        assert!(!o.timings);
+        let o = JobsOptions::parse(&to_args(&[
+            "watch",
+            "--remote",
+            "http://x:1",
+            "--id",
+            "3",
+            "--timings",
+        ]))
+        .unwrap();
+        assert!(o.timings);
+        // --timings is a watch-only flag.
+        let err = JobsOptions::parse(&to_args(&["list", "--remote", "http://x:1", "--timings"]))
+            .unwrap_err();
+        assert!(err.contains("--timings"), "{err}");
         // watch without --id, missing remote, unknown action/flags.
         let err = JobsOptions::parse(&to_args(&["watch", "--remote", "http://x:1"])).unwrap_err();
         assert!(err.contains("--id"), "{err}");

@@ -8,6 +8,7 @@ pub use caffeine_circuit as circuit;
 pub use caffeine_core as core;
 pub use caffeine_doe as doe;
 pub use caffeine_linalg as linalg;
+pub use caffeine_obs as obs;
 pub use caffeine_posynomial as posynomial;
 pub use caffeine_runtime as runtime;
 pub use caffeine_serve as serve;
