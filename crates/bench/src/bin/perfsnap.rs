@@ -22,7 +22,7 @@ use std::time::Instant;
 use serde::Serialize;
 
 use caffeine_bench::perf;
-use caffeine_core::expr::{eval_basis_all, EvalContext, Tape, TapeVm};
+use caffeine_core::expr::{eval_basis_all, EvalContext, Tape, TapeVm, LANE_WIDTH};
 use caffeine_core::grammar::RandomExprGen;
 use caffeine_core::sag::{simplify_model, SagSettings};
 use caffeine_core::{CaffeineSettings, DatasetEvaluator, Evaluator, GrammarConfig};
@@ -46,7 +46,9 @@ struct Comparison {
 
 #[derive(Debug, Serialize)]
 struct Snapshot {
-    /// Snapshot schema version.
+    /// Snapshot schema version. Schema 2 added the normalized-throughput
+    /// block: `lane_width`, `cores`, `points_per_sec`,
+    /// `points_per_sec_per_core`.
     schema: u32,
     /// Unix timestamp (seconds) of the run.
     unix_time: u64,
@@ -54,6 +56,16 @@ struct Snapshot {
     smoke: bool,
     /// Timed iterations per kernel.
     iterations: u32,
+    /// The tape VM's lane-chunk width (points per chunk).
+    lane_width: u32,
+    /// Logical cores available on the measuring host.
+    cores: u32,
+    /// Whole-machine basis-evaluation throughput: evaluated points per
+    /// second with one chunked VM running per core.
+    points_per_sec: f64,
+    /// `points_per_sec / cores` — the number that stays comparable when
+    /// the host grows beyond 1 vCPU, keeping the perf trajectory honest.
+    points_per_sec_per_core: f64,
     /// 15 random paper-grammar bases × 243 points: tree-walk vs tape.
     /// One "op" is one basis evaluated over the full point set.
     eval_basis_column: Comparison,
@@ -133,6 +145,36 @@ fn main() {
         },
     );
 
+    // Normalized throughput (schema 2): every available core runs the
+    // chunked tape kernel concurrently over the same point set, so
+    // `points_per_sec` is whole-machine basis-evaluation throughput and
+    // `points_per_sec_per_core` stays comparable across hosts with
+    // different core counts.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1);
+    let n_points = data.points().len() as f64;
+    let sweep_iters: u32 = if smoke { 1 } else { 2000 };
+    let sweep_t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cores {
+            scope.spawn(|| {
+                let mut vm = TapeVm::new();
+                for _ in 0..sweep_iters {
+                    for tape in &tapes {
+                        let col = vm.eval(tape, &pm);
+                        std::hint::black_box(col.len());
+                        vm.recycle(col);
+                    }
+                }
+            });
+        }
+    });
+    let sweep_secs = sweep_t0.elapsed().as_secs_f64();
+    let total_points = f64::from(cores) * f64::from(sweep_iters) * tapes.len() as f64 * n_points;
+    let points_per_sec = total_points / sweep_secs;
+    let points_per_sec_per_core = points_per_sec / f64::from(cores);
+
     // Kernel 2: one generation's fitness batch.
     let base_pop = perf::gp_population(&grammar, 200, 11);
     let evaluator = DatasetEvaluator::new(&settings, &grammar, &data).unwrap();
@@ -176,13 +218,17 @@ fn main() {
     );
 
     let snapshot = Snapshot {
-        schema: 1,
+        schema: 2,
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
         smoke,
         iterations,
+        lane_width: LANE_WIDTH as u32,
+        cores,
+        points_per_sec,
+        points_per_sec_per_core,
         eval_basis_column,
         fitness_per_generation,
         sag_forward_regression,
@@ -204,4 +250,11 @@ fn main() {
     row("eval basis column", &snapshot.eval_basis_column);
     row("fitness / generation", &snapshot.fitness_per_generation);
     row("SAG forward regression", &snapshot.sag_forward_regression);
+    println!(
+        "  throughput: {:.3}M points/s over {} core(s) ({:.3}M points/s/core, lane width {})",
+        snapshot.points_per_sec / 1e6,
+        snapshot.cores,
+        snapshot.points_per_sec_per_core / 1e6,
+        snapshot.lane_width
+    );
 }

@@ -3,10 +3,10 @@
 //! The tree-walk interpreter in [`super::eval`] visits every expression
 //! node once *per design point*: recursion, enum dispatch, and weight
 //! decoding all sit inside the innermost loop. This module lowers a
-//! [`BasisFunction`] once into a [`Tape`] — a flat postfix program whose
-//! instructions each process an entire *column* of points — so the
-//! per-node overhead is amortized over the whole point set and the data
-//! walks contiguous [`PointMatrix`] variable slices.
+//! [`BasisFunction`] once into a [`Tape`] — a flat postfix program over
+//! fixed-width lane chunks of points (see [`super::vm`]) — so the
+//! per-node overhead is amortized over whole chunks and the data walks
+//! contiguous [`PointMatrix`](caffeine_doe::PointMatrix) variable slices.
 //!
 //! The tape is **bit-identical** to the interpreter by construction (the
 //! property test in `tests/tape_oracle.rs` enforces it over random
@@ -19,12 +19,12 @@
 //!   went non-finite stops being multiplied. The exit fires *after* a
 //!   multiplication, so the first factor is always multiplied in — a
 //!   non-finite VC value times a zero factor must still produce NaN;
-//! * `lte` evaluates both branches column-wise and selects per lane —
+//! * `lte` evaluates both branches lane-wise and selects per lane —
 //!   branch evaluation is pure, so the selected values are the ones the
 //!   interpreter would have produced;
-//! * at the root level, once *every* lane of the accumulator is
+//! * at the root level, once *every* lane of a chunk's accumulator is
 //!   non-finite, the remaining instructions can no longer change any lane
-//!   and evaluation finishes early — the bail-out that keeps garbage
+//!   and the chunk finishes early — the bail-out that keeps garbage
 //!   trees cheap.
 //!
 //! Tapes also serve as canonical cache keys: two bitwise-equal tapes
@@ -33,34 +33,32 @@
 
 use std::hash::{Hash, Hasher};
 
-use caffeine_doe::PointMatrix;
-
 use super::eval::EvalContext;
 use super::ops::{BinaryOp, UnaryOp};
 use super::tree::{BasisFunction, OpApplication, WeightedSum};
 
-/// One postfix instruction. Operands live on a stack of point columns.
+/// One postfix instruction. Operands live on a stack of lane chunks.
 #[derive(Debug, Clone, Copy)]
-enum Instr {
-    /// Push a column filled with a constant.
+pub(super) enum Instr {
+    /// Push a chunk filled with a constant.
     PushConst(f64),
-    /// Push the monomial column `Π x_var^exp` over
+    /// Push the monomial chunk `Π x_var^exp` over
     /// `vc_ops[start..start + len]`.
     PushVc { start: u32, len: u32 },
-    /// Pop the term column `t`; `top[i] += w · t[i]`.
+    /// Pop the term chunk `t`; `top[i] += w · t[i]`.
     AddTerm(f64),
-    /// Pop the factor column `f` and multiply it into the accumulator.
+    /// Pop the factor chunk `f` and multiply it into the accumulator.
     ///
     /// The interpreter's early exit fires only *after* a factor
     /// multiplication, so the first factor of a basis multiplies
     /// unconditionally even into a non-finite VC value (`inf · 0 = NaN`
     /// matters); later factors (`masked`) only touch lanes still finite.
-    /// For `root` factors, once no lane remains finite the column is
-    /// final and the tape bails out early.
+    /// For `root` factors, once no live lane remains finite the chunk is
+    /// final and its evaluation bails out early.
     MulFactor { masked: bool, root: bool },
-    /// Apply a unary operator to the top column in place.
+    /// Apply a unary operator to the top chunk in place.
     Unary(UnaryOp),
-    /// Pop the right column `r`; `top[i] = op(top[i], r[i])`.
+    /// Pop the right chunk `r`; `top[i] = op(top[i], r[i])`.
     Binary(BinaryOp),
     /// Conditional select. Stack (bottom→top): `test`, `cond` when
     /// `has_cond`, `if_less`, `otherwise`; result replaces `test`.
@@ -135,12 +133,13 @@ impl Hash for Instr {
     }
 }
 
-/// A basis function lowered to a flat postfix program over point columns.
+/// A basis function lowered to a flat postfix program over lane chunks.
 ///
 /// Build one with [`Tape::compile`] (or recycle allocations with
-/// [`Tape::compile_into`]) and evaluate it with [`TapeVm::eval`]. Equality
-/// is bitwise — equal tapes are guaranteed to evaluate to bitwise-equal
-/// columns, which the basis-column cache relies on.
+/// [`Tape::compile_into`]) and evaluate it with
+/// [`TapeVm::eval`](super::TapeVm::eval). Equality is bitwise — equal
+/// tapes are guaranteed to evaluate to bitwise-equal columns, which the
+/// basis-column cache relies on.
 ///
 /// # Example
 ///
@@ -161,10 +160,15 @@ impl Hash for Instr {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Tape {
-    instrs: Vec<Instr>,
+    pub(super) instrs: Vec<Instr>,
     /// Flattened `(variable index, exponent)` pairs of every
     /// [`Instr::PushVc`], zero exponents omitted.
-    vc_ops: Vec<(u32, i32)>,
+    pub(super) vc_ops: Vec<(u32, i32)>,
+    /// Deepest operand-stack occupancy any prefix of the program reaches;
+    /// derived from `instrs`, so equal tapes always agree on it. The VM
+    /// sizes its chunk stack from this, making evaluation panic-free on
+    /// stack space.
+    pub(super) max_depth: usize,
 }
 
 impl Tape {
@@ -181,6 +185,26 @@ impl Tape {
         self.instrs.clear();
         self.vc_ops.clear();
         self.emit_basis(basis, ctx, true);
+        self.max_depth = self.simulate_depth();
+    }
+
+    /// Simulates the stack effect of every instruction to find the
+    /// deepest occupancy the program reaches.
+    fn simulate_depth(&self) -> usize {
+        let mut cur = 0usize;
+        let mut max = 0usize;
+        for instr in &self.instrs {
+            match *instr {
+                Instr::PushConst(_) | Instr::PushVc { .. } => {
+                    cur += 1;
+                    max = max.max(cur);
+                }
+                Instr::AddTerm(_) | Instr::MulFactor { .. } | Instr::Binary(_) => cur -= 1,
+                Instr::Unary(_) => {}
+                Instr::Lte { has_cond } => cur -= if has_cond { 3 } else { 2 },
+            }
+        }
+        max
     }
 
     /// Number of instructions (diagnostic).
@@ -262,144 +286,13 @@ impl Tape {
     }
 }
 
-/// The tape evaluator: a stack machine over point columns with a buffer
-/// pool, so steady-state evaluation performs no allocation.
-///
-/// Not `Sync` by design — each worker thread owns its own VM (and the
-/// scratch that wraps it), which is what keeps parallel fitness
-/// evaluation lock-free.
-#[derive(Debug, Default)]
-pub struct TapeVm {
-    stack: Vec<Vec<f64>>,
-    pool: Vec<Vec<f64>>,
-}
-
-impl TapeVm {
-    /// A fresh VM with empty buffer pool.
-    pub fn new() -> TapeVm {
-        TapeVm::default()
-    }
-
-    fn take_buf(&mut self, n: usize) -> Vec<f64> {
-        self.pool.pop().unwrap_or_else(|| Vec::with_capacity(n))
-    }
-
-    /// Returns a column to the buffer pool for reuse.
-    pub fn recycle(&mut self, buf: Vec<f64>) {
-        self.pool.push(buf);
-    }
-
-    /// Evaluates the tape over every point of `pm`, returning the result
-    /// column (length `pm.n_points()`).
-    ///
-    /// The returned buffer comes from the pool; hand it back with
-    /// [`TapeVm::recycle`] when done to keep evaluation allocation-free.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the tape references a variable `pm` does not have, or
-    /// when the tape is empty.
-    pub fn eval(&mut self, tape: &Tape, pm: &PointMatrix) -> Vec<f64> {
-        let n = pm.n_points();
-        for instr in &tape.instrs {
-            match *instr {
-                Instr::PushConst(c) => {
-                    let mut buf = self.take_buf(n);
-                    buf.clear();
-                    buf.resize(n, c);
-                    self.stack.push(buf);
-                }
-                Instr::PushVc { start, len } => {
-                    let mut buf = self.take_buf(n);
-                    buf.clear();
-                    buf.resize(n, 1.0);
-                    for &(var, e) in &tape.vc_ops[start as usize..(start + len) as usize] {
-                        let xs = pm.var(var as usize);
-                        for (b, &x) in buf.iter_mut().zip(xs) {
-                            *b *= x.powi(e);
-                        }
-                    }
-                    self.stack.push(buf);
-                }
-                Instr::AddTerm(w) => {
-                    let term = self.stack.pop().expect("tape stack underflow");
-                    let top = self.stack.last_mut().expect("tape stack underflow");
-                    for (a, &t) in top.iter_mut().zip(&term) {
-                        *a += w * t;
-                    }
-                    self.pool.push(term);
-                }
-                Instr::MulFactor { masked, root } => {
-                    let f = self.stack.pop().expect("tape stack underflow");
-                    let top = self.stack.last_mut().expect("tape stack underflow");
-                    let mut any_finite = false;
-                    for (a, &v) in top.iter_mut().zip(&f) {
-                        if !masked || a.is_finite() {
-                            *a *= v;
-                        }
-                        any_finite |= a.is_finite();
-                    }
-                    self.pool.push(f);
-                    // Every lane is dead: later root factors are masked
-                    // out everywhere, so the column is already final.
-                    if root && !any_finite && n > 0 {
-                        break;
-                    }
-                }
-                Instr::Unary(op) => {
-                    let top = self.stack.last_mut().expect("tape stack underflow");
-                    for a in top.iter_mut() {
-                        *a = op.apply(*a);
-                    }
-                }
-                Instr::Binary(op) => {
-                    let r = self.stack.pop().expect("tape stack underflow");
-                    let top = self.stack.last_mut().expect("tape stack underflow");
-                    for (a, &b) in top.iter_mut().zip(&r) {
-                        *a = op.apply(*a, b);
-                    }
-                    self.pool.push(r);
-                }
-                Instr::Lte { has_cond } => {
-                    let otherwise = self.stack.pop().expect("tape stack underflow");
-                    let if_less = self.stack.pop().expect("tape stack underflow");
-                    let cond = if has_cond { self.stack.pop() } else { None };
-                    let test = self.stack.last_mut().expect("tape stack underflow");
-                    for i in 0..n {
-                        let t = test[i];
-                        let bound = cond.as_ref().map_or(0.0, |c| c[i]);
-                        test[i] = if t.is_nan() || bound.is_nan() {
-                            f64::NAN
-                        } else if t <= bound {
-                            if_less[i]
-                        } else {
-                            otherwise[i]
-                        };
-                    }
-                    self.pool.push(otherwise);
-                    self.pool.push(if_less);
-                    if let Some(c) = cond {
-                        self.pool.push(c);
-                    }
-                }
-            }
-        }
-        let out = self.stack.pop().expect("empty tape");
-        // Only the early bail-out leaves anything here; drain it to the
-        // pool so the VM is clean for the next tape.
-        while let Some(buf) = self.stack.pop() {
-            self.pool.push(buf);
-        }
-        out
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::expr::{
-        eval_basis, BinaryArgs, LteArgs, VarCombo, Weight, WeightedSum, WeightedTerm,
+        eval_basis, BinaryArgs, LteArgs, TapeVm, VarCombo, Weight, WeightedSum, WeightedTerm,
     };
+    use caffeine_doe::PointMatrix;
 
     fn ctx() -> EvalContext {
         EvalContext::default()
@@ -609,16 +502,49 @@ mod tests {
     }
 
     #[test]
-    fn vm_pool_is_reused_across_evaluations() {
-        let b = BasisFunction::from_vc(VarCombo::single(1, 0, 1));
-        let pm = PointMatrix::from_rows(&[vec![1.0], vec![2.0]]);
+    fn compiled_depth_bounds_every_prefix() {
+        // A nested tree exercising unary, binary, and lte arms: the
+        // recorded depth must cover the deepest stack any prefix reaches.
+        let lte = OpApplication::Lte(LteArgs {
+            test: Box::new(WeightedSum {
+                offset: w(0.5),
+                terms: vec![WeightedTerm {
+                    weight: w(1.0),
+                    term: BasisFunction::from_vc(VarCombo::single(2, 0, 1)),
+                }],
+            }),
+            cond: Some(Box::new(WeightedSum::constant(w(2.0)))),
+            if_less: Box::new(WeightedSum::constant(w(10.0))),
+            otherwise: Box::new(WeightedSum {
+                offset: w(0.0),
+                terms: vec![WeightedTerm {
+                    weight: w(3.0),
+                    term: BasisFunction {
+                        vc: VarCombo::single(2, 1, 2),
+                        factors: vec![OpApplication::Binary {
+                            op: BinaryOp::Max,
+                            args: BinaryArgs {
+                                left: WeightedSum::constant(w(1.0)),
+                                right: WeightedSum::constant(w(-1.0)),
+                            },
+                        }],
+                    },
+                }],
+            }),
+        });
+        let b = BasisFunction::from_op(2, lte);
         let tape = Tape::compile(&b, &ctx());
-        let mut vm = TapeVm::new();
-        let c1 = vm.eval(&tape, &pm);
-        let p1 = c1.as_ptr();
-        vm.recycle(c1);
-        let c2 = vm.eval(&tape, &pm);
-        assert_eq!(c2, vec![1.0, 2.0]);
-        assert_eq!(p1, c2.as_ptr(), "buffer was not recycled");
+        let mut cur = 0usize;
+        for instr in &tape.instrs {
+            match *instr {
+                Instr::PushConst(_) | Instr::PushVc { .. } => cur += 1,
+                Instr::AddTerm(_) | Instr::MulFactor { .. } | Instr::Binary(_) => cur -= 1,
+                Instr::Unary(_) => {}
+                Instr::Lte { has_cond } => cur -= if has_cond { 3 } else { 2 },
+            }
+            assert!(cur <= tape.max_depth, "prefix exceeds recorded depth");
+        }
+        assert_eq!(cur, 1, "a full run leaves exactly the result");
+        assert!(tape.max_depth >= 4, "lte nesting must deepen the stack");
     }
 }

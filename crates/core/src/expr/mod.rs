@@ -43,14 +43,16 @@ mod ops;
 mod simplify;
 mod tree;
 mod vc;
+mod vm;
 mod weight;
 
-pub use compile::{Tape, TapeVm};
+pub use compile::Tape;
 pub use complexity::{complexity, n_nodes, vc_cost, ComplexityWeights};
 pub use eval::{eval_basis, eval_basis_all, EvalContext};
 pub use format::{format_basis, format_model, FormatOptions};
-pub use ops::{BinaryOp, UnaryOp};
+pub use ops::{powi_small, BinaryOp, UnaryOp};
 pub use simplify::{constant_value, is_constant_basis, prune_zero_terms, strip_constant_factors};
 pub use tree::{BasisFunction, BinaryArgs, LteArgs, OpApplication, WeightedSum, WeightedTerm};
 pub use vc::VarCombo;
+pub use vm::{TapeVm, LANE_WIDTH};
 pub use weight::{cauchy_gamma_default, cauchy_sample, Weight, WeightConfig};

@@ -1,5 +1,37 @@
 use serde::{Deserialize, Serialize};
 
+/// `x^e` with small integer exponents strength-reduced to inline
+/// multiplies.
+///
+/// `f64::powi` compiles to an out-of-line square-and-multiply loop
+/// (`__powidf2`) when the exponent is not a compile-time constant — a
+/// call per element in the evaluator's hottest loop, since variable-combo
+/// exponents are data. For `e ∈ −3..=3` (the overwhelming majority under
+/// the paper's exponent bounds) this performs the *same* multiply
+/// sequence that loop would, so the result is bit-identical to
+/// `x.powi(e)` — `powi_small_matches_powi_bitwise` pins that down over
+/// zeros, denormals, infinities, and NaN — while staying inlineable and
+/// autovectorizable. Larger exponents fall through to `powi` itself.
+///
+/// Shared by the scalar path ([`super::VarCombo::eval`], hence the
+/// tree-walk interpreter) and the chunked tape VM, so both sides of the
+/// oracle tests strength-reduce identically.
+#[inline]
+pub fn powi_small(x: f64, e: i32) -> f64 {
+    // Each arm mirrors `__powidf2`'s accumulation order (r *= a with a
+    // squared between rounds): e = 3 is x·(x·x), never (x·x)·x.
+    match e {
+        0 => 1.0,
+        1 => x,
+        2 => x * x,
+        3 => x * (x * x),
+        -1 => 1.0 / x,
+        -2 => 1.0 / (x * x),
+        -3 => 1.0 / (x * (x * x)),
+        _ => x.powi(e),
+    }
+}
+
 /// Single-input nonlinear operators (the paper's `1OP` set, Sec. 6.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum UnaryOp {
@@ -157,6 +189,54 @@ impl BinaryOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn powi_small_matches_powi_bitwise() {
+        // Adversarial values: signed zeros, denormals, overflow-scale,
+        // infinities, NaN — plus a dense grid of ordinary magnitudes.
+        let mut values = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            -0.5,
+            2.0,
+            std::f64::consts::PI,
+            5e-324, // smallest denormal
+            1e-310, // denormal
+            f64::MIN_POSITIVE,
+            1e300, // cubing overflows to +inf
+            -1e300,
+            1e-300, // cubing underflows to 0
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MAX,
+            f64::MIN,
+        ];
+        // Deterministic pseudo-random sweep across magnitudes and signs.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..500 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mag = ((state >> 11) as f64 / (1u64 << 53) as f64) * 20.0 - 10.0;
+            values.push(mag.exp2() * if state & 1 == 0 { 1.0 } else { -1.0 });
+        }
+        for e in -5..=5 {
+            for &x in &values {
+                let fast = powi_small(x, e);
+                let reference = x.powi(e);
+                assert!(
+                    fast.to_bits() == reference.to_bits(),
+                    "powi_small({x:e}, {e}) = {fast:e} ({:#x}) but powi gives {reference:e} ({:#x})",
+                    fast.to_bits(),
+                    reference.to_bits()
+                );
+            }
+        }
+    }
 
     #[test]
     fn unary_ops_match_reference_values() {

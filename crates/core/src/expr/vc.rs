@@ -1,5 +1,7 @@
 use serde::{Deserialize, Serialize};
 
+use super::ops::powi_small;
+
 /// A `VC` terminal: a *variable combo*, i.e. a rational monomial over the
 /// design variables with one integer exponent per variable.
 ///
@@ -89,7 +91,9 @@ impl VarCombo {
         let mut acc = 1.0;
         for (&xi, &e) in x.iter().zip(self.exponents.iter()) {
             if e != 0 {
-                acc *= xi.powi(e);
+                // Bit-identical to `xi.powi(e)` (see `powi_small`), minus
+                // the out-of-line call for the common small exponents.
+                acc *= powi_small(xi, e);
             }
         }
         acc

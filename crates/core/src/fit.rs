@@ -12,8 +12,8 @@
 //! * [`fit_linear_weights`] — the tree-walk reference path, kept as the
 //!   oracle the compiled path is property-tested against;
 //! * [`fit_linear_weights_cached`] — the production hot path: bases are
-//!   lowered to [`Tape`]s, evaluated column-at-a-time over a
-//!   [`PointMatrix`], and memoized in a per-generation [`FitScratch`]
+//!   lowered to [`Tape`]s, evaluated by the lane-chunked [`TapeVm`] over
+//!   a [`PointMatrix`], and memoized in a per-generation [`FitScratch`]
 //!   basis-column cache (GP populations are highly redundant after
 //!   crossover, so identical subtrees are evaluated once per generation,
 //!   not once per individual). Both paths produce bit-identical
@@ -173,15 +173,17 @@ enum Lookup {
     Collision,
 }
 
-/// Reusable state of the compiled fitness path: the tape VM with its
-/// column-buffer pool, recycled tapes, and the per-generation basis-column
-/// cache.
+/// Reusable state of the compiled fitness path: the lane-chunked tape VM
+/// with its bounded column-buffer pool, recycled tapes, and the
+/// per-generation basis-column cache.
 ///
 /// One scratch serves one thread; [`crate::DatasetEvaluator`] creates one
 /// per batch (so the cache naturally spans exactly one generation) and the
-/// parallel evaluator gives each worker its own. Steady-state evaluation
-/// through a warm scratch performs no allocation beyond the solver's —
-/// `tests/alloc_growth.rs` pins that down.
+/// parallel evaluator checks one out of its shared pool per worker per
+/// batch, clearing the cache at checkout so memoization stays scoped to a
+/// generation while the VM's chunk stack and buffer pool stay warm.
+/// Steady-state evaluation through a warm scratch performs no allocation
+/// beyond the solver's — `tests/alloc_growth.rs` pins that down.
 #[derive(Debug, Default)]
 pub struct FitScratch {
     vm: TapeVm,

@@ -143,9 +143,9 @@ impl Model {
 
     /// Predicts every point of a column-major [`PointMatrix`].
     ///
-    /// Each basis is lowered once to a [`Tape`] and evaluated
-    /// column-at-a-time — the batch path used when scoring models on
-    /// whole datasets.
+    /// Each basis is lowered once to a [`Tape`] and evaluated by the
+    /// lane-chunked [`TapeVm`] — the batch path used when scoring models
+    /// on whole datasets and by the serve `/predict` endpoint.
     pub fn predict_matrix(&self, pm: &PointMatrix) -> Vec<f64> {
         let ctx = EvalContext::new(self.weight_config);
         let mut vm = TapeVm::new();

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use caffeine_core::expr::{eval_basis, EvalContext, Tape, TapeVm};
+use caffeine_core::expr::{eval_basis, EvalContext, Tape, TapeVm, LANE_WIDTH};
 use caffeine_core::fit::{fit_linear_weights, fit_linear_weights_cached, FitOutcome, FitScratch};
 use caffeine_core::grammar::RandomExprGen;
 use caffeine_core::GrammarConfig;
@@ -71,6 +71,71 @@ proptest! {
                     reference.to_bits() == col[t].to_bits(),
                     "basis {basis:?} point {p:?}: interpreter {reference:e} \
                      ({:#x}) vs tape {:e} ({:#x})",
+                    reference.to_bits(), col[t], col[t].to_bits()
+                );
+            }
+            vm.recycle(col);
+        }
+    }
+
+    /// Lane-chunk edges: every point count from empty (`n = 0`) through
+    /// several full chunks — covering `n < LANE_WIDTH`, exact multiples,
+    /// and every remainder tail — with point sets ranging from fully
+    /// adversarial (including literal NaN/±inf coordinates, which flow
+    /// through `lte` and the masked factors) to all-zero (which drives
+    /// whole chunks non-finite and exercises the root-factor early
+    /// bail-out). All bit-identical to the interpreter.
+    #[test]
+    fn tape_matches_interpreter_on_tails_and_dead_chunks(
+        seed in 0u64..100_000,
+        n_points in 0usize..(4 * LANE_WIDTH + 3),
+        point_style in 0usize..3,
+    ) {
+        let n_vars = 3;
+        let grammar = GrammarConfig::paper_full(n_vars);
+        let gen = RandomExprGen::new(&grammar);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ctx = EvalContext::new(grammar.weights);
+        let points: Vec<Vec<f64>> = match point_style {
+            // Every coordinate zero: negative VC exponents and `inv`/`ln`
+            // go non-finite everywhere, so root factors kill whole chunks.
+            0 => vec![vec![0.0; n_vars]; n_points],
+            // Alternating zero rows: chunks where only some lanes die.
+            1 => gen_points(&mut rng, n_points, n_vars)
+                .into_iter()
+                .enumerate()
+                .map(|(i, row)| if i % 2 == 0 { vec![0.0; n_vars] } else { row })
+                .collect(),
+            // Adversarial mix plus literal non-finite coordinates.
+            _ => gen_points(&mut rng, n_points, n_vars)
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut row)| {
+                    match i % 5 {
+                        0 => row[i % n_vars] = f64::NAN,
+                        1 => row[i % n_vars] = f64::INFINITY,
+                        2 => row[i % n_vars] = f64::NEG_INFINITY,
+                        _ => {}
+                    }
+                    row
+                })
+                .collect(),
+        };
+        let pm = PointMatrix::from_rows(&points);
+        let mut vm = TapeVm::new();
+        let mut tape = Tape::default();
+        for _ in 0..3 {
+            let basis = gen.gen_basis(&mut rng);
+            tape.compile_into(&basis, &ctx);
+            let col = vm.eval(&tape, &pm);
+            prop_assert_eq!(col.len(), n_points);
+            for (t, p) in points.iter().enumerate() {
+                let reference = eval_basis(&basis, p, &ctx);
+                prop_assert!(
+                    reference.to_bits() == col[t].to_bits(),
+                    "n={} style={} basis {:?} point {:?}: interpreter {:e} \
+                     ({:#x}) vs tape {:e} ({:#x})",
+                    n_points, point_style, basis, p, reference,
                     reference.to_bits(), col[t], col[t].to_bits()
                 );
             }

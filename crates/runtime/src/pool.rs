@@ -1,6 +1,6 @@
 //! Deterministic parallel fitness evaluation.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use caffeine_core::gp::Individual;
 use caffeine_core::{DatasetEvaluator, Evaluator, FitScratch};
@@ -17,10 +17,21 @@ use caffeine_obs::PhaseAccumulator;
 /// scheduling order. Threads are scoped (`std::thread::scope`), so no
 /// `'static` bounds or channel plumbing are needed and a panic in any
 /// worker propagates.
+///
+/// Worker scratches are pooled across generations: each worker checks a
+/// [`FitScratch`] out of a shared pool (touching the lock twice per
+/// *batch*, never inside the evaluation loop), so the tape VM's chunk
+/// stack, its column-buffer pool, and the spare-tape list stay warm from
+/// one generation to the next. The basis-column cache is cleared at
+/// checkout — memoization never changes outcomes, so pooling preserves
+/// the bit-identity guarantee, and clearing keeps the cache scoped to
+/// exactly one generation just like the fresh-scratch-per-batch scheme
+/// it replaces.
 #[derive(Debug)]
 pub struct ParallelEvaluator<'a> {
     inner: DatasetEvaluator<'a>,
     threads: usize,
+    scratches: Mutex<Vec<FitScratch>>,
 }
 
 impl<'a> ParallelEvaluator<'a> {
@@ -29,7 +40,13 @@ impl<'a> ParallelEvaluator<'a> {
         ParallelEvaluator {
             inner,
             threads: threads.max(1),
+            scratches: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Number of worker scratches currently pooled (diagnostic).
+    pub fn pooled_scratches(&self) -> usize {
+        self.scratches.lock().map(|s| s.len()).unwrap_or(0)
     }
 
     /// The wrapped serial evaluator.
@@ -64,13 +81,25 @@ impl Evaluator for ParallelEvaluator<'_> {
         std::thread::scope(|scope| {
             for part in population.chunks_mut(chunk) {
                 let inner = &self.inner;
+                let scratches = &self.scratches;
                 scope.spawn(move || {
-                    // Each worker owns its scratch: the basis-column
-                    // cache and tape VM are lock-free, and memoization
-                    // never changes outcomes, so chunking stays
-                    // bit-identical to the serial evaluator.
-                    let mut scratch = FitScratch::new();
+                    // Check a pooled scratch out (or start fresh on the
+                    // first generation). Clearing the cache at checkout
+                    // scopes memoization to this batch while keeping the
+                    // VM buffer pool and spare tapes warm; inside the
+                    // batch the scratch is thread-owned and lock-free,
+                    // so chunking stays bit-identical to the serial
+                    // evaluator.
+                    let mut scratch = scratches
+                        .lock()
+                        .ok()
+                        .and_then(|mut s| s.pop())
+                        .unwrap_or_default();
+                    scratch.clear_cache();
                     inner.evaluate_batch(part, &mut scratch);
+                    if let Ok(mut s) = scratches.lock() {
+                        s.push(scratch);
+                    }
                 });
             }
         });
@@ -118,6 +147,45 @@ mod tests {
             let mut got = population.clone();
             par.evaluate_all(&mut got);
             assert_eq!(expect, got, "thread count {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn pooled_scratches_are_reused_and_stay_deterministic() {
+        let settings = CaffeineSettings::quick_test();
+        let grammar = GrammarConfig::rational(1);
+        let data = data();
+        let gen = RandomExprGen::new(&grammar);
+        let mut rng = StdRng::seed_from_u64(17);
+        let population: Vec<Individual> = (0..24)
+            .map(|_| Individual::new(vec![gen.gen_basis(&mut rng), gen.gen_basis(&mut rng)]))
+            .collect();
+
+        let serial = DatasetEvaluator::new(&settings, &grammar, &data).unwrap();
+        let mut expect = population.clone();
+        serial.evaluate_all(&mut expect);
+
+        let threads = 4;
+        let par = ParallelEvaluator::new(
+            DatasetEvaluator::new(&settings, &grammar, &data).unwrap(),
+            threads,
+        );
+        assert_eq!(par.pooled_scratches(), 0);
+        // Several "generations" through the same evaluator: every round
+        // after the first runs on recycled scratches and must reproduce
+        // the serial results exactly.
+        for round in 0..3 {
+            let mut got = population.clone();
+            for ind in &mut got {
+                ind.invalidate();
+            }
+            par.evaluate_all(&mut got);
+            assert_eq!(expect, got, "round {round} diverged on pooled scratches");
+            let pooled = par.pooled_scratches();
+            assert!(
+                pooled >= 1 && pooled <= threads,
+                "expected 1..={threads} pooled scratches after round {round}, got {pooled}"
+            );
         }
     }
 }
