@@ -8,9 +8,11 @@
 //! per-node overhead is amortized over whole chunks and the data walks
 //! contiguous [`PointMatrix`](caffeine_doe::PointMatrix) variable slices.
 //!
-//! The tape is **bit-identical** to the interpreter by construction (the
-//! property test in `tests/tape_oracle.rs` enforces it over random
-//! grammar trees):
+//! The tape matches the interpreter by construction — **bit-identical**
+//! for every non-NaN result, NaN-for-NaN otherwise (NaN sign/payload may
+//! differ once the optimizer vectorizes the lane loops; see
+//! [`super::vm`]). The property tests in `tests/tape_oracle.rs` enforce
+//! this over random grammar trees:
 //!
 //! * weight terminals are decoded once at compile time, and zero-weight
 //!   terms are skipped exactly where [`super::eval`] skips them;

@@ -17,7 +17,10 @@
 //!   basis-column cache (GP populations are highly redundant after
 //!   crossover, so identical subtrees are evaluated once per generation,
 //!   not once per individual). Both paths produce bit-identical
-//!   [`FitOutcome`]s.
+//!   [`FitOutcome`]s — the tape's NaN sign/payload latitude (see
+//!   [`crate::expr::TapeVm`]) cannot leak in, because any non-finite
+//!   basis column is rejected as [`FitOutcome::Infeasible`] before it
+//!   can reach the solver.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -307,8 +310,9 @@ impl FitScratch {
 /// Bit-identical to [`fit_linear_weights`] on the same inputs (`pm` being
 /// the column-major transpose of the reference path's `points`): columns
 /// are produced by the compiled tapes, which the oracle property test
-/// pins to the interpreter bit for bit, and the solving stage is shared
-/// code.
+/// pins to the interpreter (bit for bit on non-NaN values; non-finite
+/// columns never reach the solver — they are [`FitOutcome::Infeasible`]
+/// in both paths), and the solving stage is shared code.
 pub fn fit_linear_weights_cached(
     bases: &[BasisFunction],
     pm: &PointMatrix,

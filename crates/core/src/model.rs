@@ -136,7 +136,9 @@ impl Model {
     }
 
     /// Predicts a batch of design points (compiled column evaluation;
-    /// bit-identical to mapping [`Model::predict_one`] over the rows).
+    /// bit-identical to mapping [`Model::predict_one`] over the rows for
+    /// every non-NaN prediction — NaN predictions agree as NaN, but their
+    /// sign/payload may differ from the interpreter's).
     pub fn predict(&self, points: &[Vec<f64>]) -> Vec<f64> {
         self.predict_matrix(&PointMatrix::from_rows(points))
     }

@@ -1,8 +1,13 @@
 //! Oracle tests of the compiled tape evaluator: the tree-walk interpreter
-//! is the reference semantics, and the tape must reproduce it **bit for
-//! bit** on random grammar trees — including `lte` conditionals,
-//! zero-weight terms, NaN propagation from out-of-domain operators, and
-//! the root-level early bail-out.
+//! is the reference semantics, and the tape must reproduce every non-NaN
+//! result **bit for bit** on random grammar trees — including `lte`
+//! conditionals, zero-weight terms, and the root-level early bail-out.
+//! NaN results must agree *as NaN*, but not in sign/payload: x86 `fmul`
+//! propagates the first NaN operand's bits, and LLVM may commute or
+//! vectorize the VM's lane loops in release builds (NaN payloads are
+//! explicitly unspecified to the optimizer), so the interpreter can yield
+//! `+NaN` where the chunked VM yields `-NaN` for the same point. See
+//! [`matches_oracle`].
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -33,6 +38,13 @@ fn gen_points(rng: &mut StdRng, n_points: usize, n_vars: usize) -> Vec<Vec<f64>>
         .collect()
 }
 
+/// The oracle comparison: bit-identical for non-NaN results, NaN results
+/// compared by class only (sign/payload may legitimately differ between
+/// the scalar interpreter and the autovectorized chunked loops).
+fn matches_oracle(reference: f64, got: f64) -> bool {
+    reference.to_bits() == got.to_bits() || (reference.is_nan() && got.is_nan())
+}
+
 fn grammar_for(which: usize, n_vars: usize) -> GrammarConfig {
     match which {
         // `paper_full` enables both `lte` forms and the whole operator set.
@@ -45,8 +57,9 @@ fn grammar_for(which: usize, n_vars: usize) -> GrammarConfig {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// Compiled evaluation is bit-identical to the interpreter on random
-    /// grammar trees over adversarial point sets.
+    /// Compiled evaluation matches the interpreter on random grammar
+    /// trees over adversarial point sets: bit-identical for non-NaN
+    /// results, NaN-for-NaN otherwise.
     #[test]
     fn tape_matches_interpreter_bitwise(
         seed in 0u64..100_000,
@@ -68,7 +81,7 @@ proptest! {
             for (t, p) in points.iter().enumerate() {
                 let reference = eval_basis(&basis, p, &ctx);
                 prop_assert!(
-                    reference.to_bits() == col[t].to_bits(),
+                    matches_oracle(reference, col[t]),
                     "basis {basis:?} point {p:?}: interpreter {reference:e} \
                      ({:#x}) vs tape {:e} ({:#x})",
                     reference.to_bits(), col[t], col[t].to_bits()
@@ -84,7 +97,9 @@ proptest! {
     /// adversarial (including literal NaN/±inf coordinates, which flow
     /// through `lte` and the masked factors) to all-zero (which drives
     /// whole chunks non-finite and exercises the root-factor early
-    /// bail-out). All bit-identical to the interpreter.
+    /// bail-out). All checked against the interpreter with
+    /// [`matches_oracle`] (this is the test that catches the release-mode
+    /// NaN-sign divergence when compared fully bitwise).
     #[test]
     fn tape_matches_interpreter_on_tails_and_dead_chunks(
         seed in 0u64..100_000,
@@ -132,7 +147,7 @@ proptest! {
             for (t, p) in points.iter().enumerate() {
                 let reference = eval_basis(&basis, p, &ctx);
                 prop_assert!(
-                    reference.to_bits() == col[t].to_bits(),
+                    matches_oracle(reference, col[t]),
                     "n={} style={} basis {:?} point {:?}: interpreter {:e} \
                      ({:#x}) vs tape {:e} ({:#x})",
                     n_points, point_style, basis, p, reference,
@@ -201,7 +216,7 @@ fn tape_oracle_holds_on_many_deep_paper_trees() {
             let reference = eval_basis(&basis, p, &ctx);
             nonfinite_seen |= !reference.is_finite();
             assert!(
-                reference.to_bits() == col[t].to_bits(),
+                matches_oracle(reference, col[t]),
                 "mismatch: interpreter {reference:e} vs tape {:e}\nbasis {basis:?}\npoint {p:?}",
                 col[t]
             );
