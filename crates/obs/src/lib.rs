@@ -15,12 +15,24 @@
 //!   request/response correlation, safe to accept from untrusted clients
 //!   after [`valid_request_id`] screening.
 //!
+//! * **Distributed tracing** ([`trace`]): W3C `traceparent` propagation
+//!   ([`TraceContext`]), RAII spans ([`TraceSpan`]) and a bounded
+//!   tail-sampling store of completed traces ([`TraceStore`]) — the
+//!   per-request counterpart to the aggregate phase timers above.
+//!
 //! Everything here is plain `std`; the crate exists so the engine, runtime
 //! and serving layers can share one vocabulary for "where did the time go"
 //! without pulling in a logging framework.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+
+pub mod trace;
+
+pub use trace::{
+    CompletedTrace, SpanKind, SpanRecord, TraceContext, TraceSpan, TraceStore, TraceStoreConfig,
+    TraceStoreStats, TraceSummary,
+};
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -464,7 +476,7 @@ impl fmt::Debug for Span<'_> {
 }
 
 /// Mixes a seed into a well-distributed 64-bit value (splitmix64 finalizer).
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

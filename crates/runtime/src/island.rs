@@ -417,9 +417,11 @@ impl IslandRunner {
 
     fn write_checkpoint(&self, data: &Dataset) -> Result<(), RuntimeError> {
         if let Some(path) = &self.checkpoint_path {
+            let started = Instant::now();
             self.checkpoint(data).save(path)?;
             self.emit(RunEvent::Checkpointed {
                 generation: self.completed,
+                duration_secs: started.elapsed().as_secs_f64(),
             });
         }
         Ok(())

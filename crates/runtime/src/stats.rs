@@ -85,6 +85,8 @@ pub enum RunEvent {
     Checkpointed {
         /// Completed generations at checkpoint time.
         generation: usize,
+        /// How long serializing + atomically writing the snapshot took.
+        duration_secs: f64,
     },
     /// The run finished all generations.
     Finished {

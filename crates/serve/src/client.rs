@@ -13,6 +13,8 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+use caffeine_obs::TraceContext;
+
 /// A response as the client sees it.
 #[derive(Debug, Clone)]
 pub struct ClientResponse {
@@ -122,12 +124,30 @@ impl Connection {
         path: &str,
         body: Option<&[u8]>,
     ) -> std::io::Result<ClientResponse> {
+        self.request_traced(method, path, body, TraceContext::mint())
+    }
+
+    /// Like [`Connection::request`], but propagating the caller's trace
+    /// context instead of minting one. A context with `sampled` set asks
+    /// the server to retain the trace regardless of its sampling policy.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and unparseable responses as `io::Error`.
+    pub fn request_traced(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        ctx: TraceContext,
+    ) -> std::io::Result<ClientResponse> {
         let reused = self.stream.is_some();
-        match self.try_request(method, path, body) {
+        match self.try_request(method, path, body, ctx) {
             Ok(r) => Ok(r),
             Err((phase, e)) if reused && is_stale_socket(&e) && phase.retry_safe(method) => {
                 self.stream = None;
-                self.try_request(method, path, body).map_err(|(_, e)| e)
+                self.try_request(method, path, body, ctx)
+                    .map_err(|(_, e)| e)
             }
             Err((_, e)) => {
                 self.stream = None;
@@ -141,6 +161,7 @@ impl Connection {
         method: &str,
         path: &str,
         body: Option<&[u8]>,
+        ctx: TraceContext,
     ) -> Result<ClientResponse, (RequestPhase, std::io::Error)> {
         let addr = self.addr.clone();
         let writing = |e| (RequestPhase::Write, e);
@@ -148,7 +169,8 @@ impl Connection {
         let body = body.unwrap_or(&[]);
         write!(
             stream,
-            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ntraceparent: {}\r\ncontent-length: {}\r\n\r\n",
+            ctx.traceparent(),
             body.len()
         )
         .map_err(writing)?;
@@ -196,6 +218,24 @@ pub fn request(
     body: Option<&[u8]>,
     timeout: Duration,
 ) -> std::io::Result<ClientResponse> {
+    request_traced(addr, method, path, body, timeout, TraceContext::mint())
+}
+
+/// Like [`request`], but propagating the caller's trace context. A
+/// context with `sampled` set asks the server to retain the trace
+/// regardless of its sampling policy.
+///
+/// # Errors
+///
+/// Transport failures and unparseable responses as `io::Error`.
+pub fn request_traced(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+    ctx: TraceContext,
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
@@ -204,7 +244,8 @@ pub fn request(
     let body = body.unwrap_or(&[]);
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ntraceparent: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        ctx.traceparent(),
         body.len()
     )?;
     stream.write_all(body)?;

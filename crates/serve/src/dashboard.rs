@@ -6,7 +6,8 @@
 //! `GET /v1/jobs/{id}/events` SSE stream, rendering a log-scale
 //! convergence curve, the live (error, complexity) Pareto front carried
 //! by `progress` frames, and a per-phase bar breakdown of where the last
-//! generation's wall time went.
+//! generation's wall time went. A traces panel polls `GET /v1/traces`
+//! and draws the selected trace's span tree as a canvas waterfall.
 
 /// The dashboard page, verbatim.
 pub const HTML: &str = include_str!("dashboard.html");
@@ -30,5 +31,7 @@ mod tests {
         assert!(HTML.contains("/v1/jobs"));
         assert!(HTML.contains("EventSource"));
         assert!(HTML.contains("progress"));
+        assert!(HTML.contains("/v1/traces"));
+        assert!(HTML.contains("drawWaterfall"));
     }
 }

@@ -2,10 +2,12 @@
 //! response over the shared server state.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use serde::Deserialize;
 
 use caffeine_core::ModelArtifact;
+use caffeine_obs::{CompletedTrace, TraceSpan, TraceSummary};
 
 use crate::error::ApiError;
 use crate::http::{Request, Response};
@@ -18,6 +20,7 @@ use crate::server::Shared;
 pub fn route_label(r: &Route) -> &'static str {
     match r {
         Route::Health => "healthz",
+        Route::Ready => "readyz",
         Route::Metrics => "metrics",
         Route::Dashboard => "dashboard",
         Route::ListModels => "models.list",
@@ -29,6 +32,8 @@ pub fn route_label(r: &Route) -> &'static str {
         Route::GetJob(_) => "jobs.get",
         Route::JobEvents(_) => "jobs.events",
         Route::CancelJob(_) => "jobs.cancel",
+        Route::ListTraces => "traces.list",
+        Route::GetTrace(_) => "traces.get",
         Route::Shutdown => "admin.shutdown",
     }
 }
@@ -45,19 +50,23 @@ pub enum Outcome {
 }
 
 /// Resolves and executes a request. Returns the outcome plus the metric
-/// label it should be recorded under. `request_id` is the trace id the
-/// server resolved for this request; handlers thread it into their debug
-/// logs so handler-level lines correlate with the access log.
+/// label it should be recorded under. `request_id` is the correlation id
+/// the server resolved for this request; handlers thread it into their
+/// debug logs so handler-level lines correlate with the access log.
+/// `root` is the request's root server span — job submission links the
+/// job's trace to it, so a job's whole lifecycle shares the submitting
+/// request's trace id.
 pub fn handle(
     shared: &Arc<Shared>,
     request: &Request,
     request_id: &str,
+    root: &mut TraceSpan,
 ) -> (Outcome, &'static str) {
     match route(&request.method, &request.path) {
         Err(e) => (Outcome::Response(e.into_response()), "unrouted"),
         Ok(r) => {
             let label = route_label(&r);
-            let outcome = dispatch(shared, &r, request, request_id)
+            let outcome = dispatch(shared, &r, request, request_id, root)
                 .unwrap_or_else(|e| Outcome::Response(e.into_response()));
             (outcome, label)
         }
@@ -110,6 +119,7 @@ fn dispatch(
     route: &Route,
     request: &Request,
     request_id: &str,
+    root: &mut TraceSpan,
 ) -> Result<Outcome, ApiError> {
     if let Route::JobEvents(id) = route {
         let entry = shared
@@ -119,7 +129,7 @@ fn dispatch(
         shared.metrics.observe_sse_stream();
         return Ok(Outcome::StreamJobEvents(entry));
     }
-    dispatch_response(shared, route, request, request_id).map(Outcome::Response)
+    dispatch_response(shared, route, request, request_id, root).map(Outcome::Response)
 }
 
 fn dispatch_response(
@@ -127,13 +137,23 @@ fn dispatch_response(
     route: &Route,
     request: &Request,
     request_id: &str,
+    root: &mut TraceSpan,
 ) -> Result<Response, ApiError> {
     match route {
         Route::Health => Ok(ok_json(serde_json::json!({"status": "ok"}))),
+        Route::Ready => match shared.readiness() {
+            Ok(()) => Ok(ok_json(serde_json::json!({"status": "ready"}))),
+            Err(reason) => Ok(json_response(
+                503,
+                serde_json::json!({"status": "unavailable", "reason": reason}),
+            )),
+        },
         Route::Metrics => {
-            let text = shared
-                .metrics
-                .render(shared.registry.hits(), shared.registry.misses());
+            let text = shared.metrics.render(
+                shared.registry.hits(),
+                shared.registry.misses(),
+                &shared.traces.stats(),
+            );
             Ok(Response::text(200, text))
         }
         Route::Dashboard => Ok(Response::html(200, crate::dashboard::HTML.to_string())),
@@ -229,12 +249,20 @@ fn dispatch_response(
         }
         Route::SubmitJob => {
             let spec = JobSpec::from_json(&request.body)?;
-            let entry = shared.jobs.submit(
+            // Link the job's long-lived trace to this request: the job
+            // trace reuses the request's trace id, so the whole lifecycle
+            // (HTTP accept → queued → running → publish) is one tree.
+            let parent = root.is_recording().then(|| root.context());
+            let entry = shared.jobs.submit_traced(
                 spec,
                 Arc::clone(&shared.registry),
                 Arc::clone(&shared.metrics),
+                parent,
             )?;
             shared.metrics.observe_job_submitted();
+            if let Some(trace) = entry.trace_id() {
+                root.attr("job.trace_id", trace);
+            }
             Ok(json_response(201, entry.status_json()))
         }
         Route::GetJob(id) => {
@@ -274,12 +302,101 @@ fn dispatch_response(
             shared.jobs.cancel(*id);
             Ok(json_response(202, entry.status_json()))
         }
+        Route::ListTraces => {
+            let min_duration = match request.query_param("min_duration_ms") {
+                None => Duration::ZERO,
+                Some(raw) => Duration::from_millis(raw.parse::<u64>().map_err(|_| {
+                    ApiError::bad_request("`min_duration_ms` must be a nonnegative integer")
+                })?),
+            };
+            let error_only = match request.query_param("error") {
+                None | Some("false") => false,
+                Some("true") => true,
+                Some(other) => {
+                    return Err(ApiError::bad_request(format!(
+                        "`error` must be `true` or `false`, not `{other}`"
+                    )))
+                }
+            };
+            let job = request.query_param("job");
+            let attr = job.map(|id| ("job.id", id));
+            let summaries = shared.traces.list(min_duration, error_only, attr);
+            let traces: Vec<serde_json::Value> = summaries.iter().map(summary_json).collect();
+            Ok(ok_json(serde_json::json!({ "traces": traces })))
+        }
+        Route::GetTrace(id) => {
+            let trace_id = parse_trace_id(id)
+                .ok_or_else(|| ApiError::not_found(format!("no trace `{id}`")))?;
+            let trace = shared.traces.get(trace_id).ok_or_else(|| {
+                ApiError::not_found(format!(
+                    "no trace `{id}` (not yet finished, not sampled, or evicted)"
+                ))
+            })?;
+            Ok(ok_json(trace_json(&trace)))
+        }
         Route::JobEvents(_) => unreachable!("handled by dispatch"),
         Route::Shutdown => {
             shared.begin_shutdown();
             Ok(json_response(202, serde_json::json!({"draining": true})))
         }
     }
+}
+
+/// Parses a canonical 32-hex-digit trace id. Strict: exact length, hex
+/// digits only (no signs, whitespace, or `0x`).
+fn parse_trace_id(s: &str) -> Option<u128> {
+    if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
+fn summary_json(s: &TraceSummary) -> serde_json::Value {
+    serde_json::json!({
+        "trace_id": format!("{:032x}", s.trace_id),
+        "root": s.root_name,
+        "start_unix_ns": s.start_unix_ns,
+        "duration_ms": s.duration_ns as f64 / 1e6,
+        "n_spans": s.n_spans,
+        "error": s.error,
+    })
+}
+
+fn trace_json(t: &CompletedTrace) -> serde_json::Value {
+    let spans: Vec<serde_json::Value> = t
+        .spans
+        .iter()
+        .map(|s| {
+            let attrs: serde_json::Value = serde_json::Value::Object(
+                s.attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), serde_json::Value::String(v.clone())))
+                    .collect(),
+            );
+            serde_json::json!({
+                "span_id": format!("{:016x}", s.span_id),
+                "parent_span_id": s.parent_span_id.map(|p| format!("{p:016x}")),
+                "name": s.name,
+                "kind": s.kind.as_str(),
+                "start_unix_ns": s.start_unix_ns,
+                // Offset from the trace's first span: small enough to stay
+                // exact in JS (raw unix ns exceeds f64 precision).
+                "offset_ns": s.start_unix_ns.saturating_sub(t.start_unix_ns),
+                "duration_ns": s.duration_ns,
+                "attrs": attrs,
+                "error": s.error,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "trace_id": format!("{:032x}", t.trace_id),
+        "root": t.root_name,
+        "start_unix_ns": t.start_unix_ns,
+        "duration_ms": t.duration_ns as f64 / 1e6,
+        "error": t.error,
+        "n_spans": t.spans.len(),
+        "spans": spans,
+    })
 }
 
 fn no_such_model(id: &str, request: &Request) -> ApiError {
@@ -373,7 +490,7 @@ mod tests {
         entry.join(); // terminal (finished)
 
         let request = bare_request("DELETE", &format!("/v1/jobs/{}", entry.id));
-        let (outcome, label) = handle(&shared, &request, "t-rid");
+        let (outcome, label) = handle(&shared, &request, "t-rid", &mut TraceSpan::noop());
         assert_eq!(label, "jobs.cancel");
         let Outcome::Response(response) = outcome else {
             panic!("cancel must not stream");
@@ -414,7 +531,7 @@ mod tests {
             )
             .unwrap();
         let request = bare_request("DELETE", &format!("/v1/jobs/{}", live.id));
-        let (outcome, _) = handle(&shared, &request, "t-rid");
+        let (outcome, _) = handle(&shared, &request, "t-rid", &mut TraceSpan::noop());
         let Outcome::Response(response) = outcome else {
             panic!("cancel must not stream");
         };
@@ -422,7 +539,12 @@ mod tests {
         live.join();
 
         // Unknown job: still a plain 404.
-        let (outcome, _) = handle(&shared, &bare_request("DELETE", "/v1/jobs/424242"), "t-rid");
+        let (outcome, _) = handle(
+            &shared,
+            &bare_request("DELETE", "/v1/jobs/424242"),
+            "t-rid",
+            &mut TraceSpan::noop(),
+        );
         let Outcome::Response(response) = outcome else {
             panic!("cancel must not stream");
         };

@@ -35,15 +35,18 @@ use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::Deserialize;
 
 use caffeine_core::{CaffeineSettings, GrammarConfig, ModelArtifact};
 use caffeine_doe::Dataset;
-use caffeine_runtime::{IslandRunner, RunController, RunEvent, RuntimeCheckpoint, RuntimeConfig};
+use caffeine_obs::{trace::fresh_span_id, SpanKind, SpanRecord, TraceContext, TraceStore};
+use caffeine_runtime::{
+    IslandRunner, PhaseBreakdown, RunController, RunEvent, RuntimeCheckpoint, RuntimeConfig,
+};
 
 use crate::error::ApiError;
 use crate::handlers::sanitize;
@@ -282,9 +285,12 @@ fn frame_for(event: &RunEvent) -> JobEventFrame {
         RunEvent::Migrated { generation } => {
             frame("migrated", serde_json::json!({ "generation": generation }))
         }
-        RunEvent::Checkpointed { generation } => frame(
+        RunEvent::Checkpointed {
+            generation,
+            duration_secs,
+        } => frame(
             "checkpoint",
-            serde_json::json!({ "generation": generation }),
+            serde_json::json!({ "generation": generation, "duration_secs": duration_secs }),
         ),
         RunEvent::Finished { generation } => {
             frame("finished", serde_json::json!({ "generation": generation }))
@@ -348,6 +354,224 @@ impl EventHub {
     }
 }
 
+/// Emits one job's lifecycle spans into the daemon's trace store. A
+/// submitted job *adopts the submitting HTTP request's trace* (same
+/// trace id, the request's root span as parent), so a finished job reads
+/// as one tree: HTTP accept → queued wait → running → engine phases /
+/// checkpoints → publish. Re-adopted orphans have no originating request
+/// and mint a fresh trace instead.
+///
+/// The tracer holds the trace open ([`TraceStore::hold`]) for the job's
+/// whole life; [`JobTracer::finish`] records the `running` and `job`
+/// spans and completes the trace, which is when tail sampling decides
+/// whether to retain it.
+#[derive(Debug)]
+pub(crate) struct JobTracer {
+    store: Arc<TraceStore>,
+    /// The `job` span's own context (shared trace id, fresh span id).
+    ctx: TraceContext,
+    /// Pre-minted context of the `running` span so the pump thread can
+    /// parent phase/checkpoint spans under it before it is recorded.
+    running_ctx: TraceContext,
+    /// The submitting request's root span; `None` for orphans.
+    parent_span_id: Option<u64>,
+    job_id: u64,
+    start_unix_ns: u64,
+    started: Instant,
+    /// Set at admission; `None` for a job settled while still queued.
+    running_started: Mutex<Option<(u64, Instant)>>,
+    /// `finish` runs once: the pump and the settle paths can both reach
+    /// a terminal state for the same job (e.g. a driver-spawn failure),
+    /// and the trace must complete exactly once.
+    finished: std::sync::atomic::AtomicBool,
+}
+
+impl JobTracer {
+    fn new(store: &Arc<TraceStore>, parent: Option<TraceContext>, job_id: u64) -> Arc<JobTracer> {
+        let ctx = parent.map_or_else(TraceContext::mint, |p| p.child());
+        store.hold(ctx.trace_id);
+        Arc::new(JobTracer {
+            store: Arc::clone(store),
+            running_ctx: ctx.child(),
+            parent_span_id: parent.map(|p| p.span_id),
+            ctx,
+            job_id,
+            start_unix_ns: caffeine_obs::trace::unix_ns(),
+            started: Instant::now(),
+            running_started: Mutex::new(None),
+            finished: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// The canonical 32-char hex trace id (the `GET /v1/traces/{id}` key).
+    pub(crate) fn trace_id_hex(&self) -> String {
+        self.ctx.trace_id_hex()
+    }
+
+    fn record(
+        &self,
+        name: &str,
+        span_id: u64,
+        parent_span_id: Option<u64>,
+        start_unix_ns: u64,
+        duration: Duration,
+        attrs: Vec<(String, String)>,
+    ) {
+        self.store.record(SpanRecord {
+            trace_id: self.ctx.trace_id,
+            span_id,
+            parent_span_id,
+            name: name.to_string(),
+            kind: SpanKind::Internal,
+            start_unix_ns,
+            duration_ns: u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX),
+            attrs,
+            error: None,
+        });
+    }
+
+    /// Records the scheduler-wait span (admission or queued settle time).
+    fn record_queued(&self, waited: Duration) {
+        let waited_ns = u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX);
+        self.record(
+            "queued",
+            fresh_span_id(),
+            Some(self.ctx.span_id),
+            caffeine_obs::trace::unix_ns().saturating_sub(waited_ns),
+            waited,
+            Vec::new(),
+        );
+    }
+
+    /// Stamps the start of the `running` span (recorded at `finish`).
+    fn mark_running(&self) {
+        *self.running_started.lock().expect("tracer lock") =
+            Some((caffeine_obs::trace::unix_ns(), Instant::now()));
+    }
+
+    /// Materializes one progress interval's engine-phase breakdown as
+    /// child spans of `running`, laid back-to-back ending now (the
+    /// breakdown only reports durations, not offsets).
+    fn record_phases(&self, phases: &PhaseBreakdown) {
+        let parts = [
+            ("basis_eval", phases.basis_eval),
+            ("linear_solve", phases.linear_solve),
+            ("eval_other", phases.eval_other),
+            ("selection", phases.selection),
+            ("migration", phases.migration),
+        ];
+        let total_ns: u64 = parts
+            .iter()
+            .map(|(_, secs)| (secs.max(0.0) * 1e9) as u64)
+            .sum();
+        let mut start = caffeine_obs::trace::unix_ns().saturating_sub(total_ns);
+        for (name, secs) in parts {
+            if secs <= 0.0 {
+                continue;
+            }
+            let dur = Duration::from_secs_f64(secs);
+            self.record(
+                name,
+                fresh_span_id(),
+                Some(self.running_ctx.span_id),
+                start,
+                dur,
+                vec![("generation".into(), phases.generation.to_string())],
+            );
+            start = start.saturating_add((secs * 1e9) as u64);
+        }
+    }
+
+    /// Records one checkpoint write as a child of `running`.
+    fn record_checkpoint(&self, generation: usize, duration_secs: f64) {
+        let dur = Duration::from_secs_f64(duration_secs.max(0.0));
+        let dur_ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+        self.record(
+            "checkpoint",
+            fresh_span_id(),
+            Some(self.running_ctx.span_id),
+            caffeine_obs::trace::unix_ns().saturating_sub(dur_ns),
+            dur,
+            vec![("generation".into(), generation.to_string())],
+        );
+    }
+
+    /// Records the registry-publication span as a child of `job`.
+    fn record_publish(&self, took: Duration, model_id: &str, version: &str, n_models: usize) {
+        let dur_ns = u64::try_from(took.as_nanos()).unwrap_or(u64::MAX);
+        self.record(
+            "publish",
+            fresh_span_id(),
+            Some(self.ctx.span_id),
+            caffeine_obs::trace::unix_ns().saturating_sub(dur_ns),
+            took,
+            vec![
+                ("model.id".into(), model_id.to_string()),
+                ("model.version".into(), version.to_string()),
+                ("n_models".into(), n_models.to_string()),
+            ],
+        );
+    }
+
+    /// Records the `running` span (when the job ever ran) and the root
+    /// `job` span, then completes the trace — the tail-sampling point.
+    /// Idempotent: only the first caller emits anything.
+    fn finish(&self, state: &'static str, error: Option<String>) {
+        if self
+            .finished
+            .swap(true, std::sync::atomic::Ordering::SeqCst)
+        {
+            return;
+        }
+        if let Some((unix, started)) = *self.running_started.lock().expect("tracer lock") {
+            self.record(
+                "running",
+                self.running_ctx.span_id,
+                Some(self.ctx.span_id),
+                unix,
+                started.elapsed(),
+                Vec::new(),
+            );
+        }
+        self.store.record(SpanRecord {
+            trace_id: self.ctx.trace_id,
+            span_id: self.ctx.span_id,
+            parent_span_id: self.parent_span_id,
+            name: "job".to_string(),
+            kind: SpanKind::Internal,
+            start_unix_ns: self.start_unix_ns,
+            duration_ns: u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            attrs: vec![
+                ("job.id".into(), self.job_id.to_string()),
+                ("job.state".into(), state.to_string()),
+            ],
+            error,
+        });
+        self.store.finish(self.ctx.trace_id);
+    }
+
+    /// The job never took over the trace (submission failed after the
+    /// hold): give the trace back to the request path and flush any
+    /// stray spans already recorded. An empty pending trace simply
+    /// evaporates; the request's root span (when there is one) then
+    /// completes as its own trace on the normal request path.
+    fn abandon(&self) {
+        self.store.release(self.ctx.trace_id);
+        self.store.finish(self.ctx.trace_id);
+    }
+}
+
+/// Maps a terminal outcome to the (`job.state` attribute, error) pair
+/// its trace records.
+fn trace_terminal(outcome: &JobOutcome) -> (&'static str, Option<String>) {
+    match outcome {
+        JobOutcome::Pending => ("pending", None),
+        JobOutcome::Published { .. } => ("finished", None),
+        JobOutcome::Cancelled => ("cancelled", None),
+        JobOutcome::Failed { message } => ("failed", Some(message.clone())),
+    }
+}
+
 /// One job's shared record.
 #[derive(Debug)]
 pub struct JobEntry {
@@ -371,6 +595,9 @@ pub struct JobEntry {
     /// 1-based position in the admission queue; 0 once admitted (or when
     /// the job never had to wait). Maintained by the scheduler.
     queue_position: AtomicUsize,
+    /// Lifecycle-span emitter, set once at submission/adoption when the
+    /// daemon has a trace store (absent in bare test managers).
+    tracer: OnceLock<Arc<JobTracer>>,
 }
 
 impl JobEntry {
@@ -385,7 +612,13 @@ impl JobEntry {
             handle: Mutex::new(None),
             preserve_files: std::sync::atomic::AtomicBool::new(false),
             queue_position: AtomicUsize::new(0),
+            tracer: OnceLock::new(),
         })
+    }
+
+    /// The job's 32-char hex trace id, when the daemon traces jobs.
+    pub fn trace_id(&self) -> Option<String> {
+        self.tracer.get().map(|t| t.trace_id_hex())
     }
 
     /// A bare entry (live hub, pending outcome) for crate-internal tests.
@@ -465,6 +698,9 @@ impl JobEntry {
             "state": JobEntry::state_label(&outcome, snapshot.phase, queue_position.is_some()),
             "progress": serde_json::to_value(&snapshot),
         });
+        if let (Some(trace_id), serde_json::Value::Object(m)) = (self.trace_id(), &mut body) {
+            m.insert("trace_id".into(), serde_json::Value::String(trace_id));
+        }
         // Only a still-pending job is truly queued; a just-settled cancel
         // may not have cleared its position yet.
         if matches!(outcome, JobOutcome::Pending) {
@@ -595,7 +831,7 @@ impl Scheduler {
         if st.running < self.max_running && st.queue.is_empty() {
             st.running += 1;
             let metrics = Arc::clone(&job.run.metrics);
-            let outcome = spawn_admitted(self, &job.entry, job.run);
+            let outcome = spawn_admitted(self, &job.entry, job.run, job.queued_at.elapsed());
             if outcome.is_err() {
                 st.running -= 1;
             }
@@ -621,19 +857,24 @@ impl Scheduler {
                 break;
             };
             job.entry.queue_position.store(0, Ordering::Relaxed);
-            job.run.metrics.observe_queue_wait(job.queued_at.elapsed());
+            let waited = job.queued_at.elapsed();
+            job.run.metrics.observe_queue_wait(waited);
             job.run.metrics.set_jobs_queued(st.queue.len());
             st.running += 1;
             let entry = Arc::clone(&job.entry);
             let metrics = Arc::clone(&job.run.metrics);
-            if let Err(e) = spawn_admitted(self, &entry, job.run) {
+            if let Err(e) = spawn_admitted(self, &entry, job.run, waited) {
                 // The slot the job would have used frees again; surface
                 // the job as failed rather than losing it silently.
                 st.running -= 1;
-                *entry.outcome.lock().expect("job lock") =
-                    JobOutcome::Failed { message: e.message };
+                let outcome = JobOutcome::Failed { message: e.message };
+                let (state, error) = trace_terminal(&outcome);
+                *entry.outcome.lock().expect("job lock") = outcome;
                 entry.events.publish(frame("done", entry.status_json()));
                 entry.events.close();
+                if let Some(tracer) = entry.tracer.get() {
+                    tracer.finish(state, error);
+                }
                 metrics.observe_job_finished();
             }
         }
@@ -679,6 +920,7 @@ fn spawn_admitted(
     scheduler: &Arc<Scheduler>,
     entry: &Arc<JobEntry>,
     run: PreparedRun,
+    waited: Duration,
 ) -> Result<(), ApiError> {
     let PreparedRun {
         mut runner,
@@ -689,16 +931,40 @@ fn spawn_admitted(
         spec_path,
         ckpt_path,
     } = run;
+    if let Some(tracer) = entry.tracer.get() {
+        tracer.record_queued(waited);
+        tracer.mark_running();
+    }
     let (tx, rx) = std::sync::mpsc::channel();
     runner.set_events(tx);
     let pump_entry = Arc::clone(entry);
     let pump_metrics = Arc::clone(&metrics);
+    let pump_tracer = entry.tracer.get().cloned();
     std::thread::Builder::new()
         .name(format!("serve-job-{}-events", entry.id))
         .spawn(move || {
             for event in rx {
-                if let RunEvent::Progress { phases, .. } = &event {
-                    pump_metrics.observe_engine_phases(phases);
+                match &event {
+                    RunEvent::Progress { island, phases, .. } => {
+                        pump_metrics.observe_engine_phases(phases);
+                        // One breakdown is shared by every island's
+                        // Progress in a generation; island 0's copy
+                        // becomes the trace's phase spans.
+                        if *island == 0 {
+                            if let Some(tracer) = &pump_tracer {
+                                tracer.record_phases(phases);
+                            }
+                        }
+                    }
+                    RunEvent::Checkpointed {
+                        generation,
+                        duration_secs,
+                    } => {
+                        if let Some(tracer) = &pump_tracer {
+                            tracer.record_checkpoint(*generation, *duration_secs);
+                        }
+                    }
+                    _ => {}
                 }
                 pump_entry.events.publish(frame_for(&event));
             }
@@ -709,6 +975,13 @@ fn spawn_admitted(
                 .events
                 .publish(frame("done", pump_entry.status_json()));
             pump_entry.events.close();
+            // Same ordering makes this the one safe place to complete
+            // the job's trace: every span (the driver's publish span
+            // included) has been recorded by now.
+            if let Some(tracer) = &pump_tracer {
+                let (state, error) = trace_terminal(&pump_entry.outcome());
+                tracer.finish(state, error);
+            }
         })
         .map_err(|e| ApiError::internal(format!("cannot spawn event pump: {e}")))?;
 
@@ -723,15 +996,26 @@ fn spawn_admitted(
             let outcome = match controller.drive(&mut runner, &data) {
                 Ok(Some(result)) => {
                     let n_models = result.models.len();
+                    let publish_started = Instant::now();
                     match ModelArtifact::new(var_names, result.models)
                         .map_err(ApiError::from)
                         .and_then(|artifact| registry.publish(&model_id, artifact))
                     {
-                        Ok((version, _created)) => JobOutcome::Published {
-                            model_id,
-                            version,
-                            n_models,
-                        },
+                        Ok((version, _created)) => {
+                            if let Some(tracer) = thread_entry.tracer.get() {
+                                tracer.record_publish(
+                                    publish_started.elapsed(),
+                                    &model_id,
+                                    &version,
+                                    n_models,
+                                );
+                            }
+                            JobOutcome::Published {
+                                model_id,
+                                version,
+                                n_models,
+                            }
+                        }
                         Err(e) => JobOutcome::Failed { message: e.message },
                     }
                 }
@@ -758,6 +1042,9 @@ fn spawn_admitted(
                     remove_checkpoint_files(&path);
                 }
             }
+            // The pump (not this thread) completes the trace: it drains
+            // the event channel strictly after this thread drops the
+            // runner, so every phase/checkpoint span lands first.
             metrics.observe_job_finished();
             // This job's slot frees; the queue head (if any) starts now.
             scheduler.release_slot();
@@ -782,6 +1069,9 @@ pub struct JobManager {
     checkpoint_dir: Option<PathBuf>,
     max_jobs: usize,
     scheduler: Arc<Scheduler>,
+    /// Job-lifecycle spans record here when the daemon traces requests;
+    /// bare managers (tests) leave it unset and jobs run untraced.
+    traces: Option<Arc<TraceStore>>,
 }
 
 impl JobManager {
@@ -795,7 +1085,15 @@ impl JobManager {
             checkpoint_dir,
             max_jobs: max_jobs.max(1),
             scheduler: Scheduler::new(max_running),
+            traces: None,
         }
+    }
+
+    /// Attaches the trace store job-lifecycle spans record into.
+    #[must_use]
+    pub fn with_traces(mut self, traces: Arc<TraceStore>) -> JobManager {
+        self.traces = Some(traces);
+        self
     }
 
     /// The configured record capacity.
@@ -840,6 +1138,21 @@ impl JobManager {
         registry: Arc<ModelRegistry>,
         metrics: Arc<Metrics>,
     ) -> Result<Arc<JobEntry>, ApiError> {
+        self.submit_traced(spec, registry, metrics, None)
+    }
+
+    /// [`JobManager::submit`] with the submitting request's trace
+    /// context: the job adopts that trace (same trace id, the request's
+    /// root span as the `job` span's parent), so the whole lifecycle
+    /// reads as one tree. `None` runs the job untraced (or, for adopted
+    /// orphans, on a freshly minted trace via [`JobManager::adopt_orphans`]).
+    pub fn submit_traced(
+        &self,
+        spec: JobSpec,
+        registry: Arc<ModelRegistry>,
+        metrics: Arc<Metrics>,
+        parent: Option<TraceContext>,
+    ) -> Result<Arc<JobEntry>, ApiError> {
         let data = spec.dataset()?;
         let settings = spec.settings();
         let grammar = spec.grammar_config(data.n_vars());
@@ -861,8 +1174,16 @@ impl JobManager {
         }
 
         let entry = JobEntry::new(id, model_id, false);
+        if let Some(traces) = &self.traces {
+            let _ = entry.tracer.set(JobTracer::new(traces, parent, id));
+        }
         self.insert_bounded(Arc::clone(&entry), &metrics)
-            .inspect_err(|_| self.remove_job_files(id))?;
+            .inspect_err(|_| {
+                self.remove_job_files(id);
+                if let Some(tracer) = entry.tracer.get() {
+                    tracer.abandon();
+                }
+            })?;
         let run = PreparedRun {
             runner,
             data,
@@ -881,6 +1202,9 @@ impl JobManager {
             .inspect_err(|_| {
                 self.jobs.lock().expect("jobs lock").remove(&id);
                 self.remove_job_files(id);
+                if let Some(tracer) = entry.tracer.get() {
+                    tracer.abandon();
+                }
             })?;
         Ok(entry)
     }
@@ -943,6 +1267,7 @@ impl JobManager {
             && entry
                 .preserve_files
                 .load(std::sync::atomic::Ordering::Relaxed);
+        let (trace_state, trace_error) = trace_terminal(&outcome);
         *entry.outcome.lock().expect("job lock") = outcome;
         entry.queue_position.store(0, Ordering::Relaxed);
         if !interrupted {
@@ -950,6 +1275,12 @@ impl JobManager {
         }
         entry.events.publish(frame("done", entry.status_json()));
         entry.events.close();
+        // No driver or pump ever existed; the settle path completes the
+        // trace (queued wait included) itself.
+        if let Some(tracer) = entry.tracer.get() {
+            tracer.record_queued(job.queued_at.elapsed());
+            tracer.finish(trace_state, trace_error);
+        }
         job.run.metrics.observe_job_finished();
     }
 
@@ -1046,8 +1377,18 @@ impl JobManager {
         runner.set_checkpoint_path(&ckpt_path);
         let model_id = spec.name.clone().unwrap_or_else(|| format!("job-{id}"));
         let entry = JobEntry::new(id, model_id, true);
+        // An orphan has no originating request to inherit a trace from;
+        // it gets a freshly minted one.
+        if let Some(traces) = &self.traces {
+            let _ = entry.tracer.set(JobTracer::new(traces, None, id));
+        }
         self.insert_bounded(Arc::clone(&entry), metrics)
-            .map_err(|e| AdoptFailure::Transient(e.message))?;
+            .map_err(|e| {
+                if let Some(tracer) = entry.tracer.get() {
+                    tracer.abandon();
+                }
+                AdoptFailure::Transient(e.message)
+            })?;
         // Orphans take the same admission path as fresh submissions: a
         // restart with more interrupted jobs than running slots resumes
         // them a few at a time instead of stampeding.
@@ -1062,12 +1403,15 @@ impl JobManager {
         };
         self.scheduler
             .enqueue(QueuedJob {
-                entry,
+                entry: Arc::clone(&entry),
                 run,
                 queued_at: Instant::now(),
             })
             .map_err(|e| {
                 self.jobs.lock().expect("jobs lock").remove(&id);
+                if let Some(tracer) = entry.tracer.get() {
+                    tracer.abandon();
+                }
                 AdoptFailure::Transient(e.message)
             })
     }

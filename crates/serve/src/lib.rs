@@ -37,8 +37,14 @@
 //!   histograms, registry cache hits, engine phase timings, and
 //!   job/keep-alive/SSE counters in the Prometheus text format at
 //!   `GET /metrics`; structured (text or JSON) access logs with an
-//!   `X-Request-Id` echoed on every response; and an embedded zero-
-//!   dependency live dashboard at `GET /dashboard` (see
+//!   `X-Request-Id` echoed on every response; distributed tracing
+//!   ([`caffeine_obs::TraceStore`]) — every request opens a server span
+//!   (W3C `traceparent` accepted inbound and echoed back), job
+//!   submission links the job's whole lifecycle (queued wait, engine
+//!   phases, checkpoint writes, publication) into the submitting
+//!   request's trace, and tail-sampled span trees are queryable at
+//!   `GET /v1/traces`; and an embedded zero-dependency live dashboard
+//!   with a trace waterfall at `GET /dashboard` (see
 //!   `docs/OBSERVABILITY.md`).
 //!
 //! # Endpoints
@@ -46,6 +52,7 @@
 //! | Method & path                        | Purpose                          |
 //! |--------------------------------------|----------------------------------|
 //! | `GET /healthz`                       | liveness                         |
+//! | `GET /readyz`                        | readiness (503 while draining)   |
 //! | `GET /metrics`                       | Prometheus metrics               |
 //! | `GET /dashboard`                     | live jobs dashboard (HTML)       |
 //! | `GET /v1/models`                     | list ids and versions            |
@@ -56,6 +63,8 @@
 //! | `GET /v1/jobs/{id}`                  | job status and progress          |
 //! | `GET /v1/jobs/{id}/events`           | live job events (SSE stream)     |
 //! | `DELETE /v1/jobs/{id}`               | cancel a job (409 if terminal)   |
+//! | `GET /v1/traces[?min_duration_ms=n&error=true&job=id]` | sampled trace summaries |
+//! | `GET /v1/traces/{trace_id}`          | one trace's full span tree       |
 //! | `POST /v1/admin/shutdown`            | graceful drain                   |
 //!
 //! The full request/response contract lives in `docs/API.md` at the

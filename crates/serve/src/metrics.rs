@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant, SystemTime};
 
+use caffeine_obs::TraceStoreStats;
 use caffeine_runtime::PhaseBreakdown;
 
 /// The phase labels of `caffeine_engine_phase_seconds`, in render order.
@@ -237,9 +238,14 @@ impl Metrics {
     }
 
     /// Renders everything in the Prometheus text format. Registry cache
-    /// counters are passed in so `Metrics` stays decoupled from the
-    /// registry.
-    pub fn render(&self, registry_hits: u64, registry_misses: u64) -> String {
+    /// counters and trace-store statistics are passed in so `Metrics`
+    /// stays decoupled from the registry and the trace store.
+    pub fn render(
+        &self,
+        registry_hits: u64,
+        registry_misses: u64,
+        traces: &TraceStoreStats,
+    ) -> String {
         let mut out = String::with_capacity(2048);
         let uptime = self.started.elapsed().as_secs_f64();
         out.push_str("# TYPE caffeine_serve_uptime_seconds gauge\n");
@@ -382,6 +388,26 @@ impl Metrics {
             0.0
         };
         out.push_str(&format!("caffeine_basis_cache_hit_ratio {ratio:.6}\n"));
+        out.push_str("# TYPE caffeine_trace_spans_total counter\n");
+        out.push_str(&format!(
+            "caffeine_trace_spans_total {}\n",
+            traces.spans_total
+        ));
+        out.push_str("# TYPE caffeine_traces_sampled_total counter\n");
+        out.push_str(&format!(
+            "caffeine_traces_sampled_total {}\n",
+            traces.sampled_total
+        ));
+        out.push_str("# TYPE caffeine_traces_dropped_total counter\n");
+        out.push_str(&format!(
+            "caffeine_traces_dropped_total {}\n",
+            traces.dropped_total
+        ));
+        out.push_str("# TYPE caffeine_trace_store_bytes gauge\n");
+        out.push_str(&format!(
+            "caffeine_trace_store_bytes {}\n",
+            traces.store_bytes
+        ));
         out
     }
 }
@@ -398,7 +424,16 @@ mod tests {
         m.observe("predict", 400, Duration::from_micros(10));
         m.observe_busy();
         m.observe_job_submitted();
-        let text = m.render(5, 2);
+        let text = m.render(
+            5,
+            2,
+            &TraceStoreStats {
+                spans_total: 12,
+                sampled_total: 3,
+                dropped_total: 1,
+                store_bytes: 4096,
+            },
+        );
         assert!(
             text.contains("caffeine_serve_requests_total{route=\"predict\",status=\"200\"} 2"),
             "{text}"
@@ -417,6 +452,10 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("caffeine_trace_spans_total 12"), "{text}");
+        assert!(text.contains("caffeine_traces_sampled_total 3"), "{text}");
+        assert!(text.contains("caffeine_traces_dropped_total 1"), "{text}");
+        assert!(text.contains("caffeine_trace_store_bytes 4096"), "{text}");
     }
 
     #[test]
@@ -427,7 +466,7 @@ mod tests {
         m.observe_sse_adopted();
         m.observe_sse_closed();
         m.observe_queue_wait(Duration::from_millis(2));
-        let text = m.render(0, 0);
+        let text = m.render(0, 0, &TraceStoreStats::default());
         assert!(text.contains("caffeine_serve_jobs_queued 3"), "{text}");
         assert!(text.contains("caffeine_serve_sse_active 1"), "{text}");
         assert!(
@@ -441,13 +480,15 @@ mod tests {
         // The gauge is saturating: an unmatched close stays at zero.
         m.observe_sse_closed();
         m.observe_sse_closed();
-        assert!(m.render(0, 0).contains("caffeine_serve_sse_active 0"));
+        assert!(m
+            .render(0, 0, &TraceStoreStats::default())
+            .contains("caffeine_serve_sse_active 0"));
     }
 
     #[test]
     fn build_info_start_time_and_engine_phases_render() {
         let m = Metrics::new();
-        let text = m.render(0, 0);
+        let text = m.render(0, 0, &TraceStoreStats::default());
         assert!(
             text.contains(&format!(
                 "caffeine_build_info{{version=\"{}\"}} 1",
@@ -492,7 +533,7 @@ mod tests {
             cache_hits: 10,
             cache_misses: 0,
         });
-        let text = m.render(0, 0);
+        let text = m.render(0, 0, &TraceStoreStats::default());
         assert!(
             text.contains("caffeine_engine_phase_seconds{phase=\"basis_eval\"} 0.500000"),
             "{text}"
@@ -524,7 +565,7 @@ mod tests {
         let m = Metrics::new();
         // 10µs lands in the first bucket; every later bucket must include it.
         m.observe("x", 200, Duration::from_micros(10));
-        let text = m.render(0, 0);
+        let text = m.render(0, 0, &TraceStoreStats::default());
         assert!(text.contains("le=\"16\"} 1"), "{text}");
         assert!(text.contains("le=\"268435456\"} 1"), "{text}");
     }

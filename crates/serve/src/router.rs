@@ -7,6 +7,8 @@ use crate::error::ApiError;
 pub enum Route {
     /// `GET /healthz` — liveness.
     Health,
+    /// `GET /readyz` — readiness (503 while draining or before ready).
+    Ready,
     /// `GET /metrics` — Prometheus-style counters and histograms.
     Metrics,
     /// `GET /dashboard` — the embedded live-jobs HTML dashboard.
@@ -29,6 +31,10 @@ pub enum Route {
     JobEvents(u64),
     /// `DELETE /v1/jobs/{id}` or `POST /v1/jobs/{id}/cancel` — cancel.
     CancelJob(u64),
+    /// `GET /v1/traces` — list retained traces (tail-sampled).
+    ListTraces,
+    /// `GET /v1/traces/{trace_id}` — one trace's full span tree.
+    GetTrace(String),
     /// `POST /v1/admin/shutdown` — graceful drain and exit.
     Shutdown,
 }
@@ -74,6 +80,10 @@ pub fn route(method: &str, path: &str) -> Result<Route, ApiError> {
             "GET" => Ok(Route::Health),
             _ => not_allowed("GET"),
         },
+        ["readyz"] => match method {
+            "GET" => Ok(Route::Ready),
+            _ => not_allowed("GET"),
+        },
         ["metrics"] => match method {
             "GET" => Ok(Route::Metrics),
             _ => not_allowed("GET"),
@@ -113,6 +123,14 @@ pub fn route(method: &str, path: &str) -> Result<Route, ApiError> {
             "GET" => Ok(Route::JobEvents(job_id(id)?)),
             _ => not_allowed("GET"),
         },
+        ["v1", "traces"] => match method {
+            "GET" => Ok(Route::ListTraces),
+            _ => not_allowed("GET"),
+        },
+        ["v1", "traces", id] => match method {
+            "GET" => Ok(Route::GetTrace((*id).to_string())),
+            _ => not_allowed("GET"),
+        },
         ["v1", "admin", "shutdown"] => match method {
             "POST" => Ok(Route::Shutdown),
             _ => not_allowed("POST"),
@@ -128,6 +146,8 @@ mod tests {
     #[test]
     fn resolves_the_full_surface() {
         assert_eq!(route("GET", "/healthz").unwrap(), Route::Health);
+        assert_eq!(route("GET", "/readyz").unwrap(), Route::Ready);
+        assert_eq!(route("POST", "/readyz").unwrap_err().status, 405);
         assert_eq!(route("GET", "/metrics").unwrap(), Route::Metrics);
         assert_eq!(route("GET", "/dashboard").unwrap(), Route::Dashboard);
         assert_eq!(route("POST", "/dashboard").unwrap_err().status, 405);
@@ -165,6 +185,13 @@ mod tests {
             route("POST", "/v1/admin/shutdown").unwrap(),
             Route::Shutdown
         );
+        assert_eq!(route("GET", "/v1/traces").unwrap(), Route::ListTraces);
+        assert_eq!(route("POST", "/v1/traces").unwrap_err().status, 405);
+        assert_eq!(
+            route("GET", "/v1/traces/0af7651916cd43dd8448eb211c80319c").unwrap(),
+            Route::GetTrace("0af7651916cd43dd8448eb211c80319c".into())
+        );
+        assert_eq!(route("DELETE", "/v1/traces/abc").unwrap_err().status, 405);
     }
 
     #[test]

@@ -7,7 +7,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use caffeine_obs::{Level, LogFormat, Logger};
+use caffeine_obs::{
+    Level, LogFormat, Logger, SpanKind, TraceContext, TraceStore, TraceStoreConfig,
+};
 
 use crate::error::ApiError;
 use crate::handlers;
@@ -49,8 +51,16 @@ pub struct ServeConfig {
     /// Structured logger every request and handler logs through
     /// (stderr text at `info` by default; tests inject a capture).
     pub logger: Logger,
-    /// Requests slower than this additionally log a `http.slow` warning.
+    /// Requests slower than this additionally log a `http.slow` warning
+    /// (and their traces are always retained by tail sampling).
     pub slow_request: Duration,
+    /// Completed traces retained by the in-process trace store
+    /// (ring-buffered; clamped to ≥ 1).
+    pub trace_capacity: usize,
+    /// Fraction of unremarkable traces (fast, ok, not explicitly
+    /// requested) retained, `0.0..=1.0`. Slow/errored/requested traces
+    /// are always kept.
+    pub trace_sample_rate: f64,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +78,8 @@ impl Default for ServeConfig {
             max_running_jobs: 0,
             logger: Logger::stderr(Level::Info, LogFormat::Text),
             slow_request: Duration::from_secs(1),
+            trace_capacity: 256,
+            trace_sample_rate: 0.1,
         }
     }
 }
@@ -85,9 +97,14 @@ pub struct Shared {
     /// The dedicated SSE streamer thread owning all event-stream
     /// connections (so they never pin pool workers).
     pub sse: SseStreamer,
+    /// Bounded tail-sampling store of completed request/job traces.
+    pub traces: Arc<TraceStore>,
     config: ServeConfig,
     local_addr: SocketAddr,
     shutdown: AtomicBool,
+    /// Set once construction finished loading the registry and adopting
+    /// orphaned jobs — `/readyz` reports 503 until then and during drain.
+    ready: AtomicBool,
 }
 
 impl Shared {
@@ -104,6 +121,19 @@ impl Shared {
     /// `true` once draining started.
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Readiness for `/readyz`: `Ok` once the registry is loaded and the
+    /// scheduler is accepting work, `Err(reason)` before that or while
+    /// draining.
+    pub fn readiness(&self) -> Result<(), &'static str> {
+        if self.is_shutting_down() {
+            Err("draining")
+        } else if self.ready.load(Ordering::SeqCst) {
+            Ok(())
+        } else {
+            Err("starting")
+        }
     }
 
     /// The server's structured logger.
@@ -159,11 +189,17 @@ impl Server {
             0 => config.workers.max(1),
             n => n,
         };
+        let traces = Arc::new(TraceStore::new(TraceStoreConfig {
+            capacity: config.trace_capacity,
+            sample_rate: config.trace_sample_rate,
+            slow_threshold: config.slow_request,
+        }));
         let jobs = JobManager::new(
             config.model_dir.as_ref().map(|d| d.join(".jobs")),
             config.max_jobs,
             max_running,
-        );
+        )
+        .with_traces(Arc::clone(&traces));
         let metrics = Arc::new(Metrics::new());
         // A previous daemon killed mid-job leaves specs + checkpoints
         // behind; bring those jobs back before accepting traffic so
@@ -179,9 +215,14 @@ impl Server {
             jobs,
             metrics,
             sse,
+            traces,
             config,
             local_addr,
             shutdown: AtomicBool::new(false),
+            // The registry is open and orphans are adopted by now, so
+            // the daemon is born ready; the flag exists so `/readyz`
+            // can outlive a future async-init refactor unchanged.
+            ready: AtomicBool::new(true),
         });
         Ok(Server { listener, shared })
     }
@@ -294,14 +335,42 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                     .filter(|v| caffeine_obs::valid_request_id(v))
                     .map(str::to_string)
                     .unwrap_or_else(caffeine_obs::request_id);
+                // Trace context: continue an inbound W3C `traceparent`
+                // (the client's span becomes the root's parent, and its
+                // sampled flag means "retain this trace"), mint a fresh
+                // trace otherwise. Every response advertises the
+                // server-side context back to the caller.
+                let parent_ctx = request.header("traceparent").and_then(TraceContext::parse);
+                let ctx = parent_ctx.map_or_else(TraceContext::mint, |p| p.child());
+                if parent_ctx.is_some_and(|p| p.sampled) {
+                    shared.traces.force_keep(ctx.trace_id);
+                }
+                let mut root_span = shared.traces.span(
+                    &format!("http {} {}", request.method, request.path),
+                    SpanKind::Server,
+                    ctx,
+                    parent_ctx.map(|p| p.span_id),
+                );
+                root_span.attr("request.id", request_id.clone());
                 let bytes_in = request.body.len();
-                match handlers::handle(shared, &request, &request_id) {
+                match handlers::handle(shared, &request, &request_id, &mut root_span) {
                     (handlers::Outcome::Response(response), label) => {
-                        let response = response.with_header("x-request-id", request_id.clone());
+                        let response = response
+                            .with_header("x-request-id", request_id.clone())
+                            .with_header("traceparent", ctx.traceparent());
                         let status = response.status;
                         let bytes_out = response.body.len();
                         let write_ok = response.write_to(&mut stream, keep_alive).is_ok();
                         let elapsed = started.elapsed();
+                        root_span.attr("http.route", label);
+                        root_span.attr("http.status", status.to_string());
+                        if status >= 500 {
+                            root_span.set_error(format!("http {status}"));
+                        }
+                        root_span.finish();
+                        // A submit handler may have handed this trace to
+                        // a job; it then completes when the job does.
+                        shared.traces.finish_unless_held(ctx.trace_id);
                         shared.metrics.observe(label, status, elapsed);
                         log_access(
                             shared,
@@ -322,9 +391,14 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                         // this worker returns to the pool immediately —
                         // open streams must not occupy workers. Streamed
                         // responses always close when done.
+                        root_span.attr("http.route", label);
+                        root_span.attr("job.id", entry.id.to_string());
                         match shared.sse.adopt(stream, &entry, &request_id) {
                             Ok(()) => {
                                 let elapsed = started.elapsed();
+                                root_span.attr("http.status", "200");
+                                root_span.finish();
+                                shared.traces.finish_unless_held(ctx.trace_id);
                                 shared.metrics.observe(label, 200, elapsed);
                                 log_access(
                                     shared,
@@ -349,6 +423,10 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                                 let bytes_out = response.body.len();
                                 let _ = response.write_to(&mut returned, false);
                                 let elapsed = started.elapsed();
+                                root_span.attr("http.status", "500");
+                                root_span.set_error("cannot stream events");
+                                root_span.finish();
+                                shared.traces.finish_unless_held(ctx.trace_id);
                                 shared.metrics.observe(label, 500, elapsed);
                                 log_access(
                                     shared,

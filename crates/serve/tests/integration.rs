@@ -1397,6 +1397,26 @@ fn metrics_exposition_parses_and_engine_phases_accumulate() {
         assert!(phase(which) >= 0.0);
     }
 
+    // Trace-store families declare as the right kinds and have samples
+    // consistent with the traffic above: every request opened at least
+    // one span, and the finished job's trace was retained (errored or
+    // slow requests count too, so sampled is a lower bound).
+    let family = |name: &str| {
+        samples
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, v)| *v)
+            .unwrap_or_else(|| panic!("missing metric {name}"))
+    };
+    assert_eq!(types["caffeine_trace_spans_total"], "counter");
+    assert_eq!(types["caffeine_traces_sampled_total"], "counter");
+    assert_eq!(types["caffeine_traces_dropped_total"], "counter");
+    assert_eq!(types["caffeine_trace_store_bytes"], "gauge");
+    assert!(family("caffeine_trace_spans_total") >= 4.0);
+    assert!(family("caffeine_traces_sampled_total") >= 0.0);
+    assert!(family("caffeine_traces_dropped_total") >= 0.0);
+    assert!(family("caffeine_trace_store_bytes") >= 0.0);
+
     handle.shutdown();
     join.join().unwrap().unwrap();
 }

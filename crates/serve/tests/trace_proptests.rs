@@ -1,0 +1,112 @@
+//! Property tests for the W3C `traceparent` parser: total over arbitrary
+//! input, and a lossless round-trip through its own formatter.
+
+use caffeine_obs::TraceContext;
+use proptest::prelude::*;
+
+/// Arbitrary unicode strings (invalid scalar values fall back to the
+/// replacement character).
+fn unicode_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..=0x0010_FFFF, 0..80).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| char::from_u32(c).unwrap_or('\u{FFFD}'))
+            .collect()
+    })
+}
+
+/// Characters that keep generated strings close to the header grammar
+/// (hex digits, dashes, and a few hostile near-misses).
+fn headerish() -> impl Strategy<Value = String> {
+    const ALPHABET: [char; 13] = [
+        '0', '1', '9', 'a', 'f', 'A', 'F', '-', 'g', 'x', '+', ' ', '\t',
+    ];
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..64)
+        .prop_map(|idx| idx.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+/// A 128-bit trace id from two halves (the vendored proptest has no
+/// native `u128` strategy).
+fn trace_id(hi: u64, lo: u64) -> u128 {
+    let id = (u128::from(hi) << 64) | u128::from(lo);
+    id.max(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser is total: any string yields `None` or a context, never
+    /// a panic — including NULs, non-ASCII, and surrogate-adjacent junk.
+    #[test]
+    fn arbitrary_strings_never_panic(s in unicode_soup()) {
+        let _ = TraceContext::parse(&s);
+    }
+
+    /// Near-grammar soup (hex, dashes, signs, whitespace) never panics,
+    /// and anything accepted round-trips through the formatter.
+    #[test]
+    fn headerish_soup_is_total_and_roundtrips(s in headerish()) {
+        if let Some(ctx) = TraceContext::parse(&s) {
+            prop_assert_eq!(TraceContext::parse(&ctx.traceparent()), Some(ctx));
+        }
+    }
+
+    /// Every well-formed header parses to exactly its fields, and the
+    /// formatter reproduces the canonical form.
+    #[test]
+    fn valid_headers_parse_and_roundtrip(
+        hi in 0u64..=u64::MAX,
+        lo in 1u64..=u64::MAX,
+        span_id in 1u64..=u64::MAX,
+        flags in 0u8..=u8::MAX,
+    ) {
+        let tid = trace_id(hi, lo);
+        let header = format!("00-{tid:032x}-{span_id:016x}-{flags:02x}");
+        let ctx = TraceContext::parse(&header).expect("well-formed header");
+        prop_assert_eq!(ctx.trace_id, tid);
+        prop_assert_eq!(ctx.span_id, span_id);
+        prop_assert_eq!(ctx.sampled, flags & 0x01 != 0);
+        // Round-trip: only the sampled bit of flags survives, by design.
+        let again = TraceContext::parse(&ctx.traceparent()).expect("canonical form");
+        prop_assert_eq!(again, ctx);
+    }
+
+    /// Corrupting any single byte of a valid header with a non-hex,
+    /// non-dash character makes the parse fail (strict, not forgiving).
+    #[test]
+    fn corrupted_headers_are_rejected(
+        hi in 0u64..=u64::MAX,
+        lo in 1u64..=u64::MAX,
+        span_id in 1u64..=u64::MAX,
+        pos in 0usize..55,
+        junk_idx in 0usize..6,
+    ) {
+        const JUNK: [char; 6] = ['g', 'z', '+', '~', '_', '\u{FFFD}'];
+        let tid = trace_id(hi, lo);
+        let mut header: Vec<char> =
+            format!("00-{tid:032x}-{span_id:016x}-01").chars().collect();
+        header[pos] = JUNK[junk_idx];
+        let corrupted: String = header.into_iter().collect();
+        prop_assert_eq!(TraceContext::parse(&corrupted), None);
+    }
+
+    /// Zero ids and the reserved version are rejected outright; so are
+    /// signs and whitespace inside the fixed-width hex fields.
+    #[test]
+    fn zero_ids_and_reserved_version_are_rejected(
+        hi in 0u64..=u64::MAX,
+        lo in 1u64..=u64::MAX,
+        span_id in 1u64..=u64::MAX,
+    ) {
+        let tid = trace_id(hi, lo);
+        let zero_trace = format!("00-{:032x}-{span_id:016x}-01", 0u128);
+        prop_assert_eq!(TraceContext::parse(&zero_trace), None);
+        let zero_span = format!("00-{tid:032x}-{:016x}-01", 0u64);
+        prop_assert_eq!(TraceContext::parse(&zero_span), None);
+        let reserved = format!("ff-{tid:032x}-{span_id:016x}-01");
+        prop_assert_eq!(TraceContext::parse(&reserved), None);
+        // `from_str_radix` would accept a sign here; the parser must not.
+        let signed = format!("00-+{tid:031x}-{span_id:016x}-01");
+        prop_assert_eq!(TraceContext::parse(&signed), None);
+    }
+}

@@ -58,6 +58,8 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         idle_timeout: Duration::from_millis(opts.idle_timeout_ms),
         logger: caffeine::obs::Logger::stderr(opts.log_level, opts.log_format),
         slow_request: Duration::from_millis(opts.slow_request_ms),
+        trace_capacity: opts.trace_capacity,
+        trace_sample_rate: opts.trace_sample_rate,
         ..ServeConfig::default()
     })
     .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
@@ -129,7 +131,8 @@ fn run_predict(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `caffeine-cli jobs list|watch`: inspect a remote daemon's job store.
+/// `caffeine-cli jobs list|submit|watch`: inspect a remote daemon's job
+/// store, submit a job spec, or tail a job's event stream.
 fn run_jobs(args: &[String]) -> Result<(), String> {
     let opts = JobsOptions::parse(args)?;
     let (addr, base) = client::parse_base_url(&opts.remote)?;
@@ -172,8 +175,60 @@ fn run_jobs(args: &[String]) -> Result<(), String> {
             eprintln!("{} job(s)", jobs.len());
             Ok(())
         }
+        "submit" => {
+            let spec_path = opts.spec.as_deref().expect("submit always has a spec");
+            let body =
+                std::fs::read(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+            // A sampled context asks the server to retain the trace, so
+            // the id printed below stays queryable at /v1/traces.
+            let mut ctx = caffeine::obs::TraceContext::mint();
+            ctx.sampled = true;
+            let response = client::request_traced(
+                &addr,
+                "POST",
+                &format!("{base}/v1/jobs"),
+                Some(&body),
+                Duration::from_secs(30),
+                ctx,
+            )
+            .map_err(|e| format!("request to {addr} failed: {e}"))?;
+            let json = response
+                .json()
+                .map_err(|e| format!("server sent a non-JSON response: {e}"))?;
+            if response.status != 201 {
+                let detail = json["error"]["message"].as_str().unwrap_or("unknown error");
+                return Err(format!("server answered {}: {detail}", response.status));
+            }
+            let id = json["id"].as_u64().unwrap_or(0);
+            println!("{id}");
+            eprintln!(
+                "job {id} submitted (state: {}, trace: {})",
+                json["state"].as_str().unwrap_or("?"),
+                json["trace_id"].as_str().unwrap_or("?"),
+            );
+            eprintln!(
+                "watch with: caffeine-cli jobs watch --remote {} --id {id}",
+                opts.remote
+            );
+            Ok(())
+        }
         _ => {
             let id = opts.id.expect("watch always has an id");
+            // Show the job's trace id up front so the watcher can pull
+            // the span tree from /v1/traces/{trace_id} afterwards.
+            if let Ok(response) = client::request(
+                &addr,
+                "GET",
+                &format!("{base}/v1/jobs/{id}"),
+                None,
+                Duration::from_secs(10),
+            ) {
+                if let Ok(json) = response.json() {
+                    if let Some(trace) = json["trace_id"].as_str() {
+                        eprintln!("job {id} trace: {trace}");
+                    }
+                }
+            }
             let path = format!("{base}/v1/jobs/{id}/events");
             eprintln!(
                 "tailing job {id} events from {} (ctrl-c to stop)",
@@ -321,7 +376,7 @@ fn evolve(opts: &CliOptions, train: &caffeine::doe::Dataset) -> Result<CaffeineR
                 RunEvent::Migrated { generation } => {
                     eprintln!("gen {generation:>5}: ring migration")
                 }
-                RunEvent::Checkpointed { generation } => {
+                RunEvent::Checkpointed { generation, .. } => {
                     eprintln!("gen {generation:>5}: checkpoint written")
                 }
                 RunEvent::Finished { .. } => {}

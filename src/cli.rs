@@ -262,6 +262,12 @@ pub struct ServeOptions {
     pub log_format: caffeine_obs::LogFormat,
     /// Requests slower than this get an `http.slow` warning, ms.
     pub slow_request_ms: u64,
+    /// Completed traces kept by the in-process trace store.
+    pub trace_capacity: usize,
+    /// Fraction of ordinary (fast, non-errored) traces retained by tail
+    /// sampling, 0.0–1.0. Slow, errored, and explicitly requested traces
+    /// are always kept.
+    pub trace_sample_rate: f64,
 }
 
 impl Default for ServeOptions {
@@ -277,6 +283,8 @@ impl Default for ServeOptions {
             log_level: caffeine_obs::Level::Info,
             log_format: caffeine_obs::LogFormat::Text,
             slow_request_ms: 1_000,
+            trace_capacity: 256,
+            trace_sample_rate: 0.1,
         }
     }
 }
@@ -321,6 +329,19 @@ impl ServeOptions {
                         .map_err(|_| format!("--log-format must be text or json (got `{raw}`)"))?;
                 }
                 "--slow-request-ms" => opts.slow_request_ms = int("--slow-request-ms")? as u64,
+                "--trace-capacity" => opts.trace_capacity = int("--trace-capacity")?,
+                "--trace-sample-rate" => {
+                    let raw = value("--trace-sample-rate")?;
+                    let rate: f64 = raw.parse().map_err(|_| {
+                        format!("--trace-sample-rate needs a number in 0..=1 (got `{raw}`)")
+                    })?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(format!(
+                            "--trace-sample-rate needs a number in 0..=1 (got `{raw}`)"
+                        ));
+                    }
+                    opts.trace_sample_rate = rate;
+                }
                 other => return Err(format!("unknown serve flag `{other}` (see --help)")),
             }
         }
@@ -328,10 +349,10 @@ impl ServeOptions {
     }
 }
 
-/// Parsed options of `caffeine-cli jobs <list|watch>`.
+/// Parsed options of `caffeine-cli jobs <list|submit|watch>`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobsOptions {
-    /// The action: `list` or `watch`.
+    /// The action: `list`, `submit`, or `watch`.
     pub action: String,
     /// Server base URL.
     pub remote: String,
@@ -342,29 +363,34 @@ pub struct JobsOptions {
     /// `watch` only: print a per-phase timing line for each progress
     /// frame instead of the raw frame JSON.
     pub timings: bool,
+    /// Job spec JSON file (required by `submit`).
+    pub spec: Option<String>,
 }
 
 impl JobsOptions {
     /// Parses the arguments after the `jobs` subcommand: an action word
-    /// (`list` or `watch`) followed by `--remote`, `--id`, `--state`.
+    /// (`list`, `submit`, or `watch`) followed by `--remote`, `--id`,
+    /// `--state`, `--spec`.
     ///
     /// # Errors
     ///
     /// A message for a missing/unknown action, unknown flags, missing
-    /// values, or a `watch` without `--id`.
+    /// values, a `watch` without `--id`, or a `submit` without `--spec`.
     pub fn parse(args: &[String]) -> Result<JobsOptions, String> {
         let action = match args.first().map(String::as_str) {
-            Some("list") => "list".to_string(),
-            Some("watch") => "watch".to_string(),
+            Some(a @ ("list" | "submit" | "watch")) => a.to_string(),
             Some(other) => {
-                return Err(format!("unknown jobs action `{other}` (use list or watch)"))
+                return Err(format!(
+                    "unknown jobs action `{other}` (use list, submit, or watch)"
+                ))
             }
-            None => return Err("jobs needs an action: list or watch".to_string()),
+            None => return Err("jobs needs an action: list, submit, or watch".to_string()),
         };
         let mut remote = None;
         let mut id = None;
         let mut state = None;
         let mut timings = false;
+        let mut spec = None;
         let mut it = args[1..].iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -383,6 +409,7 @@ impl JobsOptions {
                 }
                 "--state" => state = Some(value("--state")?),
                 "--timings" => timings = true,
+                "--spec" => spec = Some(value("--spec")?),
                 other => return Err(format!("unknown jobs flag `{other}` (see --help)")),
             }
         }
@@ -392,12 +419,19 @@ impl JobsOptions {
             id,
             state,
             timings,
+            spec,
         };
         if opts.action == "watch" && opts.id.is_none() {
             return Err("jobs watch needs --id <job>".to_string());
         }
         if opts.timings && opts.action != "watch" {
             return Err("--timings only applies to jobs watch".to_string());
+        }
+        if opts.action == "submit" && opts.spec.is_none() {
+            return Err("jobs submit needs --spec <file.json>".to_string());
+        }
+        if opts.spec.is_some() && opts.action != "submit" {
+            return Err("--spec only applies to jobs submit".to_string());
         }
         Ok(opts)
     }
@@ -507,21 +541,27 @@ pub fn usage() -> &'static str {
                [--max-jobs <n>] [--max-running-jobs <n>] [--max-conn-requests <n>]\n\
                [--idle-timeout-ms <n>] [--log-level <error|warn|info|debug>]\n\
                [--log-format <text|json>] [--slow-request-ms <n>]\n\
+               [--trace-capacity <n>] [--trace-sample-rate <0..1>]\n\
                run the caffeine-serve daemon (model registry, batched\n\
                /predict, async /jobs with FIFO queued admission — at most\n\
                --max-running-jobs run at once, default = --threads — SSE\n\
                events off a dedicated streamer thread, HTTP keep-alive,\n\
-               structured access logs with X-Request-Id tracing, a live\n\
-               HTML dashboard at /dashboard, engine phase timings in\n\
-               /metrics; default addr 127.0.0.1:7878; interrupted jobs\n\
-               found under --model-dir/.jobs are re-adopted on start; see\n\
+               structured access logs with X-Request-Id tracing, span\n\
+               trees per request at /v1/traces (tail-sampled: slow,\n\
+               errored, and explicitly requested traces always kept), a\n\
+               live HTML dashboard at /dashboard, engine phase timings in\n\
+               /metrics, /healthz liveness + /readyz readiness; default\n\
+               addr 127.0.0.1:7878; interrupted jobs found under\n\
+               --model-dir/.jobs are re-adopted on start; see\n\
                docs/API.md and docs/OBSERVABILITY.md)\n\
        predict --remote http://host:port --model <id> --points <file.csv>\n\
                [--version <hash>] [--out <file.json>]\n\
                query a remote model with a CSV of input points\n\
-       jobs    list  --remote http://host:port [--state <s>]\n\
-               watch --remote http://host:port --id <job> [--timings]\n\
-               list server jobs / tail one job's live SSE event stream\n\
+       jobs    list   --remote http://host:port [--state <s>]\n\
+               submit --remote http://host:port --spec <file.json>\n\
+               watch  --remote http://host:port --id <job> [--timings]\n\
+               list server jobs / submit a job spec (prints the job id\n\
+               and its trace id) / tail one job's live SSE event stream\n\
                (--timings renders each progress frame's per-phase\n\
                breakdown as a one-line summary)\n\
      \n\
@@ -929,6 +969,22 @@ mod tests {
         let err = ServeOptions::parse(&to_args(&["--log-format", "xml"])).unwrap_err();
         assert!(err.contains("`xml`"), "{err}");
         assert!(ServeOptions::parse(&to_args(&["--slow-request-ms", "x"])).is_err());
+        // Trace-store tuning.
+        let o = ServeOptions::parse(&to_args(&[
+            "--trace-capacity",
+            "512",
+            "--trace-sample-rate",
+            "0.25",
+        ]))
+        .unwrap();
+        assert_eq!(o.trace_capacity, 512);
+        assert!((o.trace_sample_rate - 0.25).abs() < 1e-12);
+        assert_eq!(d.trace_capacity, 256);
+        assert!((d.trace_sample_rate - 0.1).abs() < 1e-12);
+        let err = ServeOptions::parse(&to_args(&["--trace-sample-rate", "1.5"])).unwrap_err();
+        assert!(err.contains("0..=1"), "{err}");
+        assert!(ServeOptions::parse(&to_args(&["--trace-sample-rate", "x"])).is_err());
+        assert!(ServeOptions::parse(&to_args(&["--trace-capacity", "x"])).is_err());
     }
 
     #[test]
@@ -970,6 +1026,28 @@ mod tests {
         let err = JobsOptions::parse(&to_args(&["list", "--remote", "http://x:1", "--timings"]))
             .unwrap_err();
         assert!(err.contains("--timings"), "{err}");
+        // submit needs --spec (and --spec is submit-only).
+        let o = JobsOptions::parse(&to_args(&[
+            "submit",
+            "--remote",
+            "http://x:1",
+            "--spec",
+            "job.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.action, "submit");
+        assert_eq!(o.spec.as_deref(), Some("job.json"));
+        let err = JobsOptions::parse(&to_args(&["submit", "--remote", "http://x:1"])).unwrap_err();
+        assert!(err.contains("--spec"), "{err}");
+        let err = JobsOptions::parse(&to_args(&[
+            "list",
+            "--remote",
+            "http://x:1",
+            "--spec",
+            "job.json",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--spec"), "{err}");
         // watch without --id, missing remote, unknown action/flags.
         let err = JobsOptions::parse(&to_args(&["watch", "--remote", "http://x:1"])).unwrap_err();
         assert!(err.contains("--id"), "{err}");
