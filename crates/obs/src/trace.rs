@@ -384,6 +384,13 @@ struct PendingTrace {
     /// Completion is deferred to an explicit owner (a job adopted the
     /// trace); `finish_unless_held` becomes a no-op.
     held: bool,
+    /// The request path reached `finish_unless_held` while the trace was
+    /// held — the originating request's spans are all recorded, so the
+    /// owner's `finish_held` may complete immediately.
+    request_done: bool,
+    /// The owner reached `finish_held` before the request path did; the
+    /// request's eventual `finish_unless_held` completes the trace.
+    owner_done: bool,
     /// Tail sampling must retain this trace regardless of duration.
     force_keep: bool,
     error: bool,
@@ -505,13 +512,46 @@ impl TraceStore {
 
     /// Completes a trace unless a longer-lived owner [`TraceStore::hold`]s
     /// it — the per-request path, so one request's trace survives its
-    /// adoption by a job.
+    /// adoption by a job. On a held trace it instead marks the request
+    /// side done; if the owner already reached [`TraceStore::finish_held`]
+    /// (a job that outran its own submit response), the trace completes
+    /// now, with the request's spans included.
     pub fn finish_unless_held(&self, trace_id: u128) {
-        let held = {
-            let pending = self.pending.lock().expect("trace store lock");
-            pending.get(&trace_id).is_none_or(|t| t.held)
+        let finish_now = {
+            let mut pending = self.pending.lock().expect("trace store lock");
+            match pending.get_mut(&trace_id) {
+                None => false,
+                Some(t) if t.held => {
+                    t.request_done = true;
+                    t.owner_done
+                }
+                Some(_) => true,
+            }
         };
-        if !held {
+        if finish_now {
+            self.finish(trace_id);
+        }
+    }
+
+    /// Completion from the trace's [`TraceStore::hold`]er (a job's event
+    /// pump): completes the trace only once the originating request has
+    /// also finished, so a job that outruns its own submit response
+    /// cannot publish a tree missing the request's root span. When the
+    /// request side is still in flight, the trace stays pending and the
+    /// request's `finish_unless_held` completes it.
+    pub fn finish_held(&self, trace_id: u128) {
+        let finish_now = {
+            let mut pending = self.pending.lock().expect("trace store lock");
+            match pending.get_mut(&trace_id) {
+                None => false,
+                Some(t) if t.held && !t.request_done => {
+                    t.owner_done = true;
+                    false
+                }
+                Some(_) => true,
+            }
+        };
+        if finish_now {
             self.finish(trace_id);
         }
     }
@@ -828,6 +868,106 @@ mod tests {
         record(&store, 8, 80, None, 50);
         store.finish_unless_held(8);
         assert!(store.get(8).is_some());
+    }
+
+    /// A job fast enough to outrun its own submit response: the holder
+    /// reaches `finish_held` first, the trace stays pending, and the
+    /// request's later `finish_unless_held` completes it with *both*
+    /// sides' spans in the tree.
+    #[test]
+    fn held_finish_waits_for_the_request_side() {
+        let store = TraceStore::new(TraceStoreConfig {
+            sample_rate: 0.0,
+            slow_threshold: Duration::from_millis(1),
+            ..TraceStoreConfig::default()
+        });
+        store.hold(11);
+        record(&store, 11, 111, Some(110), 80); // the job span
+        store.finish_held(11); // pump done, request still in flight
+        assert!(store.get(11).is_none(), "completed without the request");
+        record(&store, 11, 110, None, 50); // the request's root span lands
+        store.finish_unless_held(11);
+        let trace = store.get(11).expect("rendezvous never completed");
+        assert_eq!(trace.spans.len(), 2);
+        assert!(store.pending.lock().unwrap().is_empty());
+    }
+
+    /// The common order — the request finishes first — completes the
+    /// trace at the holder's `finish_held`, immediately.
+    #[test]
+    fn held_finish_completes_at_once_when_the_request_already_ended() {
+        let store = TraceStore::new(TraceStoreConfig {
+            sample_rate: 0.0,
+            slow_threshold: Duration::from_millis(1),
+            ..TraceStoreConfig::default()
+        });
+        store.hold(12);
+        record(&store, 12, 120, None, 50);
+        store.finish_unless_held(12); // request ends; trace lives on
+        assert!(store.get(12).is_none());
+        record(&store, 12, 121, Some(120), 80);
+        store.finish_held(12);
+        let trace = store.get(12).expect("held trace finished");
+        assert_eq!(trace.spans.len(), 2);
+        assert!(store.pending.lock().unwrap().is_empty());
+    }
+
+    /// A hold whose would-be owner backs out (`release`) hands the
+    /// trace back to the request path: the next `finish_unless_held`
+    /// completes it instead of leaking it in the pending table.
+    #[test]
+    fn released_holds_return_the_trace_to_the_request_path() {
+        let store = TraceStore::new(TraceStoreConfig {
+            sample_rate: 0.0,
+            slow_threshold: Duration::from_millis(1),
+            ..TraceStoreConfig::default()
+        });
+        store.hold(9);
+        record(&store, 9, 90, None, 50);
+        store.release(9); // owner failed to take over
+        store.finish_unless_held(9);
+        assert!(store.get(9).is_some(), "released trace never completed");
+        assert_eq!(store.pending.lock().unwrap().len(), 0);
+    }
+
+    /// The job lifecycle's hold/finish path under a hammer: hundreds of
+    /// jobs hold their trace open past the submitting request, then
+    /// finish. Every hold must drain from the pending table, every
+    /// completed job trace must become evictable like any other, and
+    /// the byte gauge must track the ring exactly — held traces cause
+    /// no permanent byte-count growth.
+    #[test]
+    fn completed_job_holds_drain_and_stay_evictable_without_byte_growth() {
+        let capacity = 8;
+        let store = TraceStore::new(TraceStoreConfig {
+            capacity,
+            sample_rate: 0.0,
+            slow_threshold: Duration::from_millis(1),
+        });
+        for i in 0..200u64 {
+            let trace = u128::from(i + 1);
+            store.hold(trace); // the job adopts the request's trace
+            record(&store, trace, 1, None, 50);
+            store.finish_unless_held(trace); // the request ends first
+            assert!(store.get(trace).is_none(), "held trace completed early");
+            record(&store, trace, 2, Some(1), 80);
+            store.finish(trace); // the job completes: the hold ends here
+            assert!(store.get(trace).is_some(), "job trace was not retained");
+        }
+        // No leaked holds: the pending table is empty once every job
+        // finished, so pending-side memory returns to zero.
+        assert_eq!(store.pending.lock().unwrap().len(), 0);
+        // Completed job traces evict like any others — the ring holds
+        // the newest `capacity`, everything older was dropped.
+        let stats = store.stats();
+        assert_eq!(stats.sampled_total, 200);
+        assert_eq!(stats.dropped_total, 200 - capacity as u64);
+        assert!(store.get(200).is_some());
+        assert!(store.get(1).is_none(), "old held trace pinned the ring");
+        // The byte gauge equals the ring's exact contents: capacity ×
+        // the uniform per-trace footprint. Nothing accumulated.
+        let per_trace = store.get(200).unwrap().approx_bytes as u64;
+        assert_eq!(stats.store_bytes, per_trace * capacity as u64);
     }
 
     #[test]

@@ -7,11 +7,16 @@
 //! response by its `Content-Length` and reconnecting transparently when
 //! the server closes (request cap reached, idle timeout, old server).
 //! [`request`] is the one-shot convenience built on top. [`sse_tail`]
-//! consumes a chunked `text/event-stream` response event by event.
+//! consumes a chunked `text/event-stream` response event by event, and
+//! [`watch_job`] wraps it with reconnect-and-resume over the server's
+//! replay history. [`Connection::request_with_retry`] layers a
+//! [`RetryPolicy`] — capped exponential backoff with deterministic
+//! jitter, `Retry-After` honoring, per-request deadlines — over the
+//! basic request path.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use caffeine_obs::TraceContext;
 
@@ -156,6 +161,81 @@ impl Connection {
         }
     }
 
+    /// Like [`Connection::request`], but under a [`RetryPolicy`]:
+    /// transport failures back off and retry when a repeat is provably
+    /// safe, and overload answers (429/503) are retried after honoring
+    /// the server's `Retry-After` (capped at the policy's
+    /// `max_backoff`) or, absent one, the computed backoff.
+    ///
+    /// Retrying after a *received* 429/503 is safe for any method —
+    /// including POST — because a response in hand proves the server
+    /// refused the request without executing it. Transport failures
+    /// keep the phase rule: a write-phase failure retries any method, a
+    /// read-phase failure only idempotent ones (or any, when the policy
+    /// opts into `assume_idempotent`).
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's transport failure once attempts or the
+    /// deadline run out, or immediately when a retry would be unsafe.
+    pub fn request_with_retry(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<ClientResponse> {
+        self.request_traced_with_retry(method, path, body, TraceContext::mint(), policy)
+    }
+
+    /// [`Connection::request_with_retry`] propagating the caller's trace
+    /// context. Every attempt reuses the same context, so the server's
+    /// trace shows the retries as siblings of one client span.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::request_with_retry`].
+    pub fn request_traced_with_retry(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        ctx: TraceContext,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<ClientResponse> {
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.try_request(method, path, body, ctx) {
+                Ok(r) if matches!(r.status, 429 | 503) && attempt < policy.max_attempts => {
+                    let wait = r
+                        .retry_after()
+                        .map(Duration::from_secs)
+                        .unwrap_or_else(|| policy.backoff(attempt))
+                        .min(policy.max_backoff);
+                    if start.elapsed() + wait >= policy.deadline {
+                        return Ok(r); // surface the overload answer
+                    }
+                    std::thread::sleep(wait);
+                }
+                Ok(r) => return Ok(r),
+                Err((phase, e)) => {
+                    self.stream = None;
+                    let safe = phase.retry_safe(method) || policy.assume_idempotent;
+                    if !safe || attempt >= policy.max_attempts {
+                        return Err(e);
+                    }
+                    let wait = policy.backoff(attempt);
+                    if start.elapsed() + wait >= policy.deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(wait);
+                }
+            }
+        }
+    }
+
     fn try_request(
         &mut self,
         method: &str,
@@ -183,6 +263,74 @@ impl Connection {
         }
         Ok(response)
     }
+}
+
+/// How a client request retries: capped exponential backoff with
+/// deterministic jitter, bounded by an attempt count and a per-request
+/// wall-clock deadline.
+///
+/// The jitter stream is a pure function of `(seed, attempt)`, so a test
+/// (or an incident replay) that fixes the seed reproduces the exact
+/// same backoff schedule every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt after.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff, including server `Retry-After`.
+    pub max_backoff: Duration,
+    /// Wall-clock budget for the whole request, sleeps included. When
+    /// the next backoff would cross it, the last result is returned
+    /// instead of sleeping.
+    pub deadline: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+    /// Callers who *know* their POST is safe to repeat (e.g. a pure
+    /// prediction) may opt into read-phase retries for it. Off by
+    /// default: the "never silently double-execute a POST" rule.
+    pub assume_idempotent: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            deadline: Duration::from_secs(60),
+            seed: 0,
+            assume_idempotent: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff slept after attempt `attempt` (1-based) fails:
+    /// `base · 2^(attempt-1)`, capped at `max_backoff`, scaled by a
+    /// deterministic jitter factor in `[0.5, 1.0)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(20);
+        let exp = self.base_backoff.saturating_mul(1u32 << doublings);
+        exp.min(self.max_backoff).mul_f64(self.jitter(attempt))
+    }
+
+    /// Jitter factor in `[0.5, 1.0)` for `attempt` — splitmix64 over
+    /// `(seed, attempt)`, so the schedule replays exactly per seed.
+    fn jitter(&self, attempt: u32) -> f64 {
+        let bits = splitmix64(self.seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        0.5 + 0.5 * ((bits >> 11) as f64 / (1u64 << 53) as f64)
+    }
+}
+
+/// Splitmix64 finalizer: the client's only randomness, and it is not
+/// random at all — a fixed permutation of its input, used to derive the
+/// reproducible jitter stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Where a request attempt failed, which decides whether a retry on a
@@ -272,6 +420,20 @@ fn is_stale_socket(e: &std::io::Error) -> bool {
         && e.to_string().contains("before a full response head"))
 }
 
+/// `true` for failures that mean the SSE stream was severed mid-flight
+/// — the failures [`watch_job`] heals by reconnecting. Broader than
+/// [`is_stale_socket`]: a cut can land mid-chunk (`InvalidData` from
+/// the dechunker), and a proxy or daemon restart can refuse the dial.
+fn is_cut_stream(e: &std::io::Error) -> bool {
+    is_stale_socket(e)
+        || matches!(
+            e.kind(),
+            std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::NotConnected
+        )
+        || (e.kind() == std::io::ErrorKind::InvalidData
+            && e.to_string().contains("connection closed mid-"))
+}
+
 /// Reads `head bytes + \r\n\r\n` from the stream, then exactly the
 /// declared `Content-Length` body bytes. Returns the response and whether
 /// the server will keep the connection open.
@@ -353,6 +515,10 @@ fn read_framed_response(stream: &mut TcpStream) -> std::io::Result<(ClientRespon
 /// One server-sent event as parsed off the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SseEvent {
+    /// The `id:` field when present and numeric — the frame's position
+    /// in the job's stream, used by [`watch_job`] to discard frames it
+    /// already delivered before a reconnect.
+    pub id: Option<u64>,
     /// The `event:` field (empty when the frame had none).
     pub event: String,
     /// The concatenated `data:` lines.
@@ -451,6 +617,99 @@ pub fn sse_tail(
     }
 }
 
+/// Options for [`watch_job`]: the per-read timeout of each underlying
+/// stream plus the policy bounding reconnect attempts and backoff.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchOptions {
+    /// Read timeout of each SSE connection — must exceed the server's
+    /// 1s heartbeat cadence to tell "slow" from "dead".
+    pub timeout: Duration,
+    /// Bounds reconnects: `max_attempts` consecutive no-progress
+    /// reconnects end the watch, with `backoff()` slept between them.
+    /// The policy's `deadline` does not apply — a healthy watch may
+    /// legitimately run for hours.
+    pub retry: RetryPolicy,
+}
+
+impl Default for WatchOptions {
+    fn default() -> WatchOptions {
+        WatchOptions {
+            timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Tails a job's SSE stream like [`sse_tail`], but *survives cut
+/// streams*: on a transport failure — or a stream the server ends while
+/// the caller still wants more — it reconnects, resumes from the
+/// server's replay history, and uses the frames' `id:` sequence to
+/// deliver each published frame at most once. Unsequenced frames (the
+/// per-subscription `snapshot`) are delivered on every connection,
+/// which is exactly what a watcher wants after a gap.
+///
+/// The watch ends when the callback returns `false` (`Ok`), when
+/// `retry.max_attempts` consecutive reconnects yield no new frames
+/// (`Ok` for clean stream ends, the last error otherwise), or when the
+/// server answers a reconnect with a non-200 (`Err` — e.g. the job was
+/// deleted mid-watch).
+///
+/// # Errors
+///
+/// Transport failures once reconnect attempts are exhausted; a non-200
+/// status as `io::ErrorKind::InvalidData` with the status in the
+/// message.
+pub fn watch_job(
+    addr: &str,
+    path: &str,
+    opts: &WatchOptions,
+    mut on_event: impl FnMut(&SseEvent) -> bool,
+) -> std::io::Result<()> {
+    let mut last_id: Option<u64> = None;
+    let mut stopped = false;
+    let mut no_progress = 0u32; // consecutive connections with no new frame
+    loop {
+        let seen_before = last_id;
+        let result = sse_tail(addr, path, opts.timeout, |event| {
+            if let Some(id) = event.id {
+                if last_id.is_some_and(|seen| id <= seen) {
+                    return true; // replayed frame already delivered
+                }
+                last_id = Some(id);
+            }
+            if !on_event(event) {
+                stopped = true;
+            }
+            !stopped
+        });
+        if stopped {
+            return Ok(());
+        }
+        let progressed = last_id != seen_before;
+        no_progress = if progressed { 0 } else { no_progress + 1 };
+        match result {
+            // The server ended the stream but the caller wants more: a
+            // dropped (lagging) watcher or a finished job's replay.
+            // Reconnect while new frames keep arriving; stop once the
+            // stream is evidently drained.
+            Ok(()) => {
+                if no_progress >= opts.retry.max_attempts {
+                    return Ok(());
+                }
+            }
+            Err(e) if is_cut_stream(&e) => {
+                if no_progress >= opts.retry.max_attempts {
+                    return Err(e);
+                }
+            }
+            // Non-transport failures (4xx/5xx answers, protocol
+            // violations) will not heal by reconnecting.
+            Err(e) => return Err(e),
+        }
+        std::thread::sleep(opts.retry.backoff(no_progress.max(1)));
+    }
+}
+
 /// Reads one `<hex len>\r\n<bytes>\r\n` chunk into `out` (cleared first).
 /// Returns `true` on the terminating zero-length chunk.
 fn read_one_chunk(stream: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<bool> {
@@ -504,6 +763,7 @@ fn find_frame_end(buf: &[u8]) -> Option<usize> {
 /// Parses one SSE frame; `None` for comment-only frames.
 fn parse_sse_frame(frame: &[u8]) -> Option<SseEvent> {
     let text = String::from_utf8_lossy(frame);
+    let mut id = None;
     let mut event = String::new();
     let mut data_lines: Vec<&str> = Vec::new();
     for line in text.lines() {
@@ -511,6 +771,8 @@ fn parse_sse_frame(frame: &[u8]) -> Option<SseEvent> {
             event = v.trim().to_string();
         } else if let Some(v) = line.strip_prefix("data:") {
             data_lines.push(v.trim());
+        } else if let Some(v) = line.strip_prefix("id:") {
+            id = v.trim().parse().ok();
         }
         // Lines starting with ':' are comments; ignore everything else.
     }
@@ -518,6 +780,7 @@ fn parse_sse_frame(frame: &[u8]) -> Option<SseEvent> {
         return None;
     }
     Some(SseEvent {
+        id,
         event,
         data: data_lines.join("\n"),
     })
@@ -566,10 +829,41 @@ mod tests {
         let e = parse_sse_frame(b"event: progress\ndata: {\"generation\":3}\n").unwrap();
         assert_eq!(e.event, "progress");
         assert_eq!(e.data, "{\"generation\":3}");
+        assert_eq!(e.id, None);
         assert!(parse_sse_frame(b": keep-alive\n").is_none());
         let e = parse_sse_frame(b"data: a\ndata: b\n").unwrap();
         assert_eq!(e.event, "");
         assert_eq!(e.data, "a\nb");
+        let e = parse_sse_frame(b"id: 42\nevent: progress\ndata: {}\n").unwrap();
+        assert_eq!(e.id, Some(42));
+        // A non-numeric id is ignored rather than failing the frame.
+        let e = parse_sse_frame(b"id: abc\nevent: progress\ndata: {}\n").unwrap();
+        assert_eq!(e.id, None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(1),
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        // Same (seed, attempt) ⇒ same duration, run after run.
+        for attempt in 1..10 {
+            assert_eq!(policy.backoff(attempt), policy.backoff(attempt));
+        }
+        // Jitter keeps each backoff in [half, full) of the capped value.
+        for (attempt, cap_ms) in [(1u32, 100u64), (2, 200), (3, 400), (4, 800), (5, 1000)] {
+            let b = policy.backoff(attempt);
+            let cap = Duration::from_millis(cap_ms);
+            assert!(b >= cap / 2 && b < cap, "attempt {attempt}: {b:?}");
+        }
+        // Deep attempts stay at the cap (no overflow).
+        assert!(policy.backoff(u32::MAX) <= Duration::from_secs(1));
+        // A different seed yields a different schedule somewhere.
+        let other = RetryPolicy { seed: 8, ..policy };
+        assert!((1..10).any(|a| other.backoff(a) != policy.backoff(a)));
     }
 
     #[test]

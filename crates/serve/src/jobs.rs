@@ -238,9 +238,16 @@ impl JobOutcome {
 }
 
 /// One rendered server-sent event: the `event:` name plus its JSON
-/// `data:` payload.
+/// `data:` payload and (once published) its position in the job's
+/// stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobEventFrame {
+    /// 1-based position in the job's event stream, stamped by
+    /// `EventHub::publish` and rendered as the SSE `id:` field so a
+    /// reconnecting watcher can discard frames it has already seen.
+    /// `0` means unsequenced (a frame that never went through a hub,
+    /// e.g. the per-subscription snapshot) and renders without an id.
+    pub seq: u64,
     /// SSE `event:` field.
     pub event: &'static str,
     /// SSE `data:` field (one line of JSON).
@@ -250,12 +257,20 @@ pub struct JobEventFrame {
 impl JobEventFrame {
     /// The wire form of the frame (terminated by the SSE blank line).
     pub fn render(&self) -> String {
-        format!("event: {}\ndata: {}\n\n", self.event, self.data)
+        if self.seq == 0 {
+            format!("event: {}\ndata: {}\n\n", self.event, self.data)
+        } else {
+            format!(
+                "id: {}\nevent: {}\ndata: {}\n\n",
+                self.seq, self.event, self.data
+            )
+        }
     }
 }
 
 fn frame(event: &'static str, data: serde_json::Value) -> JobEventFrame {
     JobEventFrame {
+        seq: 0,
         event,
         data: serde_json::to_string(&sanitize(data)).expect("frame data renders"),
     }
@@ -303,6 +318,8 @@ struct HubState {
     history: VecDeque<JobEventFrame>,
     subscribers: Vec<SyncSender<JobEventFrame>>,
     closed: bool,
+    /// Sequence stamped on the last published frame (first frame is 1).
+    last_seq: u64,
 }
 
 /// Broadcast of one job's event stream: every frame goes to the bounded
@@ -317,6 +334,11 @@ pub struct EventHub {
 impl EventHub {
     pub(crate) fn publish(&self, f: JobEventFrame) {
         let mut st = self.state.lock().expect("hub lock");
+        st.last_seq += 1;
+        let f = JobEventFrame {
+            seq: st.last_seq,
+            ..f
+        };
         if st.history.len() >= HUB_HISTORY_CAP {
             st.history.pop_front();
         }
@@ -547,7 +569,15 @@ impl JobTracer {
             ],
             error,
         });
-        self.store.finish(self.ctx.trace_id);
+        // Rendezvous with the submitting request: a job fast enough to
+        // outrun its own submit response must not complete the trace
+        // before the request's root span lands in it. Orphans (re-adopted
+        // after a restart) have no request to wait for.
+        if self.parent_span_id.is_some() {
+            self.store.finish_held(self.ctx.trace_id);
+        } else {
+            self.store.finish(self.ctx.trace_id);
+        }
     }
 
     /// The job never took over the trace (submission failed after the
@@ -1643,6 +1673,14 @@ mod tests {
             "{}",
             history[0].data
         );
+        // Sequences are stamped at publish and survive the history trim:
+        // frames 1..=cap+10 were published, the oldest 10 were evicted,
+        // so the retained window is exactly 11..=cap+10 in order.
+        assert_eq!(history[0].seq, 11);
+        assert_eq!(history.last().unwrap().seq, (HUB_HISTORY_CAP + 10) as u64);
+        for pair in history.windows(2) {
+            assert_eq!(pair[1].seq, pair[0].seq + 1, "gap in sequence");
+        }
     }
 
     #[test]
@@ -1673,7 +1711,11 @@ mod tests {
             "expected at least one progress frame: {history:?}"
         );
         let rendered = done.render();
-        assert!(rendered.starts_with("event: done\ndata: {"), "{rendered}");
+        assert!(done.seq > 0, "published frames carry a sequence");
+        assert!(
+            rendered.starts_with(&format!("id: {}\nevent: done\ndata: {{", done.seq)),
+            "{rendered}"
+        );
         assert!(rendered.ends_with("\n\n"), "{rendered:?}");
     }
 

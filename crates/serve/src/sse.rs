@@ -232,7 +232,11 @@ impl SseStreamer {
         let _ = head
             .write_chunked_head(&mut outbox)
             .expect("head renders into a buffer");
+        // Unsequenced (`seq: 0`): the snapshot is per-subscription state,
+        // not part of the job's replayable stream, so it carries no SSE
+        // id and reconnecting watchers never dedup it away.
         let snapshot = JobEventFrame {
+            seq: 0,
             event: "snapshot",
             data: serde_json::to_string(&crate::handlers::sanitize(entry.status_json()))
                 .expect("status renders"),
@@ -367,6 +371,7 @@ mod tests {
         let streamer = SseStreamer::new(Arc::clone(&metrics));
         let entry = entry_with_hub();
         entry.events.publish(JobEventFrame {
+            seq: 0,
             event: "progress",
             data: "{\"generation\":1}".into(),
         });
@@ -376,6 +381,7 @@ mod tests {
 
         // A live frame after adoption, then the hub closes.
         entry.events.publish(JobEventFrame {
+            seq: 0,
             event: "done",
             data: "{}".into(),
         });
@@ -399,6 +405,11 @@ mod tests {
         assert!(text.contains("event: snapshot"), "{text}");
         assert!(text.contains("event: progress"), "{text}");
         assert!(text.contains("event: done"), "{text}");
+        // Published frames carry their stream position as the SSE id;
+        // the snapshot (per-subscription state) never does.
+        assert!(text.contains("id: 1\nevent: progress"), "{text}");
+        assert!(text.contains("id: 2\nevent: done"), "{text}");
+        assert_eq!(text.matches("\nid: ").count(), 2, "{text}");
         assert!(text.ends_with("0\r\n\r\n"), "{text}");
         streamer.shutdown();
         assert_eq!(metrics.jobs_queued(), 0);
@@ -417,6 +428,7 @@ mod tests {
         drop(client_a); // A hangs up immediately.
 
         entry.events.publish(JobEventFrame {
+            seq: 0,
             event: "done",
             data: "{}".into(),
         });

@@ -276,3 +276,93 @@ fn trace_store_stays_bounded_under_request_hammer() {
     handle.shutdown();
     join.join().unwrap().unwrap();
 }
+
+/// A completed job's held-open trace is an ordinary ring citizen: once
+/// the job finishes and the hold ends, later traffic evicts it, and the
+/// store's byte gauge shows no permanent growth from the hold — the
+/// job-hold release path end to end, over real HTTP.
+#[test]
+fn completed_job_traces_are_evicted_by_later_traffic_without_byte_growth() {
+    let (addr, handle, join) = boot(ServeConfig {
+        trace_capacity: 4,
+        trace_sample_rate: 1.0,
+        ..ServeConfig::default()
+    });
+
+    // One traced job, driven to completion. Its trace is held open for
+    // the job's whole life — well past the submitting request.
+    let mut ctx = TraceContext::mint();
+    ctx.sampled = true;
+    let r =
+        client::request_traced(&addr, "POST", "/v1/jobs", Some(&tiny_job_spec()), T, ctx).unwrap();
+    assert_eq!(r.status, 201, "{}", r.text());
+    let job = r.json().unwrap();
+    let id = job["id"].as_u64().unwrap();
+    let trace_id = job["trace_id"].as_str().unwrap().to_string();
+
+    let mut conn = client::Connection::new(&addr, T);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let r = conn
+            .request("GET", &format!("/v1/jobs/{id}"), None)
+            .unwrap();
+        match r.json().unwrap()["state"].as_str().unwrap() {
+            "finished" => break,
+            "failed" | "cancelled" => panic!("job ended badly: {}", r.text()),
+            _ => {
+                assert!(Instant::now() < deadline, "job did not finish in time");
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        }
+    }
+    // The hold ends when the pump drains; the completed trace appears.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let r = conn
+            .request("GET", &format!("/v1/traces/{trace_id}"), None)
+            .unwrap();
+        if r.status == 200 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job trace never completed");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    // Now hammer the daemon: at sample rate 1.0 every request's trace
+    // enters the 4-slot ring, so the released job trace must be evicted
+    // like any other — a leaked hold would pin it (and its bytes).
+    for _ in 0..50 {
+        let mut ctx = TraceContext::mint();
+        ctx.sampled = true;
+        let r = conn.request_traced("GET", "/healthz", None, ctx).unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let r = conn
+        .request("GET", &format!("/v1/traces/{trace_id}"), None)
+        .unwrap();
+    assert_eq!(
+        r.status,
+        404,
+        "completed job trace survived 50 evicting requests: {}",
+        r.text()
+    );
+
+    // No permanent growth: the ring holds at most 4 healthz-sized
+    // traces, so the byte gauge must be tiny and the evictions counted.
+    let r = conn.request("GET", "/metrics", None).unwrap();
+    let text = r.text();
+    let metric = |name: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing metric {name} in {text}"))
+    };
+    assert!(metric("caffeine_traces_dropped_total") >= 40.0, "{text}");
+    assert!(metric("caffeine_trace_store_bytes") < 100_000.0, "{text}");
+    let r = conn.request("GET", "/v1/traces", None).unwrap();
+    assert!(r.json().unwrap()["traces"].as_array().unwrap().len() <= 4);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}

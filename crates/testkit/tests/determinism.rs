@@ -1,0 +1,105 @@
+//! Property tests pinning the testkit's two load-bearing guarantees:
+//! same seed ⇒ byte-identical fault schedule, and an empty plan ⇒ a
+//! byte-transparent proxy (echo oracle).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::time::Duration;
+
+use caffeine_testkit::{
+    ConnFaults, FaultClass, FaultPlan, FaultProxy, CLEAN_STRIDE, FAULT_CLASSES,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Re-constructing a plan from the same seed reproduces the entire
+    /// schedule, connection by connection — the property that makes a
+    /// chaos failure reproducible from nothing but its printed seed.
+    #[test]
+    fn same_seed_means_identical_schedule(seed in 0u64..=u64::MAX, n in 1u64..256) {
+        prop_assert_eq!(FaultPlan::mixed(seed).schedule(n), FaultPlan::mixed(seed).schedule(n));
+        for class in FAULT_CLASSES {
+            prop_assert_eq!(
+                FaultPlan::only(class, seed).schedule(n),
+                FaultPlan::only(class, seed).schedule(n)
+            );
+        }
+    }
+
+    /// Profiles are a pure function of (seed, index): querying a
+    /// connection out of order or repeatedly never changes the answer.
+    #[test]
+    fn profiles_are_pure_in_seed_and_index(seed in 0u64..=u64::MAX, index in 0u64..10_000) {
+        let plan = FaultPlan::mixed(seed);
+        let first = plan.conn(index);
+        let _ = plan.conn(index.wrapping_add(17)); // interleaved query
+        prop_assert_eq!(plan.conn(index), first);
+    }
+
+    /// The clean-stride convergence guarantee holds for every seed and
+    /// every mode: each CLEAN_STRIDE-th connection is untouched.
+    #[test]
+    fn clean_stride_holds_for_all_seeds(seed in 0u64..=u64::MAX, k in 0u64..64) {
+        let index = k * CLEAN_STRIDE + (CLEAN_STRIDE - 1);
+        prop_assert_eq!(FaultPlan::mixed(seed).conn(index), ConnFaults::clean());
+        prop_assert_eq!(
+            FaultPlan::only(FaultClass::Reset, seed).conn(index),
+            ConnFaults::clean()
+        );
+    }
+
+    /// An `only` plan schedules nothing but its class (or clean
+    /// connections), for any seed.
+    #[test]
+    fn only_plans_never_leak_other_classes(seed in 0u64..=u64::MAX) {
+        for class in FAULT_CLASSES {
+            for conn in FaultPlan::only(class, seed).schedule(64) {
+                prop_assert!(conn.class == class || conn == ConnFaults::clean());
+            }
+        }
+    }
+
+    /// Echo oracle: an arbitrary payload pushed through an empty-plan
+    /// proxy to an echo server comes back byte-identical. The proxy adds
+    /// no bytes, loses no bytes, reorders nothing.
+    #[test]
+    fn empty_plan_proxy_is_byte_transparent(
+        payload in proptest::collection::vec(0u8..=255, 1..8192)
+    ) {
+        let (upstream, _join) = echo_server();
+        let proxy = FaultProxy::spawn(upstream, FaultPlan::empty()).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        conn.write_all(&payload).unwrap();
+        conn.shutdown(Shutdown::Write).unwrap();
+        let mut back = Vec::new();
+        conn.read_to_end(&mut back).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+}
+
+/// Accepts connections forever (until dropped), echoing each one's bytes
+/// back and half-closing on EOF.
+fn echo_server() -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+    let addr = listener.local_addr().unwrap().to_string();
+    let join = std::thread::spawn(move || {
+        while let Ok((mut conn, _)) = listener.accept() {
+            let mut buf = [0u8; 4096];
+            loop {
+                match conn.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if conn.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = conn.shutdown(Shutdown::Write);
+        }
+    });
+    (addr, join)
+}

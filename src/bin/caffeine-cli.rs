@@ -183,15 +183,20 @@ fn run_jobs(args: &[String]) -> Result<(), String> {
             // the id printed below stays queryable at /v1/traces.
             let mut ctx = caffeine::obs::TraceContext::mint();
             ctx.sampled = true;
-            let response = client::request_traced(
-                &addr,
-                "POST",
-                &format!("{base}/v1/jobs"),
-                Some(&body),
-                Duration::from_secs(30),
-                ctx,
-            )
-            .map_err(|e| format!("request to {addr} failed: {e}"))?;
+            // Submission retries under the client's policy: a received
+            // 429/503 (admission backpressure) honors the daemon's
+            // Retry-After and re-submits — safe even for POST, since a
+            // response in hand proves the job was refused, not spawned.
+            let mut conn = client::Connection::new(&addr, Duration::from_secs(30));
+            let response = conn
+                .request_traced_with_retry(
+                    "POST",
+                    &format!("{base}/v1/jobs"),
+                    Some(&body),
+                    ctx,
+                    &client::RetryPolicy::default(),
+                )
+                .map_err(|e| format!("request to {addr} failed: {e}"))?;
             let json = response
                 .json()
                 .map_err(|e| format!("server sent a non-JSON response: {e}"))?;
@@ -234,11 +239,13 @@ fn run_jobs(args: &[String]) -> Result<(), String> {
                 "tailing job {id} events from {} (ctrl-c to stop)",
                 opts.remote
             );
-            // No read timeout between generations can exceed the server's
-            // 1s heartbeat cadence, so a modest timeout still detects a
-            // dead server.
+            // The watch survives cut streams: on a transport failure it
+            // reconnects and resumes from the server's replay history,
+            // using SSE ids to skip frames already printed. A fresh
+            // `snapshot` frame after each reconnect shows the current
+            // state across the gap.
             let mut saw_done = false;
-            client::sse_tail(&addr, &path, Duration::from_secs(30), |event| {
+            client::watch_job(&addr, &path, &client::WatchOptions::default(), |event| {
                 if opts.timings && event.event == "progress" {
                     match timings_line(&event.data) {
                         Some(line) => println!("{line}"),
@@ -253,14 +260,14 @@ fn run_jobs(args: &[String]) -> Result<(), String> {
                 !saw_done
             })
             .map_err(|e| format!("event stream from {addr} failed: {e}"))?;
-            // A stream that ends cleanly always carries `done` as its
-            // last frame; ending without one means the server dropped
-            // this watcher (lagging consumer) — not a finished job.
+            // The watch ends cleanly either at `done` or after repeated
+            // reconnects stopped yielding new frames — the latter means
+            // the job is still running but this watcher cannot keep up.
             if !saw_done {
                 return Err(format!(
-                    "event stream for job {id} ended before a `done` event — the server \
-                     dropped this watcher (it fell too far behind); the job is still \
-                     running. Reconnect with: caffeine-cli jobs watch --remote {} --id {id}",
+                    "event stream for job {id} drained before a `done` event — reconnect \
+                     attempts stopped yielding new frames; the job may still be running. \
+                     Watch again with: caffeine-cli jobs watch --remote {} --id {id}",
                     opts.remote
                 ));
             }
