@@ -17,6 +17,7 @@
 //! smoke test.
 
 #![deny(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod perf;
 

@@ -242,6 +242,7 @@ impl FitScratch {
     /// tape for reuse. Call at generation boundaries when holding a
     /// scratch across batches; capacity is retained.
     pub fn clear_cache(&mut self) {
+        // lint: allow(determinism) — drain order only decides which recycled buffer a future column reuses; contents are fully overwritten
         for (_, e) in self.cache.drain() {
             self.vm.recycle(e.column);
             self.spare_tapes.push(e.tape);

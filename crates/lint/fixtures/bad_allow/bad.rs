@@ -1,0 +1,8 @@
+// Fixture: an allow annotation without a reason is itself a finding and
+// silences nothing.
+use std::time::SystemTime;
+
+fn f() {
+    // lint: allow(determinism)
+    let _ = SystemTime::now();
+}

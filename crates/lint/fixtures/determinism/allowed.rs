@@ -1,0 +1,9 @@
+// Fixture: a real violation silenced by a reasoned allow annotation.
+use std::collections::HashMap;
+
+fn recycle(cache: &mut HashMap<u64, Vec<f64>>) {
+    // lint: allow(determinism) — fixture: drain order never reaches engine state
+    for (_, buf) in cache.drain() {
+        let _ = buf;
+    }
+}

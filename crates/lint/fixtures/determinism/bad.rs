@@ -1,0 +1,23 @@
+// Fixture: one example of every determinism violation class. Linted with
+// the pretend path `crates/core/src/fixture.rs`; never compiled.
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+fn wall_clock() -> Instant {
+    Instant::now()
+}
+
+fn epoch() {
+    let _ = SystemTime::now();
+}
+
+fn map_iteration(m: &HashMap<String, u32>) -> u32 {
+    m.values().sum()
+}
+
+fn map_for_loop() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+}

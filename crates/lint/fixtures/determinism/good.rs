@@ -1,0 +1,10 @@
+// Fixture: deterministic equivalents of everything bad.rs does.
+use std::collections::BTreeMap;
+
+fn ordered_iteration(m: &BTreeMap<String, u32>) -> u32 {
+    m.values().sum()
+}
+
+fn logical_clock(generation: u64) -> u64 {
+    generation + 1
+}

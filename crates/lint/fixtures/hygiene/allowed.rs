@@ -1,0 +1,6 @@
+// lint: allow(hygiene) — fixture: generated shim exempt from the gate
+//! Fixture crate root without the unsafe-code gate, vetted.
+
+pub fn f() -> u32 {
+    1
+}

@@ -1,0 +1,6 @@
+//! Fixture crate root without the unsafe-code gate. Linted with the
+//! pretend path `crates/core/src/lib.rs`; never compiled.
+
+pub fn f() -> u32 {
+    1
+}

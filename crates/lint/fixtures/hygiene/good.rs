@@ -1,0 +1,7 @@
+//! Fixture crate root with the unsafe-code gate.
+
+#![deny(unsafe_code)]
+
+pub fn f() -> u32 {
+    1
+}

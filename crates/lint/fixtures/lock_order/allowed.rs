@@ -1,0 +1,10 @@
+// Fixture: a reversed pair silenced by a reasoned allow annotation on the
+// inner acquisition line.
+impl Scheduler {
+    fn reversed_but_vetted(&self, entry: &JobEntry) {
+        let g = entry.outcome.lock();
+        // lint: allow(lock-order) — fixture: maintenance path, runs single-threaded before workers start
+        self.state.lock().touch();
+        let _ = g;
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: a reversed pair and a self-deadlock. Linted with the pretend
+// path `crates/serve/src/jobs.rs` against the real lint.toml order
+// (Scheduler.state before Job.outcome); never compiled.
+impl Scheduler {
+    fn reversed(&self, entry: &JobEntry) {
+        let g = entry.outcome.lock();
+        self.state.lock().touch();
+        let _ = g;
+    }
+
+    fn reentrant(&self) {
+        let a = self.state.lock();
+        let b = self.state.lock();
+        let _ = (a, b);
+    }
+}

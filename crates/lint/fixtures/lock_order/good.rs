@@ -1,0 +1,17 @@
+// Fixture: the same locks taken in the declared order, and sequential
+// (non-overlapping) acquisitions.
+impl Scheduler {
+    fn ordered(&self, entry: &JobEntry) {
+        let g = self.state.lock();
+        entry.outcome.lock().touch();
+        let _ = g;
+    }
+
+    fn sequential(&self, entry: &JobEntry) {
+        {
+            let a = self.state.lock();
+            let _ = a;
+        }
+        entry.outcome.lock().touch();
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: a vetted panic site silenced by a reasoned allow annotation.
+fn startup(v: Option<u32>) -> u32 {
+    // lint: allow(panic-freedom) — fixture: runs once at startup before any request is accepted
+    v.expect("configured at startup")
+}

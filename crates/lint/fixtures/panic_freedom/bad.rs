@@ -1,0 +1,10 @@
+// Fixture: every panic-freedom violation class. Linted with the pretend
+// path `crates/serve/src/jobs.rs`; never compiled.
+fn explode(v: Option<u32>, w: Option<u32>) -> u32 {
+    let x = v.unwrap();
+    let y = w.expect("present");
+    if x > y {
+        panic!("boom");
+    }
+    unreachable!()
+}

@@ -1,0 +1,14 @@
+// Fixture: graceful handling; test code may panic freely.
+fn graceful(v: Option<u32>) -> u32 {
+    v.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        assert_eq!(super::graceful(None), 0);
+        let _ = Some(3u32).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,244 @@
+//! `lint.toml` — declarative workspace invariants.
+//!
+//! Parsed by a deliberately tiny TOML-subset reader (sections, string
+//! values, string arrays over one or more lines, `#` comments) in the same
+//! hand-rolled spirit as the workspace's serde and HTTP stand-ins. The
+//! subset is exactly what the config needs; anything else is a parse
+//! error, never a panic.
+
+use std::collections::BTreeMap;
+
+/// Parsed configuration. Field names mirror the `lint.toml` sections.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path prefixes (workspace-relative, `/`-separated) the walker skips.
+    pub exclude: Vec<String>,
+    /// Crate names (directory names under `crates/`) whose `src/` trees
+    /// the determinism rule covers.
+    pub determinism_crates: Vec<String>,
+    /// Workspace-relative files the panic-freedom rule covers.
+    pub panic_freedom_files: Vec<String>,
+    /// Workspace-relative files the lock-order rule covers.
+    pub lock_order_files: Vec<String>,
+    /// Declared total acquisition order: a lock earlier in this list must
+    /// be acquired before any later one when both are held.
+    pub lock_order: Vec<String>,
+    /// Raw extracted lock name -> canonical node in `lock_order` (used
+    /// when the same mutex is reached through differently-named paths).
+    pub lock_aliases: BTreeMap<String, String>,
+    /// Markdown roots (files, or directories scanned for `*.md`) whose
+    /// relative links must resolve.
+    pub doc_roots: Vec<String>,
+}
+
+/// One parse failure with its 1-based line.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strip a trailing `#` comment that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => {}
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse one `"quoted string"` starting at `s` (already trimmed); returns
+/// (value, rest-after-closing-quote).
+fn parse_string(s: &str, line_no: u32) -> Result<(String, &str), ConfigError> {
+    let rest = s
+        .strip_prefix('"')
+        .ok_or_else(|| err(line_no, format!("expected string, found {s:?}")))?;
+    let end = rest
+        .find('"')
+        .ok_or_else(|| err(line_no, "unterminated string"))?;
+    Ok((rest[..end].to_string(), &rest[end + 1..]))
+}
+
+/// Parser state: values land in `Config` keyed by (section, key).
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut cfg = Config::default();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(line_no, "unterminated section header"))?;
+            section = name.trim().to_string();
+            continue;
+        }
+        let eq = line
+            .find('=')
+            .ok_or_else(|| err(line_no, format!("expected `key = value`, found {line:?}")))?;
+        let key = line[..eq].trim().trim_matches('"').to_string();
+        let mut value = line[eq + 1..].trim().to_string();
+        // Multiline arrays: keep consuming lines until brackets balance.
+        if value.starts_with('[') {
+            while !array_closed(&value) {
+                match lines.next() {
+                    Some((_, more)) => {
+                        value.push(' ');
+                        value.push_str(strip_comment(more).trim());
+                    }
+                    None => return Err(err(line_no, "unterminated array")),
+                }
+            }
+        }
+        apply(&mut cfg, &section, &key, value.trim(), line_no)?;
+    }
+    Ok(cfg)
+}
+
+/// True when the accumulated array literal has its closing bracket
+/// (brackets inside quoted strings don't count).
+fn array_closed(s: &str) -> bool {
+    let mut in_str = false;
+    for b in s.bytes() {
+        match b {
+            b'"' => in_str = !in_str,
+            b']' if !in_str => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn parse_string_array(s: &str, line_no: u32) -> Result<Vec<String>, ConfigError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.trim_end().strip_suffix(']'))
+        .ok_or_else(|| err(line_no, format!("expected array, found {s:?}")))?;
+    let mut out = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        let (value, after) = parse_string(rest, line_no)?;
+        out.push(value);
+        rest = after.trim_start();
+        if let Some(after_comma) = rest.strip_prefix(',') {
+            rest = after_comma.trim_start();
+        } else if !rest.is_empty() {
+            return Err(err(
+                line_no,
+                format!("expected `,` in array, found {rest:?}"),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn apply(
+    cfg: &mut Config,
+    section: &str,
+    key: &str,
+    value: &str,
+    line_no: u32,
+) -> Result<(), ConfigError> {
+    let array = |v: &str| parse_string_array(v, line_no);
+    match (section, key) {
+        ("workspace", "exclude") => cfg.exclude = array(value)?,
+        ("determinism", "crates") => cfg.determinism_crates = array(value)?,
+        ("panic_freedom", "files") => cfg.panic_freedom_files = array(value)?,
+        ("lock_order", "files") => cfg.lock_order_files = array(value)?,
+        ("lock_order", "order") => cfg.lock_order = array(value)?,
+        ("lock_order.aliases", raw) => {
+            let (canon, rest) = parse_string(value, line_no)?;
+            if !rest.trim().is_empty() {
+                return Err(err(line_no, format!("trailing input {rest:?}")));
+            }
+            cfg.lock_aliases.insert(raw.to_string(), canon);
+        }
+        ("doc_links", "roots") => cfg.doc_roots = array(value)?,
+        _ => {
+            return Err(err(
+                line_no,
+                format!("unknown configuration key [{section}] {key}"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shipped_shape() {
+        let cfg = parse(
+            r#"
+# comment
+[workspace]
+exclude = ["vendor", "target"]
+
+[determinism]
+crates = [
+    "core", # inline comment
+    "doe",
+]
+
+[lock_order]
+files = ["crates/serve/src/jobs.rs"]
+order = ["a", "b"]
+
+[lock_order.aliases]
+"Job.outcome" = "outcome"
+
+[doc_links]
+roots = ["README.md", "docs"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.exclude, vec!["vendor", "target"]);
+        assert_eq!(cfg.determinism_crates, vec!["core", "doe"]);
+        assert_eq!(cfg.lock_order, vec!["a", "b"]);
+        assert_eq!(cfg.lock_aliases["Job.outcome"], "outcome");
+        assert_eq!(cfg.doc_roots, vec!["README.md", "docs"]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        let e = parse("[nope]\nx = \"y\"\n").unwrap_err();
+        assert!(e.message.contains("unknown configuration key"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_unterminated_array() {
+        assert!(parse("[workspace]\nexclude = [\"a\",").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let cfg = parse("[workspace]\nexclude = [\"a#b\"]\n").unwrap();
+        assert_eq!(cfg.exclude, vec!["a#b"]);
+    }
+}

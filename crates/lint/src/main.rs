@@ -1,0 +1,177 @@
+//! CLI for `caffeine-lint`.
+//!
+//! ```text
+//! cargo run -p caffeine-lint                  # lint the whole workspace
+//! cargo run -p caffeine-lint -- --format text # human-readable findings
+//! cargo run -p caffeine-lint -- --file F --pretend crates/core/src/x.rs
+//! cargo run -p caffeine-lint -- --locks       # dump nested-lock pairs
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error. Findings go to
+//! stdout — one JSON object per line by default (`--format json`), or
+//! `path:line: [rule] message` with `--format text`. The summary line
+//! goes to stderr either way.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use caffeine_lint::findings::Finding;
+
+struct Args {
+    root: PathBuf,
+    format: Format,
+    /// (file-on-disk, workspace-relative pretend path) pairs; empty means
+    /// lint the whole workspace.
+    files: Vec<(PathBuf, String)>,
+    locks: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Json,
+    Text,
+}
+
+fn usage() -> String {
+    "usage: caffeine-lint [--root DIR] [--format json|text] [--locks] \
+     [--file PATH [--pretend WORKSPACE_REL_PATH]]..."
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: default_root(),
+        format: Format::Json,
+        files: Vec::new(),
+        locks: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or_else(usage)?);
+            }
+            "--format" => {
+                args.format = match it.next().ok_or_else(usage)?.as_str() {
+                    "json" => Format::Json,
+                    "text" => Format::Text,
+                    other => return Err(format!("unknown format `{other}`; {}", usage())),
+                }
+            }
+            "--file" => {
+                let path = PathBuf::from(it.next().ok_or_else(usage)?);
+                let pretend = caffeine_lint::workspace_rel(&path, &args.root)
+                    .unwrap_or_else(|| path.to_string_lossy().into_owned());
+                args.files.push((path, pretend));
+            }
+            "--pretend" => {
+                let pretend = it.next().ok_or_else(usage)?;
+                let last = args
+                    .files
+                    .last_mut()
+                    .ok_or_else(|| format!("--pretend must follow --file; {}", usage()))?;
+                last.1 = pretend;
+            }
+            "--locks" => args.locks = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`; {}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Default workspace root: two levels above this crate's manifest dir
+/// (compiled in, so `cargo run -p caffeine-lint` works from anywhere in
+/// the workspace).
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("caffeine-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match caffeine_lint::load_config(&args.root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("caffeine-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.locks {
+        return dump_locks(&args, &cfg);
+    }
+
+    let findings: Vec<Finding> = if args.files.is_empty() {
+        caffeine_lint::run_workspace(&args.root, &cfg)
+    } else {
+        let mut out = Vec::new();
+        for (path, pretend) in &args.files {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("caffeine-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            if pretend.ends_with(".md") {
+                out.extend(caffeine_lint::check_markdown(&args.root, pretend, &bytes));
+            } else {
+                out.extend(caffeine_lint::check_rust_source(pretend, &bytes, &cfg));
+            }
+        }
+        caffeine_lint::findings::sort(&mut out);
+        out
+    };
+
+    for f in &findings {
+        match args.format {
+            Format::Json => println!("{}", f.to_json()),
+            Format::Text => println!("{}", f.to_text()),
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("caffeine-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("caffeine-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Print every nested-lock acquisition event in the covered files —
+/// the maintenance view for keeping `[lock_order] order` truthful.
+fn dump_locks(args: &Args, cfg: &caffeine_lint::config::Config) -> ExitCode {
+    for rel in &cfg.lock_order_files {
+        let path = args.root.join(rel);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("caffeine-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        for ev in caffeine_lint::lock_events(rel, &bytes, cfg) {
+            println!(
+                "{rel}:{line}: fn {function}: holds `{outer}` -> acquires `{inner}`",
+                line = ev.line,
+                function = ev.function,
+                outer = ev.outer,
+                inner = ev.inner,
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,206 @@
+//! Rule `doc-links`: relative markdown links must resolve.
+//!
+//! The docs tree (README, docs/*.md) cross-references heavily; a renamed
+//! file silently strands every inbound link. This rule extracts inline
+//! `[text](target)` links (images included), skips external schemes and
+//! pure `#anchor` links, ignores fenced code blocks, and checks that each
+//! relative target exists on disk (anchors stripped). Absolute paths are
+//! flagged too — they break the moment the repo is cloned elsewhere.
+
+use std::path::{Component, Path, PathBuf};
+
+use crate::findings::{Finding, Rule};
+
+pub fn check(root: &Path, rel_path: &str, bytes: &[u8], out: &mut Vec<Finding>) {
+    let text = String::from_utf8_lossy(bytes);
+    let dir = Path::new(rel_path)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    let mut in_fence = false;
+    let mut allows: Vec<u32> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        // Allow annotations ride in HTML comments in markdown:
+        // <!-- lint: allow(doc-links) — reason -->
+        if let Some(pos) = line.find("lint: allow(doc-links)") {
+            let rest = &line[pos + "lint: allow(doc-links)".len()..];
+            let reason = rest
+                .trim_start()
+                .trim_start_matches(['—', '–', '-', ':'])
+                .trim_end_matches("-->")
+                .trim();
+            if !reason.is_empty() {
+                allows.push(line_no);
+            } else {
+                out.push(Finding::new(
+                    Rule::BadAllow,
+                    rel_path,
+                    line_no,
+                    "allow(doc-links) without a reason — write \
+                     `<!-- lint: allow(doc-links) — <why> -->`",
+                ));
+            }
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        for target in extract_links(line) {
+            if let Some(f) = check_target(root, &dir, rel_path, line_no, target) {
+                if !allows.contains(&line_no) && !allows.contains(&line_no.saturating_sub(1)) {
+                    out.push(f);
+                }
+            }
+        }
+    }
+}
+
+/// Targets of `[text](target)` on one line, inline-code spans excluded.
+fn extract_links(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut in_code = false;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'`' => in_code = !in_code,
+            b']' if !in_code && bytes.get(i + 1) == Some(&b'(') => {
+                let start = i + 2;
+                if let Some(rel_end) = line.get(start..).and_then(|s| s.find(')')) {
+                    out.push(&line[start..start + rel_end]);
+                    i = start + rel_end;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+fn check_target(
+    root: &Path,
+    dir: &Path,
+    rel_path: &str,
+    line_no: u32,
+    raw: &str,
+) -> Option<Finding> {
+    // Titles: [x](path "title") — take the path part.
+    let target = raw.split_whitespace().next().unwrap_or("");
+    if target.is_empty()
+        || target.contains("://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+    {
+        return None;
+    }
+    if target.starts_with('/') {
+        return Some(Finding::new(
+            Rule::DocLinks,
+            rel_path,
+            line_no,
+            format!("absolute link `{target}` — use a path relative to this file"),
+        ));
+    }
+    let path_part = target.split('#').next().unwrap_or(target);
+    let joined = dir.join(path_part);
+    let normalized = normalize(&joined);
+    if !root.join(&normalized).exists() {
+        return Some(Finding::new(
+            Rule::DocLinks,
+            rel_path,
+            line_no,
+            format!(
+                "broken relative link `{target}` — `{}` does not exist",
+                normalized.display()
+            ),
+        ));
+    }
+    None
+}
+
+/// Collapse `.` and `..` without touching the filesystem.
+fn normalize(p: &Path) -> PathBuf {
+    let mut out = PathBuf::new();
+    for c in p.components() {
+        match c {
+            Component::CurDir => {}
+            Component::ParentDir => {
+                out.pop();
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, text: &str) -> Vec<Finding> {
+        // The real workspace root: these tests link against files that
+        // genuinely exist in the repo.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let mut out = Vec::new();
+        check(&root, rel, text.as_bytes(), &mut out);
+        out
+    }
+
+    #[test]
+    fn existing_link_passes() {
+        assert!(run(
+            "docs/X.md",
+            "see [arch](ARCHITECTURE.md) and [readme](../README.md)"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn broken_link_fires() {
+        let out = run("docs/X.md", "see [gone](NOT_A_FILE.md)");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("NOT_A_FILE.md"));
+    }
+
+    #[test]
+    fn anchors_and_external_skipped() {
+        let text = "[a](#section) [b](https://example.com/x.md) [c](mailto:x@y.z)";
+        assert!(run("README.md", text).is_empty());
+    }
+
+    #[test]
+    fn anchor_on_existing_file_passes() {
+        assert!(run("docs/X.md", "[a](ARCHITECTURE.md#overview)").is_empty());
+    }
+
+    #[test]
+    fn fenced_code_blocks_skipped() {
+        let text = "```\n[not a link](nope.md)\n```\n";
+        assert!(run("README.md", text).is_empty());
+    }
+
+    #[test]
+    fn absolute_link_fires() {
+        let out = run("README.md", "[x](/etc/passwd)");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("absolute"));
+    }
+
+    #[test]
+    fn allow_comment_silences() {
+        let text =
+            "<!-- lint: allow(doc-links) — generated at build time -->\n[x](BENCH_generated.json)";
+        assert!(run("README.md", text).is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! The rule set. Each rule is a pure function from a lexed source file
+//! (plus config) to findings; `crate::check_rust_source` decides which
+//! rules a given path is subject to.
+
+pub mod determinism;
+pub mod doc_links;
+pub mod hygiene;
+pub mod lock_order;
+pub mod panic_freedom;

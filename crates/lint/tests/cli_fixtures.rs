@@ -1,0 +1,213 @@
+//! End-to-end tests of the `caffeine-lint` binary over the fixture
+//! triples in `crates/lint/fixtures/`: every rule fires on its bad
+//! fixture (exit 1, rule name in the JSON output), stays quiet on the
+//! good one, and is silenced by a reasoned allow annotation (exit 0
+//! both times). Also pins the CLI contract itself: exit 2 on usage
+//! errors and exit 0 with `clean` on the real workspace.
+//!
+//! Fixtures are linted via `--file <fixture> --pretend <rel-path>` so
+//! the path-scoped rules apply as if the file lived in the workspace
+//! (the fixtures directory itself is excluded in lint.toml).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn fixture(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rel)
+}
+
+fn run_on(rel: &str, pretend: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_caffeine-lint"))
+        .arg("--root")
+        .arg(workspace_root())
+        .arg("--file")
+        .arg(fixture(rel))
+        .arg("--pretend")
+        .arg(pretend)
+        .output()
+        .expect("run caffeine-lint")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+/// Asserts the triple contract for one rule: bad fires (naming `rule` in
+/// the JSON output), good and allowed are clean.
+fn assert_triple(dir: &str, pretend: &str, rule: &str) {
+    let bad = run_on(&format!("{dir}/bad.rs"), pretend);
+    assert_eq!(exit_code(&bad), 1, "{dir}/bad.rs must fire");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(
+        stdout.contains(&format!("\"rule\":\"{rule}\"")),
+        "{dir}/bad.rs findings must include rule `{rule}`; got:\n{stdout}"
+    );
+
+    let good = run_on(&format!("{dir}/good.rs"), pretend);
+    assert_eq!(
+        exit_code(&good),
+        0,
+        "{dir}/good.rs must be clean; got:\n{}",
+        String::from_utf8_lossy(&good.stdout)
+    );
+
+    let allowed_path = format!("{dir}/allowed.rs");
+    if fixture(&allowed_path).exists() {
+        let allowed = run_on(&allowed_path, pretend);
+        assert_eq!(
+            exit_code(&allowed),
+            0,
+            "{allowed_path} must be silenced; got:\n{}",
+            String::from_utf8_lossy(&allowed.stdout)
+        );
+    }
+}
+
+#[test]
+fn determinism_triple() {
+    assert_triple("determinism", "crates/core/src/fixture.rs", "determinism");
+}
+
+#[test]
+fn determinism_bad_names_every_class() {
+    let out = run_on("determinism/bad.rs", "crates/core/src/fixture.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["Instant::now", "SystemTime", "iteration"] {
+        assert!(stdout.contains(needle), "missing `{needle}` in:\n{stdout}");
+    }
+}
+
+#[test]
+fn panic_freedom_triple() {
+    assert_triple("panic_freedom", "crates/serve/src/jobs.rs", "panic-freedom");
+}
+
+#[test]
+fn panic_freedom_bad_catches_all_four_sites() {
+    let out = run_on("panic_freedom/bad.rs", "crates/serve/src/jobs.rs");
+    let findings = String::from_utf8_lossy(&out.stdout);
+    let n = findings
+        .lines()
+        .filter(|l| l.contains("panic-freedom"))
+        .count();
+    assert_eq!(n, 4, "unwrap, expect, panic!, unreachable!:\n{findings}");
+}
+
+#[test]
+fn lock_order_triple() {
+    assert_triple("lock_order", "crates/serve/src/jobs.rs", "lock-order");
+}
+
+#[test]
+fn lock_order_bad_flags_both_violation_and_self_deadlock() {
+    let out = run_on("lock_order/bad.rs", "crates/serve/src/jobs.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lock order violation"), "{stdout}");
+    assert!(stdout.contains("not reentrant"), "{stdout}");
+}
+
+#[test]
+fn hygiene_triple() {
+    assert_triple("hygiene", "crates/core/src/lib.rs", "hygiene");
+}
+
+#[test]
+fn bad_allow_fires_and_reasoned_allow_passes() {
+    let bad = run_on("bad_allow/bad.rs", "crates/core/src/fixture.rs");
+    assert_eq!(exit_code(&bad), 1);
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("\"rule\":\"bad-allow\""), "{stdout}");
+    // The reason-less allow also silences nothing: the violation it sat
+    // on is still reported.
+    assert!(stdout.contains("\"rule\":\"determinism\""), "{stdout}");
+
+    let good = run_on("bad_allow/good.rs", "crates/core/src/fixture.rs");
+    assert_eq!(
+        exit_code(&good),
+        0,
+        "{}",
+        String::from_utf8_lossy(&good.stdout)
+    );
+}
+
+#[test]
+fn doc_links_triple() {
+    let bad = run_on("doc_links/bad.md", "docs/fixture.md");
+    assert_eq!(exit_code(&bad), 1);
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("broken relative link"), "{stdout}");
+    assert!(stdout.contains("absolute link"), "{stdout}");
+
+    let good = run_on("doc_links/good.md", "docs/fixture.md");
+    assert_eq!(
+        exit_code(&good),
+        0,
+        "{}",
+        String::from_utf8_lossy(&good.stdout)
+    );
+
+    let allowed = run_on("doc_links/allowed.md", "docs/fixture.md");
+    assert_eq!(
+        exit_code(&allowed),
+        0,
+        "{}",
+        String::from_utf8_lossy(&allowed.stdout)
+    );
+}
+
+#[test]
+fn workspace_is_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_caffeine-lint"))
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run caffeine-lint");
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "workspace must lint clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("clean"));
+}
+
+#[test]
+fn usage_error_exits_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_caffeine-lint"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("run caffeine-lint");
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn text_format_is_grep_friendly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_caffeine-lint"))
+        .arg("--root")
+        .arg(workspace_root())
+        .arg("--format")
+        .arg("text")
+        .arg("--file")
+        .arg(fixture("panic_freedom/bad.rs"))
+        .arg("--pretend")
+        .arg("crates/serve/src/jobs.rs")
+        .output()
+        .expect("run caffeine-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout
+            .lines()
+            .all(|l| l.starts_with("crates/serve/src/jobs.rs:")),
+        "{stdout}"
+    );
+}

@@ -1,0 +1,96 @@
+//! Property tests for the lexer's totality contract: `lex` must accept
+//! *arbitrary bytes* — truncated strings, unterminated comments, invalid
+//! UTF-8, lone quotes — without panicking, and every span it emits must
+//! be in-bounds, non-empty, and non-overlapping in source order.
+//!
+//! The lint runs on every file in the workspace on every CI run; a lexer
+//! panic on one weird byte sequence would take the whole gate down.
+
+use caffeine_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Spans are in-bounds, non-empty, strictly ascending, and line numbers
+/// are monotone — on any input at all.
+fn well_formed(src: &[u8]) {
+    let toks = lex(src);
+    let mut prev_end = 0usize;
+    let mut prev_line = 1u32;
+    for t in &toks {
+        assert!(t.lo < t.hi, "empty span {}..{} in {src:?}", t.lo, t.hi);
+        assert!(t.hi <= src.len(), "span {}..{} out of bounds", t.lo, t.hi);
+        assert!(t.lo >= prev_end, "overlapping span at {} in {src:?}", t.lo);
+        assert!(t.line >= prev_line, "line numbers must be monotone");
+        prev_end = t.hi;
+        prev_line = t.line;
+    }
+}
+
+/// Fragments exercising the tricky lexer states: raw strings, byte and C
+/// strings, lifetimes, char escapes, nested block comments — each also in
+/// a truncated (unterminated) form.
+const FRAGMENTS: &[&str] = &[
+    "r#\"raw\"#",
+    "r#\"unterminated",
+    "br##\"",
+    "\"str\\\"esc\"",
+    "\"unterminated",
+    "'a'",
+    "'lifetime",
+    "'\\n'",
+    "b'x'",
+    "c\"c\"",
+    "/* nested /* block */ */",
+    "/* unterminated",
+    "// line\n",
+    "/// doc\n",
+    "0x1f",
+    "1_000.5e-3",
+    "ident",
+    "::",
+    "<'a>",
+    "#![",
+    "}\u{fffd}{",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure byte soup: anything at all.
+    #[test]
+    fn lex_is_total_on_arbitrary_bytes(src in proptest::collection::vec(0u8..=255, 0..512)) {
+        well_formed(&src);
+    }
+
+    /// Rust-flavoured soup: the tricky fragments concatenated in random
+    /// order, truncated ones included.
+    #[test]
+    fn lex_is_total_on_rustish_fragments(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..24),
+    ) {
+        let src: Vec<u8> = picks
+            .iter()
+            .flat_map(|&i| FRAGMENTS[i].bytes())
+            .collect();
+        well_formed(&src);
+    }
+
+    /// Truncating valid-ish source at any byte must still lex.
+    #[test]
+    fn lex_survives_truncation(cut in 0usize..200) {
+        let src = br###"fn f<'a>(x: &'a str) -> u8 { let s = r##"raw "# inside"##; /* c */ b'\x7f' }"###;
+        let cut = cut.min(src.len());
+        well_formed(&src[..cut]);
+    }
+
+    /// Comments and strings are classified (never silently merged into
+    /// idents), so rules that filter comments see honest token kinds.
+    #[test]
+    fn comment_bytes_never_leak_into_idents(n in 1usize..6) {
+        let src = format!("a {} b", "/* x */".repeat(n)).into_bytes();
+        let toks = lex(&src);
+        let idents = toks.iter().filter(|t| t.kind == TokKind::Ident).count();
+        let comments = toks.iter().filter(|t| t.kind == TokKind::BlockComment).count();
+        prop_assert_eq!(idents, 2);
+        prop_assert_eq!(comments, n);
+    }
+}

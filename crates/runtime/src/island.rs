@@ -324,6 +324,7 @@ impl IslandRunner {
         let target = self.master.generations.min(self.completed + n);
         while self.completed < target {
             let cells_before = self.phases.snapshot();
+            // lint: allow(determinism) — telemetry side channel: wall time flows only into PhaseBreakdown events, never into evolution state
             let wall_start = Instant::now();
             let mut grown: Vec<(usize, EvolutionStats, Vec<FrontPoint>)> = Vec::new();
             for (idx, island) in self.islands.iter_mut().enumerate() {
@@ -417,6 +418,7 @@ impl IslandRunner {
 
     fn write_checkpoint(&self, data: &Dataset) -> Result<(), RuntimeError> {
         if let Some(path) = &self.checkpoint_path {
+            // lint: allow(determinism) — telemetry side channel: checkpoint write timing is reported on RunEvent::Checkpointed, never read back
             let started = Instant::now();
             self.checkpoint(data).save(path)?;
             self.emit(RunEvent::Checkpointed {

@@ -49,6 +49,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(unsafe_code)]
 
 mod checkpoint;
 mod config;

@@ -82,10 +82,12 @@ impl ApiError {
         let body = serde_json::json!({
             "error": { "code": self.code, "message": self.message }
         });
-        let response = Response::json(
-            self.status,
-            serde_json::to_string(&body).expect("error body serializes"),
-        );
+        // Serializing a `Value` of strings cannot fail, but the error
+        // path of all places must not take that on faith.
+        let rendered = serde_json::to_string(&body).unwrap_or_else(|_| {
+            r#"{"error":{"code":"internal","message":"error rendering failed"}}"#.to_string()
+        });
+        let response = Response::json(self.status, rendered);
         match self.retry_after {
             Some(secs) => response.with_header("retry-after", secs.to_string()),
             None => response,

@@ -94,10 +94,12 @@ pub(crate) fn sanitize(v: serde_json::Value) -> serde_json::Value {
 }
 
 fn json_response(status: u16, value: serde_json::Value) -> Response {
-    Response::json(
-        status,
-        serde_json::to_string(&sanitize(value)).expect("value renders"),
-    )
+    // Sanitized `Value`s always serialize; degrade to a well-formed JSON
+    // error body rather than panicking mid-request if that ever breaks.
+    let body = serde_json::to_string(&sanitize(value)).unwrap_or_else(|_| {
+        r#"{"error":{"code":"internal","message":"response rendering failed"}}"#.to_string()
+    });
+    Response::json(status, body)
 }
 
 fn ok_json(value: serde_json::Value) -> Response {
@@ -334,7 +336,10 @@ fn dispatch_response(
             })?;
             Ok(ok_json(trace_json(&trace)))
         }
-        Route::JobEvents(_) => unreachable!("handled by dispatch"),
+        // Dispatched before this match (it hijacks the connection for
+        // streaming); reaching here is a routing bug, reported as a 500
+        // instead of tearing down the worker.
+        Route::JobEvents(_) => Err(ApiError::internal("job-events route missed dispatch")),
         Route::Shutdown => {
             shared.begin_shutdown();
             Ok(json_response(202, serde_json::json!({"draining": true})))

@@ -53,6 +53,7 @@ use crate::handlers::sanitize;
 use crate::metrics::Metrics;
 use crate::registry::ModelRegistry;
 use crate::router::valid_model_id;
+use crate::sync::PoisonlessMutex;
 
 /// Events kept for late SSE subscribers, per job.
 const HUB_HISTORY_CAP: usize = 512;
@@ -269,10 +270,13 @@ impl JobEventFrame {
 }
 
 fn frame(event: &'static str, data: serde_json::Value) -> JobEventFrame {
+    // Sanitized `Value`s always serialize; an empty object beats
+    // panicking inside the event loop if that invariant ever breaks.
+    let data = serde_json::to_string(&sanitize(data)).unwrap_or_else(|_| "{}".to_string());
     JobEventFrame {
         seq: 0,
         event,
-        data: serde_json::to_string(&sanitize(data)).expect("frame data renders"),
+        data,
     }
 }
 
@@ -333,7 +337,7 @@ pub struct EventHub {
 
 impl EventHub {
     pub(crate) fn publish(&self, f: JobEventFrame) {
-        let mut st = self.state.lock().expect("hub lock");
+        let mut st = self.state.plock();
         st.last_seq += 1;
         let f = JobEventFrame {
             seq: st.last_seq,
@@ -349,7 +353,7 @@ impl EventHub {
     }
 
     fn close(&self) {
-        let mut st = self.state.lock().expect("hub lock");
+        let mut st = self.state.plock();
         st.closed = true;
         st.subscribers.clear(); // drops the senders; receivers see EOF
     }
@@ -364,7 +368,7 @@ impl EventHub {
     /// plus, while the job is live, a receiver for what comes next
     /// (`None` once the stream has closed).
     pub fn subscribe(&self) -> (Vec<JobEventFrame>, Option<Receiver<JobEventFrame>>) {
-        let mut st = self.state.lock().expect("hub lock");
+        let mut st = self.state.plock();
         let history: Vec<JobEventFrame> = st.history.iter().cloned().collect();
         if st.closed {
             (history, None)
@@ -467,8 +471,7 @@ impl JobTracer {
 
     /// Stamps the start of the `running` span (recorded at `finish`).
     fn mark_running(&self) {
-        *self.running_started.lock().expect("tracer lock") =
-            Some((caffeine_obs::trace::unix_ns(), Instant::now()));
+        *self.running_started.plock() = Some((caffeine_obs::trace::unix_ns(), Instant::now()));
     }
 
     /// Materializes one progress interval's engine-phase breakdown as
@@ -545,7 +548,7 @@ impl JobTracer {
         {
             return;
         }
-        if let Some((unix, started)) = *self.running_started.lock().expect("tracer lock") {
+        if let Some((unix, started)) = *self.running_started.plock() {
             self.record(
                 "running",
                 self.running_ctx.span_id,
@@ -668,12 +671,12 @@ impl JobEntry {
 
     /// The current outcome.
     pub fn outcome(&self) -> JobOutcome {
-        self.outcome.lock().expect("job lock").clone()
+        self.outcome.plock().clone()
     }
 
     /// Blocks until the job's thread exits (tests and shutdown).
     pub fn join(&self) {
-        if let Some(h) = self.handle.lock().expect("job lock").take() {
+        if let Some(h) = self.handle.plock().take() {
             let _ = h.join();
         }
     }
@@ -824,7 +827,7 @@ struct Scheduler {
 
 impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.state.lock().expect("scheduler lock");
+        let st = self.state.plock();
         f.debug_struct("Scheduler")
             .field("max_running", &self.max_running)
             .field("running", &st.running)
@@ -846,7 +849,7 @@ impl Scheduler {
 
     /// The current queue depth.
     fn depth(&self) -> usize {
-        self.state.lock().expect("scheduler lock").queue.len()
+        self.state.plock().queue.len()
     }
 
     /// Admits the job into a running slot immediately when one is free
@@ -857,7 +860,7 @@ impl Scheduler {
     /// Propagates a thread-spawn failure for an immediately-admitted job;
     /// queued jobs cannot fail here.
     fn enqueue(self: &Arc<Scheduler>, job: QueuedJob) -> Result<(), ApiError> {
-        let mut st = self.state.lock().expect("scheduler lock");
+        let mut st = self.state.plock();
         if st.running < self.max_running && st.queue.is_empty() {
             st.running += 1;
             let metrics = Arc::clone(&job.run.metrics);
@@ -880,7 +883,7 @@ impl Scheduler {
     /// Frees one running slot (a driver reached a terminal outcome) and
     /// admits queued jobs while slots remain.
     fn release_slot(self: &Arc<Scheduler>) {
-        let mut st = self.state.lock().expect("scheduler lock");
+        let mut st = self.state.plock();
         st.running = st.running.saturating_sub(1);
         while st.running < self.max_running {
             let Some(job) = st.queue.pop_front() else {
@@ -899,7 +902,7 @@ impl Scheduler {
                 st.running -= 1;
                 let outcome = JobOutcome::Failed { message: e.message };
                 let (state, error) = trace_terminal(&outcome);
-                *entry.outcome.lock().expect("job lock") = outcome;
+                *entry.outcome.plock() = outcome;
                 entry.events.publish(frame("done", entry.status_json()));
                 entry.events.close();
                 if let Some(tracer) = entry.tracer.get() {
@@ -915,9 +918,9 @@ impl Scheduler {
     /// returning it for the caller to settle. `None` when the job was
     /// already admitted (or never queued).
     fn remove_queued(&self, id: u64) -> Option<QueuedJob> {
-        let mut st = self.state.lock().expect("scheduler lock");
+        let mut st = self.state.plock();
         let idx = st.queue.iter().position(|j| j.entry.id == id)?;
-        let job = st.queue.remove(idx).expect("index just found");
+        let job = st.queue.remove(idx)?;
         Scheduler::renumber(&st);
         job.run.metrics.set_jobs_queued(st.queue.len());
         Some(job)
@@ -926,7 +929,7 @@ impl Scheduler {
     /// Empties the whole queue (draining shutdown), returning the jobs
     /// for the caller to settle as interrupted.
     fn take_all_queued(&self) -> Vec<QueuedJob> {
-        let mut st = self.state.lock().expect("scheduler lock");
+        let mut st = self.state.plock();
         let jobs: Vec<QueuedJob> = st.queue.drain(..).collect();
         if let Some(job) = jobs.first() {
             job.run.metrics.set_jobs_queued(0);
@@ -1058,7 +1061,7 @@ fn spawn_admitted(
                 && thread_entry
                     .preserve_files
                     .load(std::sync::atomic::Ordering::Relaxed);
-            *thread_entry.outcome.lock().expect("job lock") = outcome;
+            *thread_entry.outcome.plock() = outcome;
             // Terminal: the spec/checkpoint pair has served its
             // purpose (publication happened or was deliberately
             // abandoned); removing it keeps restarts from re-running
@@ -1081,7 +1084,7 @@ fn spawn_admitted(
             drop(runner); // last event sender: ends the pump thread
         })
         .map_err(|e| ApiError::internal(format!("cannot spawn job thread: {e}")))?;
-    *entry.handle.lock().expect("job lock") = Some(handle);
+    *entry.handle.plock() = Some(handle);
     Ok(())
 }
 
@@ -1194,10 +1197,12 @@ impl JobManager {
         if let Some(dir) = &self.checkpoint_dir {
             if std::fs::create_dir_all(dir).is_ok() {
                 if let Some(path) = self.spec_path(id) {
-                    let _ = std::fs::write(
-                        path,
-                        serde_json::to_string(&spec.to_json()).expect("spec renders"),
-                    );
+                    // Specs always serialize; a job without a persisted
+                    // spec is merely not adoptable after restart, which
+                    // beats failing the submission.
+                    if let Ok(body) = serde_json::to_string(&spec.to_json()) {
+                        let _ = std::fs::write(path, body);
+                    }
                 }
                 runner.set_checkpoint_path(dir.join(format!("job-{id}.ckpt")));
             }
@@ -1230,7 +1235,7 @@ impl JobManager {
                 queued_at: Instant::now(),
             })
             .inspect_err(|_| {
-                self.jobs.lock().expect("jobs lock").remove(&id);
+                self.jobs.plock().remove(&id);
                 self.remove_job_files(id);
                 if let Some(tracer) = entry.tracer.get() {
                     tracer.abandon();
@@ -1246,7 +1251,7 @@ impl JobManager {
     ///
     /// 429 when every slot holds a live (non-terminal) job.
     fn insert_bounded(&self, entry: Arc<JobEntry>, metrics: &Metrics) -> Result<(), ApiError> {
-        let mut jobs = self.jobs.lock().expect("jobs lock");
+        let mut jobs = self.jobs.plock();
         if jobs.len() >= self.max_jobs {
             let terminal: Vec<u64> = jobs
                 .iter()
@@ -1298,7 +1303,7 @@ impl JobManager {
                 .preserve_files
                 .load(std::sync::atomic::Ordering::Relaxed);
         let (trace_state, trace_error) = trace_terminal(&outcome);
-        *entry.outcome.lock().expect("job lock") = outcome;
+        *entry.outcome.plock() = outcome;
         entry.queue_position.store(0, Ordering::Relaxed);
         if !interrupted {
             self.remove_job_files(entry.id);
@@ -1358,7 +1363,7 @@ impl JobManager {
                     // are only removed once the record is actually
                     // visible; a full store keeps them for the next try.
                     let entry = JobEntry::new(id, format!("job-{id}"), true);
-                    *entry.outcome.lock().expect("job lock") = JobOutcome::Failed { message };
+                    *entry.outcome.plock() = JobOutcome::Failed { message };
                     entry.events.publish(frame("done", entry.status_json()));
                     entry.events.close();
                     if self.insert_bounded(entry, metrics).is_ok() {
@@ -1378,8 +1383,11 @@ impl JobManager {
         metrics: &Arc<Metrics>,
     ) -> Result<(), AdoptFailure> {
         let unusable = AdoptFailure::Unusable;
-        let spec_path = self.spec_path(id).expect("adopting implies a dir");
-        let ckpt_path = self.ckpt_path(id).expect("adopting implies a dir");
+        // Adoption is only attempted when a checkpoint dir is configured,
+        // so these are always `Some`; report instead of asserting.
+        let (Some(spec_path), Some(ckpt_path)) = (self.spec_path(id), self.ckpt_path(id)) else {
+            return Err(unusable("no checkpoint dir configured".to_string()));
+        };
         let body = std::fs::read(&spec_path)
             .map_err(|e| unusable(format!("cannot read {}: {e}", spec_path.display())))?;
         let spec = JobSpec::from_json(&body).map_err(|e| {
@@ -1438,7 +1446,7 @@ impl JobManager {
                 queued_at: Instant::now(),
             })
             .map_err(|e| {
-                self.jobs.lock().expect("jobs lock").remove(&id);
+                self.jobs.plock().remove(&id);
                 if let Some(tracer) = entry.tracer.get() {
                     tracer.abandon();
                 }
@@ -1448,7 +1456,7 @@ impl JobManager {
 
     /// Looks up a job.
     pub fn get(&self, id: u64) -> Option<Arc<JobEntry>> {
-        self.jobs.lock().expect("jobs lock").get(&id).cloned()
+        self.jobs.plock().get(&id).cloned()
     }
 
     /// Requests cancellation; `false` when the job does not exist. A job
@@ -1473,13 +1481,7 @@ impl JobManager {
     /// state label (`queued`, `running`, `paused`, `finished`, `failed`,
     /// `cancelled`).
     pub fn list_json(&self, state: Option<&str>) -> Vec<serde_json::Value> {
-        let jobs: Vec<Arc<JobEntry>> = self
-            .jobs
-            .lock()
-            .expect("jobs lock")
-            .values()
-            .cloned()
-            .collect();
+        let jobs: Vec<Arc<JobEntry>> = self.jobs.plock().values().cloned().collect();
         jobs.iter()
             .map(|j| j.status_json())
             // Filter on the rendered document so the state tested is the
@@ -1494,13 +1496,7 @@ impl JobManager {
     /// checkpoint) so the next daemon on this model dir re-adopts and
     /// finishes it.
     pub fn drain(&self) {
-        let jobs: Vec<Arc<JobEntry>> = self
-            .jobs
-            .lock()
-            .expect("jobs lock")
-            .values()
-            .cloned()
-            .collect();
+        let jobs: Vec<Arc<JobEntry>> = self.jobs.plock().values().cloned().collect();
         for job in &jobs {
             job.preserve_files
                 .store(true, std::sync::atomic::Ordering::Relaxed);

@@ -110,6 +110,7 @@ mod registry;
 mod router;
 mod server;
 mod sse;
+mod sync;
 
 pub use error::ApiError;
 

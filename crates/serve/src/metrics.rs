@@ -9,6 +9,8 @@ use std::time::{Duration, Instant, SystemTime};
 use caffeine_obs::TraceStoreStats;
 use caffeine_runtime::PhaseBreakdown;
 
+use crate::sync::PoisonlessMutex;
+
 /// The phase labels of `caffeine_engine_phase_seconds`, in render order.
 /// Mirrors [`PhaseBreakdown`]'s duration fields.
 const ENGINE_PHASES: [&str; 6] = [
@@ -157,13 +159,11 @@ impl Metrics {
     pub fn observe(&self, route: &str, status: u16, elapsed: Duration) {
         *self
             .requests
-            .lock()
-            .expect("metrics lock")
+            .plock()
             .entry((route.to_string(), status))
             .or_insert(0) += 1;
         self.latency
-            .lock()
-            .expect("metrics lock")
+            .plock()
             .entry(route.to_string())
             .or_default()
             .observe(elapsed);
@@ -231,10 +231,7 @@ impl Metrics {
 
     /// Records how long one job waited in the admission queue.
     pub fn observe_queue_wait(&self, waited: Duration) {
-        self.queue_wait
-            .lock()
-            .expect("metrics lock")
-            .observe(waited);
+        self.queue_wait.plock().observe(waited);
     }
 
     /// Renders everything in the Prometheus text format. Registry cache
@@ -262,14 +259,14 @@ impl Metrics {
         ));
 
         out.push_str("# TYPE caffeine_serve_requests_total counter\n");
-        for ((route, status), count) in self.requests.lock().expect("metrics lock").iter() {
+        for ((route, status), count) in self.requests.plock().iter() {
             out.push_str(&format!(
                 "caffeine_serve_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}\n"
             ));
         }
 
         out.push_str("# TYPE caffeine_serve_request_duration_microseconds histogram\n");
-        for (route, hist) in self.latency.lock().expect("metrics lock").iter() {
+        for (route, hist) in self.latency.plock().iter() {
             let mut cumulative = 0;
             for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
                 cumulative += hist.buckets[i];
@@ -346,7 +343,7 @@ impl Metrics {
         ));
         out.push_str("# TYPE caffeine_serve_queue_wait_seconds histogram\n");
         {
-            let hist = self.queue_wait.lock().expect("metrics lock");
+            let hist = self.queue_wait.plock();
             let mut cumulative = 0;
             for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
                 cumulative += hist.buckets[i];

@@ -41,6 +41,7 @@ impl<T: Send + 'static> WorkerPool<T> {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || worker_loop(&rx, handler.as_ref(), &queued))
+                    // lint: allow(panic-freedom) — startup-time: runs once in WorkerPool::new before the listener accepts requests
                     .expect("spawn worker thread")
             })
             .collect();

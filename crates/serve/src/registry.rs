@@ -23,6 +23,7 @@ use caffeine_core::ModelArtifact;
 
 use crate::error::ApiError;
 use crate::router::valid_model_id;
+use crate::sync::PoisonlessRwLock;
 
 /// One stored artifact version.
 #[derive(Debug, Clone)]
@@ -113,7 +114,7 @@ impl ModelRegistry {
         // racing identical publish rewrites the same bytes — harmless —
         // and a racing different publish touches a different file.
         let already_present = {
-            let map = self.inner.read().expect("registry lock");
+            let map = self.inner.pread();
             map.get(id)
                 .is_some_and(|s| s.versions.iter().any(|v| v.version == version))
         };
@@ -122,7 +123,7 @@ impl ModelRegistry {
                 .map_err(|e| ApiError::internal(format!("cannot persist artifact: {e}")))?;
         }
 
-        let mut map = self.inner.write().expect("registry lock");
+        let mut map = self.inner.pwrite();
         let shelf = map.entry(id.to_string()).or_default();
         let created = match shelf.versions.iter().position(|v| v.version == version) {
             Some(existing) => {
@@ -157,7 +158,7 @@ impl ModelRegistry {
 
     /// Fetches an artifact by id, at a specific version or the latest.
     pub fn get(&self, id: &str, version: Option<&str>) -> Option<StoredVersion> {
-        let map = self.inner.read().expect("registry lock");
+        let map = self.inner.pread();
         let found = map.get(id).and_then(|shelf| match version {
             None => shelf.versions.last(),
             Some(v) => shelf.versions.iter().find(|s| s.version == v),
@@ -177,7 +178,7 @@ impl ModelRegistry {
     /// Lists `(id, versions)` pairs, versions in publish order (latest
     /// last).
     pub fn list(&self) -> Vec<(String, Vec<String>)> {
-        let map = self.inner.read().expect("registry lock");
+        let map = self.inner.pread();
         map.iter()
             .map(|(id, shelf)| {
                 (
@@ -190,7 +191,7 @@ impl ModelRegistry {
 
     /// Total artifacts across all ids.
     pub fn total_versions(&self) -> usize {
-        let map = self.inner.read().expect("registry lock");
+        let map = self.inner.pread();
         map.values().map(|s| s.versions.len()).sum()
     }
 

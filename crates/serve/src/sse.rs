@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 use crate::http::{encode_chunk, Response, CHUNKED_BODY_END};
 use crate::jobs::{JobEntry, JobEventFrame};
 use crate::metrics::Metrics;
+use crate::sync::PoisonlessMutex;
 
 /// Outbox bytes a client may leave unread before it is dropped as a
 /// hopelessly slow consumer (matches the hub's lag-drop philosophy).
@@ -189,6 +190,7 @@ impl SseStreamer {
         let handle = std::thread::Builder::new()
             .name("serve-sse-streamer".into())
             .spawn(move || event_loop(&rx, &metrics, &loop_stop))
+            // lint: allow(panic-freedom) — startup-time: runs once in SseStreamer::new before the listener accepts requests
             .expect("spawn sse streamer thread");
         SseStreamer {
             tx: Mutex::new(Some(tx)),
@@ -229,9 +231,7 @@ impl SseStreamer {
         // Writing the head into a Vec cannot fail; the returned writer is
         // dropped unfinished — frames go through `encode_chunk`, which is
         // wire-identical to `ChunkedWriter::chunk`.
-        let _ = head
-            .write_chunked_head(&mut outbox)
-            .expect("head renders into a buffer");
+        let _ = head.write_chunked_head(&mut outbox);
         // Unsequenced (`seq: 0`): the snapshot is per-subscription state,
         // not part of the job's replayable stream, so it carries no SSE
         // id and reconnecting watchers never dedup it away.
@@ -239,7 +239,7 @@ impl SseStreamer {
             seq: 0,
             event: "snapshot",
             data: serde_json::to_string(&crate::handlers::sanitize(entry.status_json()))
-                .expect("status renders"),
+                .unwrap_or_else(|_| "{}".to_string()),
         };
         encode_chunk(&mut outbox, snapshot.render().as_bytes());
         for frame in &history {
@@ -258,7 +258,7 @@ impl SseStreamer {
             finishing: None,
         };
         let stopped = || std::io::Error::new(std::io::ErrorKind::BrokenPipe, "streamer stopped");
-        let tx = self.tx.lock().expect("streamer lock");
+        let tx = self.tx.plock();
         match tx.as_ref() {
             Some(tx) => tx
                 .send(conn)
@@ -271,9 +271,9 @@ impl SseStreamer {
     /// get a short grace to flush what is already queued (job drain has
     /// closed their hubs by now), then everything is dropped.
     pub fn shutdown(&self) {
-        self.tx.lock().expect("streamer lock").take();
+        self.tx.plock().take();
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.handle.lock().expect("streamer lock").take() {
+        if let Some(handle) = self.handle.plock().take() {
             let _ = handle.join();
         }
     }

@@ -1,0 +1,98 @@
+//! Poison-recovering lock acquisition for the request path.
+//!
+//! `Mutex::lock().expect(…)` turns one panic into an epidemic: the first
+//! panicking holder poisons the lock, and every later request that
+//! touches it panics too — a single bug becomes a permanent denial of
+//! service. The request path therefore acquires locks through [`plock`]
+//! / [`pread`] / [`pwrite`], which recover the guard from a poisoned
+//! lock instead of panicking.
+//!
+//! Recovering is sound here because the panic-freedom lint forbids panic
+//! sites in every module that locks these mutexes — so a poisoned lock
+//! means a bug already escaped the lint (e.g. a slice-index panic), and
+//! the choice is between serving with the state the panicking thread
+//! left (each critical section in serve keeps its state consistent
+//! statement-to-statement: counters, map inserts/removals, queue
+//! push/pop) and refusing every future request. We choose to serve.
+//!
+//! The lock-order lint recognizes `.plock()` exactly like `.lock()`, so
+//! discipline checking is unaffected.
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Poison-recovering [`Mutex`] acquisition.
+pub(crate) trait PoisonlessMutex<T> {
+    /// Like `lock()`, but a poisoned lock yields its guard instead of
+    /// panicking.
+    fn plock(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> PoisonlessMutex<T> for Mutex<T> {
+    fn plock(&self) -> MutexGuard<'_, T> {
+        match self.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Poison-recovering [`RwLock`] acquisition.
+pub(crate) trait PoisonlessRwLock<T> {
+    /// Like `read()`, but a poisoned lock yields its guard instead of
+    /// panicking.
+    fn pread(&self) -> RwLockReadGuard<'_, T>;
+    /// Like `write()`, but a poisoned lock yields its guard instead of
+    /// panicking.
+    fn pwrite(&self) -> RwLockWriteGuard<'_, T>;
+}
+
+impl<T> PoisonlessRwLock<T> for RwLock<T> {
+    fn pread(&self) -> RwLockReadGuard<'_, T> {
+        match self.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn pwrite(&self) -> RwLockWriteGuard<'_, T> {
+        match self.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn plock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "lock should be poisoned");
+        assert_eq!(*m.plock(), 7);
+        *m.plock() = 8;
+        assert_eq!(*m.plock(), 8);
+    }
+
+    #[test]
+    fn rwlock_recovers_from_poison() {
+        let l = Arc::new(RwLock::new(1u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*l.pread(), 1);
+        *l.pwrite() = 2;
+        assert_eq!(*l.pread(), 2);
+    }
+}

@@ -27,6 +27,8 @@
 //! truncates — so anything that survives it received exactly what the
 //! daemon sent.
 
+#![deny(unsafe_code)]
+
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
